@@ -1,0 +1,16 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+experiment once (``benchmark.pedantic`` with a single round — the
+simulation is deterministic, so repetition only measures Python noise),
+prints the same rows/series the paper reports, and stores the headline
+numbers in ``benchmark.extra_info`` for machine consumption.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,21 @@
+"""Figure 10 bench: inter-host VM TCP_RR latency."""
+
+from conftest import run_once
+
+from repro.experiments.fig10_latency import run_fig10
+
+
+def test_fig10_latency(benchmark):
+    result = run_once(benchmark, run_fig10, 400)
+    print()
+    print(result.render())
+    kernel = result.results["kernel"]
+    afxdp = result.results["afxdp"]
+    dpdk = result.results["dpdk"]
+    # Paper: kernel worst by a wide margin; AF_XDP barely trails DPDK.
+    assert kernel.p50_us > 1.3 * afxdp.p50_us
+    assert dpdk.p50_us < afxdp.p50_us < 1.35 * dpdk.p50_us
+    assert dpdk.transactions_per_s > kernel.transactions_per_s
+    for name, r in result.results.items():
+        benchmark.extra_info[f"{name}_p50_us"] = round(r.p50_us, 1)
+        benchmark.extra_info[f"{name}_p99_us"] = round(r.p99_us, 1)

@@ -1,0 +1,22 @@
+"""Figure 11 bench: intra-host container TCP_RR latency."""
+
+from conftest import run_once
+
+from repro.experiments.fig11_container_latency import run_fig11
+
+
+def test_fig11_container_latency(benchmark):
+    result = run_once(benchmark, run_fig11, 400)
+    print()
+    print(result.render())
+    kernel = result.results["kernel"]
+    afxdp = result.results["afxdp"]
+    dpdk = result.results["dpdk"]
+    # Paper: kernel and AF_XDP similar (~15 us); DPDK ~5x worse with a
+    # monstrous tail.
+    assert abs(kernel.p50_us - afxdp.p50_us) < 4
+    assert dpdk.p50_us > 3 * kernel.p50_us
+    assert dpdk.p99_us > 2 * dpdk.p50_us
+    for name, r in result.results.items():
+        benchmark.extra_info[f"{name}_p50_us"] = round(r.p50_us, 1)
+        benchmark.extra_info[f"{name}_p99_us"] = round(r.p99_us, 1)

@@ -1,0 +1,23 @@
+"""Figure 12 bench: multi-queue scaling on 25 GbE."""
+
+from conftest import run_once
+
+from repro.experiments.fig12_multiqueue import QUEUE_COUNTS, run_fig12
+
+
+def test_fig12_multiqueue(benchmark):
+    result = run_once(benchmark, run_fig12, 800)
+    print()
+    print(result.render())
+    # 1518B: both datapaths reach the 25G line (AF_XDP by 6 queues).
+    assert result.gbps("afxdp", 1518, 6) >= 24.9
+    assert result.gbps("dpdk", 1518, 6) >= 24.9
+    # 64B: AF_XDP tops out well below line rate (~12-19 Mpps), and DPDK
+    # consistently outperforms it.
+    assert result.mpps("afxdp", 64, 6) < 25
+    for q in QUEUE_COUNTS:
+        assert result.mpps("dpdk", 64, q) > result.mpps("afxdp", 64, q)
+    # AF_XDP 64B scales with queues.
+    assert result.mpps("afxdp", 64, 6) > result.mpps("afxdp", 64, 1)
+    for (dp, frame, q), (mpps, gbps) in result.series.items():
+        benchmark.extra_info[f"{dp}/{frame}B/{q}q"] = round(gbps, 1)

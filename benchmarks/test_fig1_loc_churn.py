@@ -1,0 +1,14 @@
+"""Figure 1 bench: the out-of-tree module churn dataset and model."""
+
+from conftest import run_once
+
+from repro.experiments.fig1_loc_churn import run_fig1
+
+
+def test_fig1_loc_churn(benchmark):
+    result = run_once(benchmark, run_fig1)
+    print()
+    print(result.render())
+    # Every year shows thousands of lines of pure backporting.
+    assert all(bp >= 1_000 for _f, bp in result.dataset.values())
+    benchmark.extra_info["total_backport_loc"] = result.total_backport_loc

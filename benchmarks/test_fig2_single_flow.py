@@ -1,0 +1,16 @@
+"""Figure 2 bench: kernel vs eBPF vs DPDK single-core forwarding."""
+
+from conftest import run_once
+
+from repro.experiments.fig2_single_flow import run_fig2
+
+
+def test_fig2_single_flow(benchmark):
+    result = run_once(benchmark, run_fig2, 2_000)
+    print()
+    print(result.render())
+    # Paper: DPDK far ahead; eBPF 10-20% behind the kernel module.
+    assert result.mpps["dpdk"] > 2 * result.mpps["kernel"]
+    assert 5 <= result.ebpf_slowdown_pct <= 25
+    for name, mpps in result.mpps.items():
+        benchmark.extra_info[f"{name}_mpps"] = round(mpps, 2)

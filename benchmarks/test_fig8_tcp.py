@@ -1,0 +1,29 @@
+"""Figure 8 bench: TCP throughput through the NSX pipeline (3 panels)."""
+
+from conftest import run_once
+
+from repro.experiments.fig8_tcp_throughput import run_fig8
+
+
+def test_fig8_tcp_throughput(benchmark):
+    result = run_once(benchmark, run_fig8, ("a", "b", "c"), 300_000)
+    print()
+    print(result.render_all())
+    g = result.gbps
+    # Panel a: polling beats interrupt; vhostuser beats tap.
+    assert g[("a", "afxdp+tap polling")] > 1.3 * g[("a", "afxdp+tap interrupt")]
+    assert g[("a", "afxdp+vhost")] > g[("a", "afxdp+tap polling")]
+    # Panel b: the TSO bar dominates and beats the kernel datapath
+    # ("the final configuration outperforms the kernel datapath").
+    assert g[("b", "afxdp+vhost+csum+tso")] > g[("b", "kernel+tap")]
+    assert g[("b", "afxdp+vhost+csum+tso")] > 3 * g[("b", "afxdp+vhost+csum")]
+    assert g[("b", "afxdp+vhost")] > g[("b", "afxdp+tap")]
+    # Panel c: offloads are the whole game for in-kernel container
+    # networking (5.9 -> 49 in the paper); XDP redirect ~= kernel
+    # without offloads; the AF_XDP userspace ladder ascends.
+    assert g[("c", "kernel veth offload")] > 5 * g[("c", "kernel veth")]
+    assert abs(g[("c", "xdp redirect")] - g[("c", "kernel veth")]) < 2.0
+    assert (g[("c", "afxdp user")] <= g[("c", "afxdp user+csum")]
+            <= g[("c", "afxdp user+csum+tso")])
+    for key, value in g.items():
+        benchmark.extra_info["/".join(key)] = round(value, 2)

@@ -1,0 +1,30 @@
+"""Figure 9 + Table 4 bench: P2P/PVP/PCP rates and CPU use."""
+
+from conftest import run_once
+
+from repro.experiments.fig9_forwarding import run_fig9
+
+
+def test_fig9_forwarding_and_table4(benchmark):
+    result = run_once(benchmark, run_fig9, 1_200)
+    print()
+    print(result.render_rates())
+    print()
+    print(result.render_table4())
+
+    # P2P: DPDK leads AF_XDP; only the kernel gains from 1000 flows (RSS).
+    assert result.mpps("P2P", "dpdk", 1) > result.mpps("P2P", "afxdp", 1)
+    assert result.mpps("P2P", "kernel", 1000) > result.mpps("P2P", "kernel", 1)
+    assert result.mpps("P2P", "afxdp", 1000) < result.mpps("P2P", "afxdp", 1)
+    # Table 4 P2P: kernel burns ~10 HT, DPDK exactly one.
+    assert result.cpu("P2P", "kernel", 1000)["total"] > 8
+    assert abs(result.cpu("P2P", "dpdk", 1000)["total"] - 1.0) < 0.1
+    # PVP: vhostuser beats tap; DPDK leads AF_XDP.
+    assert result.mpps("PVP", "afxdp+vhost", 1) > result.mpps("PVP", "afxdp+tap", 1)
+    assert result.mpps("PVP", "dpdk+vhost", 1) > result.mpps("PVP", "afxdp+vhost", 1)
+    # PCP: AF_XDP's XDP-redirect path wins (Outcome #2).
+    assert result.mpps("PCP", "afxdp", 1) > result.mpps("PCP", "kernel", 1)
+    assert result.mpps("PCP", "afxdp", 1) > result.mpps("PCP", "dpdk", 1)
+
+    for (scenario, config, flows), m in result.cells.items():
+        benchmark.extra_info[f"{scenario}/{config}/{flows}"] = round(m.mpps, 2)

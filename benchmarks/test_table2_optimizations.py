@@ -1,0 +1,17 @@
+"""Table 2 bench: the O1-O5 AF_XDP optimization ladder."""
+
+from conftest import run_once
+
+from repro.experiments.table2_optimizations import LADDER, run_table2
+
+
+def test_table2_optimizations(benchmark):
+    result = run_once(benchmark, run_table2, 2_000)
+    print()
+    print(result.render())
+    # Monotone ladder, with O1 the big jump (paper: 6x).
+    rates = [result.mpps[label] for label, _o, _m in LADDER]
+    assert rates == sorted(rates)
+    assert 4 <= result.speedup("none", "O1") <= 9
+    for label, _opts, _main in LADDER:
+        benchmark.extra_info[label] = round(result.mpps[label], 2)

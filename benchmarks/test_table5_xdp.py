@@ -1,0 +1,17 @@
+"""Table 5 bench: XDP processing-task complexity vs rate."""
+
+from conftest import run_once
+
+from repro.experiments.table5_xdp_cost import run_table5
+
+
+def test_table5_xdp_cost(benchmark):
+    result = run_once(benchmark, run_table5, 2_000)
+    print()
+    print(result.render())
+    # Outcome #4: complexity in XDP code reduces performance.
+    assert result.mpps["A"] > result.mpps["B"] > result.mpps["C"] > result.mpps["D"]
+    # Task A saturates the 10G link (~14 Mpps).
+    assert result.mpps["A"] > 13
+    for task, mpps in result.mpps.items():
+        benchmark.extra_info[f"task_{task}_mpps"] = round(mpps, 2)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Extending OVS with eBPF: an in-driver L4 load balancer (§3.5).
+
+"Another example is to implement an L4 load-balancer in XDP targeting a
+particular 5-tuple, which directly processes any packet that matches the
+5-tuple and passes non-matching packets to the userspace OVS datapath."
+
+This example attaches exactly that program to the NIC feeding OVS,
+configures two virtual-IP mappings in its eBPF map, and shows the split:
+matched flows bounce in the driver (cheap), the rest go to OVS userspace
+(flexible).  It also demonstrates the verifier doing its job, and
+measures how much faster the in-driver path is.
+
+Run:  python examples/xdp_load_balancer.py
+"""
+
+from repro.ebpf.isa import Reg
+from repro.ebpf.program import ProgramBuilder
+from repro.ebpf.programs import l4_load_balancer_program, lb_key
+from repro.ebpf.verifier import VerifierError, verify
+from repro.ebpf.xdp import XdpContext
+from repro.experiments.common import CpuSnapshot, reduce_run
+from repro.hosts.host import Host
+from repro.kernel.netdev import NetDevice, Wire
+from repro.net.addresses import MacAddress, ip_to_int
+from repro.net.builder import make_udp_packet
+
+
+def main() -> None:
+    host = Host("lb-host", n_cpus=4)
+    nic = host.add_nic("ens1", n_queues=1)
+    peer = NetDevice("client-side", MacAddress.local(0x777))
+    peer.set_up()
+    returned = []
+    peer.set_rx_handler(lambda pkt, ctx: returned.append(pkt))
+    Wire(nic, peer, gbps=25)
+
+    # -- build, verify and attach the program --------------------------------
+    program, xsks, backends = l4_load_balancer_program()
+    print(f"program {program.name!r}: {len(program.insns)} instructions, "
+          f"verified={program.verified}")
+    nic.attach_xdp(XdpContext(program))
+
+    # Sanity: the verifier rejects a program with a loop, which is why the
+    # full OVS datapath cannot live in eBPF (§2.2.2).
+    looped = ProgramBuilder("evil")
+    looped.mov_imm(Reg.R0, 0)
+    looped.exit_()
+    bad = looped.build()
+    bad_insns = list(bad.insns)
+    from repro.ebpf.isa import Insn
+
+    bad_insns.insert(1, Insn("jeq_imm", dst=0, off=-2, imm=99))
+    bad.insns = tuple(bad_insns)
+    try:
+        verify(bad)
+    except VerifierError as exc:
+        print(f"verifier rejected a looping program: {exc}")
+
+    # -- configure two VIP flows in the map ----------------------------------
+    vip, b1, b2 = "10.0.0.100", "10.0.1.1", "10.0.1.2"
+    client = "198.51.100.7"
+    for sport, backend in ((4242, b1), (4243, b2)):
+        backends.update(
+            lb_key(ip_to_int(client), ip_to_int(vip), sport, 80, 17),
+            ip_to_int(backend).to_bytes(4, "little"),
+        )
+    print(f"configured VIP {vip}:80 -> {{{b1}, {b2}}}")
+
+    # -- traffic: two matched flows + one unmatched ---------------------------
+    src_mac = MacAddress.local(0x111)
+    matched_a = make_udp_packet(src_mac, nic.mac, client, vip, 4242, 80)
+    matched_b = make_udp_packet(src_mac, nic.mac, client, vip, 4243, 80)
+    other = make_udp_packet(src_mac, nic.mac, client, "10.0.0.50", 999, 53)
+
+    before = CpuSnapshot.take(host.cpu)
+    n = 600
+    for i in range(n):
+        nic.host_receive((matched_a, matched_b, other)[i % 3])
+        host.kernel.service_nic(nic, budget=32, interrupt_mode=False)
+    m = reduce_run(host.cpu, before, n, link_gbps=25, frame_len=64)
+
+    rewritten = {pkt.data[30:34] for pkt in returned}
+    print(f"\n{len(returned)} matched packets bounced in the driver "
+          f"(XDP_TX), rewritten to backends: "
+          f"{sorted(b.hex() for b in rewritten)}")
+    print(f"unmatched packets sent toward OVS userspace: "
+          f"{n - len(returned)} (fell through the XSK redirect)")
+    print(f"in-driver processing: {m.ns_per_packet:.0f} ns/packet "
+          f"({m.mpps:.1f} Mpps on one core)")
+    print("\nNo OVS restart was needed to deploy this program — XDP "
+          "programs load and unload independently (§3.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so legacy editable installs work without the ``wheel`` package.
+
+The offline environment lacks ``wheel`` (needed for PEP 660 editable
+installs), so ``pip install -e .`` falls back to ``setup.py develop`` here.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Reproduction of "Revisiting the Open vSwitch Dataplane Ten Years
+Later" (SIGCOMM 2021) as a calibrated full-stack simulation.
+
+Subpackages: :mod:`repro.sim` (time & cost model), :mod:`repro.net`
+(packets), :mod:`repro.ebpf` (eBPF/XDP VM), :mod:`repro.kernel`
+(simulated Linux), :mod:`repro.afxdp`, :mod:`repro.dpdk`,
+:mod:`repro.vhost`, :mod:`repro.ovs` (the switch), :mod:`repro.nsx`,
+:mod:`repro.hosts`, :mod:`repro.traffic`, :mod:`repro.tools`,
+:mod:`repro.analysis`, :mod:`repro.experiments`.
+
+``python -m repro`` regenerates every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,68 @@
+"""Run the full evaluation from the command line.
+
+    python -m repro                 # every table and figure
+    python -m repro fig2 table5     # a subset
+    python -m repro --list
+
+Each experiment prints the same rows/series the paper reports; expect a
+few minutes for the full set (fig8/fig9 dominate).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+EXPERIMENTS = {
+    "fig1": ("Figure 1: out-of-tree module churn",
+             "repro.experiments.fig1_loc_churn"),
+    "fig2": ("Figure 2: single-core forwarding by datapath",
+             "repro.experiments.fig2_single_flow"),
+    "table2": ("Table 2: AF_XDP optimization ladder",
+               "repro.experiments.table2_optimizations"),
+    "table3": ("Table 3: NSX production rule set",
+               "repro.experiments.table3_ruleset"),
+    "fig8": ("Figure 8: TCP throughput (NSX pipeline)",
+             "repro.experiments.fig8_tcp_throughput"),
+    "fig9": ("Figure 9 + Table 4: forwarding rate and CPU",
+             "repro.experiments.fig9_forwarding"),
+    "fig10": ("Figure 10: inter-host VM latency",
+              "repro.experiments.fig10_latency"),
+    "fig11": ("Figure 11: container latency",
+              "repro.experiments.fig11_container_latency"),
+    "table5": ("Table 5: XDP task complexity",
+               "repro.experiments.table5_xdp_cost"),
+    "fig12": ("Figure 12: multi-queue scaling",
+              "repro.experiments.fig12_multiqueue"),
+}
+
+
+def main(argv: "list[str]") -> int:
+    if "--list" in argv or "-l" in argv:
+        for key, (title, _module) in EXPERIMENTS.items():
+            print(f"  {key:8s} {title}")
+        return 0
+    chosen = [a for a in argv if not a.startswith("-")]
+    unknown = [a for a in chosen if a not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    targets = chosen or list(EXPERIMENTS)
+    import importlib
+
+    for key in targets:
+        title, module_name = EXPERIMENTS[key]
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        started = time.time()
+        module = importlib.import_module(module_name)
+        module.main()
+        print(f"[{key} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,26 @@
+"""AF_XDP: the kernel's high-speed socket channel to userspace.
+
+Implements the machinery of Figure 4: umem frame areas with fill and
+completion rings, XSK sockets with rx/tx descriptor rings, the umempool
+buffer manager OVS wrote (§3.2 O2/O3), and the OVS ``netdev-afxdp``
+driver that ties an XSK to each NIC queue, in zero-copy or copy mode.
+"""
+
+from repro.afxdp.rings import DescRing, RingFullError
+from repro.afxdp.umem import Umem, FRAME_SIZE
+from repro.afxdp.umempool import LockStrategy, UmemPool
+from repro.afxdp.socket import XskSocket, BindMode
+from repro.afxdp.driver import AfxdpDriver, AfxdpOptions
+
+__all__ = [
+    "DescRing",
+    "RingFullError",
+    "Umem",
+    "FRAME_SIZE",
+    "LockStrategy",
+    "UmemPool",
+    "XskSocket",
+    "BindMode",
+    "AfxdpDriver",
+    "AfxdpOptions",
+]

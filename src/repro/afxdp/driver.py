@@ -1,0 +1,203 @@
+"""netdev-afxdp: the OVS AF_XDP driver (§3).
+
+One :class:`AfxdpDriver` manages a NIC: per-queue umem + umempool + XSK,
+the XDP redirect program, and the receive/transmit bursts the PMD threads
+call.  Its options are the paper's optimization knobs:
+
+* O2 ``lock_strategy`` and O3 ``batched_locking`` — forwarded to the pool;
+* O4 ``preallocated_metadata`` — dp_packet structures in one contiguous
+  array vs mmap-backed allocation;
+* O5 ``sw_checksum_on_tx`` — AF_XDP has no checksum offload, so by
+  default OVS computes L4 checksums in software on transmit; switching it
+  off reproduces the paper's offload *estimate*;
+* ``interrupt_mode`` — poll()-driven service instead of busy polling
+  (the O1-less configuration of Figure 8a's second bar).
+
+O1 itself (dedicated PMD threads) is a dpif-netdev scheduling decision;
+see :mod:`repro.ovs.pmd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.afxdp.socket import BindMode, XskSocket
+from repro.afxdp.umem import Umem
+from repro.afxdp.umempool import LockStrategy, UmemPool
+from repro.ebpf.programs import steering_program, xsk_redirect_program
+from repro.ebpf.xdp import XdpContext
+from repro.kernel.nic import PhysicalNic
+from repro.net.flow import extract_flow, rss_hash
+from repro.net.packet import Packet
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import CpuCategory, ExecContext
+
+#: How many dp_packet allocations one mmap covers in the pre-O4 scheme.
+MMAP_ALLOC_PERIOD = 512
+
+
+@dataclass
+class AfxdpOptions:
+    lock_strategy: LockStrategy = LockStrategy.SPINLOCK
+    batched_locking: bool = True
+    preallocated_metadata: bool = True
+    sw_checksum_on_tx: bool = True
+    interrupt_mode: bool = False
+    batch_size: int = 32
+    ring_size: int = 2048
+    n_frames: int = 4096
+    #: Force copy mode even on capable hardware (None = auto-detect).
+    force_copy_mode: Optional[bool] = None
+    #: Steer management TCP (ssh/OpenFlow/OVSDB) to the kernel stack
+    #: instead of the XSK (§4's control-plane steering idea).  Empty =
+    #: the plain redirect-everything helper.
+    mgmt_steering_ports: "tuple[int, ...]" = ()
+
+
+class AfxdpDriver:
+    def __init__(
+        self,
+        nic: PhysicalNic,
+        options: Optional[AfxdpOptions] = None,
+    ) -> None:
+        self.nic = nic
+        self.options = options or AfxdpOptions()
+        self.sockets: Dict[int, XskSocket] = {}
+        self.program = None
+        self._xsk_map = None
+        self._alloc_counter = 0
+        self.rx_packets = 0
+        self.tx_packets = 0
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Create per-queue XSKs, load and attach the XDP program."""
+        opts = self.options
+        if opts.force_copy_mode is None:
+            copy_mode = not self.nic.features.afxdp_zerocopy
+        else:
+            copy_mode = opts.force_copy_mode
+        bind_mode = BindMode.COPY if copy_mode else BindMode.ZEROCOPY
+        if opts.mgmt_steering_ports:
+            program, xsk_map = steering_program(
+                n_queues=self.nic.n_queues,
+                mgmt_ports=opts.mgmt_steering_ports,
+            )
+        else:
+            program, xsk_map = xsk_redirect_program(
+                n_queues=self.nic.n_queues)
+        self.program = program
+        self._xsk_map = xsk_map
+        for queue in range(self.nic.n_queues):
+            umem = Umem(n_frames=opts.n_frames, ring_size=opts.ring_size)
+            pool = UmemPool(
+                umem,
+                lock_strategy=opts.lock_strategy,
+                batched=opts.batched_locking,
+            )
+            sock = XskSocket(umem, pool, bind_mode=bind_mode,
+                             ring_size=opts.ring_size)
+            sock.bound_device = self.nic
+            sock.bound_queue = queue
+            # Prime the fill ring so the kernel can receive immediately.
+            addrs = pool.alloc(opts.ring_size // 2, _SETUP_CTX)
+            umem.fill_ring.produce_batch([(a, 0) for a in addrs])
+            self.sockets[queue] = sock
+            self.nic.bind_xsk(queue, sock)
+            xsk_map.set_dev(queue, queue + 1)  # non-zero marker
+        self.nic.attach_xdp(XdpContext(program))
+
+    def teardown(self) -> None:
+        """Detach the program and unbind (an OVS restart needs only this —
+        no kernel module unload, no reboot)."""
+        self.nic.detach_xdp()
+        for queue in list(self.sockets):
+            self.nic.unbind_xsk(queue)
+        self.sockets.clear()
+
+    # ------------------------------------------------------------------
+    def rx_burst(self, queue: int, ctx: ExecContext) -> List[Packet]:
+        """Receive a burst on a queue (PMD thread context)."""
+        costs = DEFAULT_COSTS
+        opts = self.options
+        sock = self.sockets[queue]
+        if opts.interrupt_mode:
+            # Blocking service: poll() syscall, then a wakeup when the
+            # interrupt fires.  This is what "interrupt" in Figure 8a
+            # means.  The sleep/wake cycle costs real CPU (scheduler out
+            # and in) as well as latency.
+            with ctx.as_category(CpuCategory.SYSTEM):
+                ctx.charge(costs.poll_ns, label="poll")
+            if len(sock.rx_ring):
+                ctx.charge(costs.context_switch_ns, label="irq_resched")
+                ctx.wait(costs.irq_entry_ns + costs.thread_wakeup_ns,
+                         label="irq_wakeup")
+        pkts = sock.user_rx_batch(ctx, batch=opts.batch_size)
+        if not pkts:
+            return pkts
+        for pkt in pkts:
+            self._init_metadata(pkt, ctx)
+        self.rx_packets += len(pkts)
+        return pkts
+
+    def _init_metadata(self, pkt: Packet, ctx: ExecContext) -> None:
+        costs = DEFAULT_COSTS
+        opts = self.options
+        ctx.charge(costs.dp_packet_init_ns, label="dp_packet")
+        if not pkt.meta.llc_warm:
+            # Zero-copy AF_XDP: userspace is the first to read the DMA'd
+            # frame (the XSK-redirect program never touched it).
+            ctx.charge(costs.dma_first_touch_ns, label="dma_first_touch")
+            pkt.meta.llc_warm = True
+        if not opts.preallocated_metadata:
+            ctx.charge(costs.dp_packet_malloc_extra_ns, label="dp_malloc")
+            self._alloc_counter += 1
+            if self._alloc_counter % MMAP_ALLOC_PERIOD == 0:
+                with ctx.as_category(CpuCategory.SYSTEM):
+                    ctx.charge(costs.mmap_ns, label="mmap")
+        # No API exposes the NIC's RSS hash or checksum validation
+        # through AF_XDP (§5.5): the hash is recomputed in software, and
+        # the checksum's hardware verdict is lost — unless the O5
+        # estimate is on, in which case receive "assumes the checksum is
+        # correct" (§3.2).
+        ctx.charge(costs.software_rxhash_ns, label="sw_rxhash")
+        pkt.meta.rxhash = rss_hash(extract_flow(pkt.data).five_tuple())
+        pkt.meta.csum_verified = not opts.sw_checksum_on_tx
+
+    def tx_burst(self, queue: int, pkts: List[Packet], ctx: ExecContext) -> int:
+        costs = DEFAULT_COSTS
+        opts = self.options
+        sock = self.sockets[queue]
+        if opts.sw_checksum_on_tx:
+            # AF_XDP exposes no checksum offload (§3.2 O5): the driver
+            # checksums every outgoing packet in software.
+            for pkt in pkts:
+                ctx.charge(costs.checksum_cost(len(pkt)), label="sw_csum")
+                pkt.meta.csum_partial = False
+        else:
+            # The O5 estimate: stamp a fixed value, assume correctness.
+            for pkt in pkts:
+                pkt.meta.csum_partial = False
+        sent = sock.user_tx_batch(pkts, ctx)
+        sock.reap_completions(ctx)
+        self.tx_packets += sent
+        return sent
+
+
+class _SetupCtx:
+    """Setup-time work is control plane; don't bill it to a datapath CPU."""
+
+    def charge(self, ns: float, label: str = "", category=None) -> None:
+        pass
+
+    def wait(self, ns: float, label: str = "") -> None:
+        pass
+
+    def as_category(self, category):
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+
+_SETUP_CTX = _SetupCtx()

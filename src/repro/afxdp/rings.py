@@ -1,0 +1,66 @@
+"""Single-producer/single-consumer descriptor rings.
+
+All four AF_XDP rings (fill, completion, rx, tx) are this structure: a
+power-of-two array of descriptors with free-running producer/consumer
+indexes.  Descriptors here are ``(addr, length)`` pairs; the fill and
+completion rings use length 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+Desc = Tuple[int, int]
+
+
+class RingFullError(Exception):
+    pass
+
+
+class DescRing:
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size & (size - 1):
+            raise ValueError(f"ring size must be a power of two, got {size}")
+        self.size = size
+        self._slots: List[Optional[Desc]] = [None] * size
+        self._prod = 0
+        self._cons = 0
+
+    def __len__(self) -> int:
+        return self._prod - self._cons
+
+    @property
+    def free_space(self) -> int:
+        return self.size - len(self)
+
+    def produce(self, desc: Desc) -> None:
+        if len(self) >= self.size:
+            raise RingFullError("ring full")
+        self._slots[self._prod & (self.size - 1)] = desc
+        self._prod += 1
+
+    def produce_batch(self, descs: Sequence[Desc]) -> int:
+        """Enqueue as many as fit; returns how many were enqueued."""
+        n = min(len(descs), self.free_space)
+        for desc in descs[:n]:
+            self._slots[self._prod & (self.size - 1)] = desc
+            self._prod += 1
+        return n
+
+    def consume(self) -> Optional[Desc]:
+        if self._cons == self._prod:
+            return None
+        desc = self._slots[self._cons & (self.size - 1)]
+        self._cons += 1
+        return desc
+
+    def consume_batch(self, max_n: int) -> List[Desc]:
+        n = min(max_n, len(self))
+        out = []
+        for _ in range(n):
+            out.append(self._slots[self._cons & (self.size - 1)])
+            self._cons += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DescRing(size={self.size}, queued={len(self)})"

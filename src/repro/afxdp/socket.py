@@ -1,0 +1,168 @@
+"""XSK: the AF_XDP socket.
+
+One socket binds to one (device, queue) pair.  The kernel side
+(:meth:`XskSocket.kernel_rx`, called by the driver's XDP redirect path in
+softirq context) moves packets into umem frames posted on the fill ring
+and publishes descriptors on the rx ring; the userspace side
+(:meth:`XskSocket.user_rx_batch` / :meth:`XskSocket.user_tx_batch`) is
+what OVS PMD threads call.
+
+``BindMode.ZEROCOPY`` is XDP_DRV with zero-copy (supported drivers only);
+``BindMode.COPY`` is the universal fallback, "at the cost of an extra
+packet copy" (§3.5 Limitations).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.afxdp.rings import DescRing
+from repro.afxdp.umem import Umem
+from repro.afxdp.umempool import UmemPool
+from repro.net.packet import Packet
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import CpuCategory, ExecContext
+
+
+class BindMode(enum.Enum):
+    ZEROCOPY = "zerocopy"  # XDP_DRV + XDP_ZEROCOPY
+    COPY = "copy"          # XDP_SKB / XDP_COPY fallback
+
+
+class XskSocket:
+    def __init__(
+        self,
+        umem: Umem,
+        pool: UmemPool,
+        bind_mode: BindMode = BindMode.ZEROCOPY,
+        ring_size: int = 2048,
+    ) -> None:
+        self.umem = umem
+        self.pool = pool
+        self.bind_mode = bind_mode
+        self.rx_ring = DescRing(ring_size)
+        self.tx_ring = DescRing(ring_size)
+        self.bound_device = None  # set by AfxdpDriver
+        self.bound_queue: Optional[int] = None
+        self.rx_delivered = 0
+        self.rx_dropped_no_fill = 0
+        self.tx_sent = 0
+
+    # ------------------------------------------------------------------
+    # Kernel side (softirq context).
+    # ------------------------------------------------------------------
+    def kernel_rx(self, pkt: Packet, ctx: ExecContext) -> bool:
+        """The XDP program redirected this frame to us (paths 2-4 of
+        Figure 4): take a fill-ring frame, place the packet, publish on
+        the rx ring."""
+        costs = DEFAULT_COSTS
+        desc = self.umem.fill_ring.consume()
+        ctx.charge(costs.ring_op_ns, label="fill_pop")
+        if desc is None:
+            self.rx_dropped_no_fill += 1
+            return False
+        addr, _ = desc
+        if self.bind_mode is BindMode.COPY:
+            # Generic/copy mode bounces through an skb and copies.
+            ctx.charge(
+                costs.afxdp_copy_mode_ns + costs.copy_cost(len(pkt)),
+                label="afxdp_copy",
+            )
+        self.umem.write_frame(addr, pkt)
+        self.rx_ring.produce((addr, len(pkt)))
+        ctx.charge(costs.ring_op_ns, label="rx_push")
+        self.rx_delivered += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Userspace side (PMD thread context).
+    # ------------------------------------------------------------------
+    def user_rx_batch(self, ctx: ExecContext, batch: int = 32) -> List[Packet]:
+        """Fetch up to ``batch`` received packets (paths 5-6), then refill
+        the fill ring from the pool so the kernel can keep receiving."""
+        costs = DEFAULT_COSTS
+        ctx.charge(costs.ring_batch_ns, label="rx_batch")
+        descs = self.rx_ring.consume_batch(batch)
+        if not descs:
+            return []
+        ctx.charge(len(descs) * costs.ring_op_ns, label="rx_pop")
+        pkts = []
+        freed = []
+        for addr, _length in descs:
+            pkts.append(self.umem.read_frame(addr))
+            freed.append(addr)
+        # Frames are recycled through the pool, then re-posted to fill.
+        self.pool.free(freed, ctx)
+        self.refill_fill_ring(ctx, len(descs))
+        return pkts
+
+    def refill_fill_ring(self, ctx: ExecContext, n: int) -> int:
+        costs = DEFAULT_COSTS
+        addrs = self.pool.alloc(n, ctx)
+        if not addrs:
+            return 0
+        produced = self.umem.fill_ring.produce_batch([(a, 0) for a in addrs])
+        ctx.charge(costs.ring_batch_ns + produced * costs.ring_op_ns,
+                   label="fill_push")
+        if produced < len(addrs):
+            self.pool.free(addrs[produced:], ctx)
+        return produced
+
+    def user_tx_batch(self, pkts: List[Packet], ctx: ExecContext) -> int:
+        """Queue packets on the tx ring and kick the kernel.
+
+        The kick is the syscall §5.5 names as a major AF_XDP overhead:
+        the kernel then drives the frames out of the bound device in the
+        caller's (system) context.
+        """
+        if not pkts:
+            return 0
+        costs = DEFAULT_COSTS
+        addrs = self.pool.alloc(len(pkts), ctx, batched=True)
+        n = len(addrs)
+        for addr, pkt in zip(addrs, pkts[:n]):
+            if self.bind_mode is BindMode.COPY:
+                ctx.charge(costs.copy_cost(len(pkt)), label="tx_copy")
+            self.umem.write_frame(addr, pkt)
+        produced = self.tx_ring.produce_batch(
+            [(addr, len(pkt)) for addr, pkt in zip(addrs, pkts[:n])]
+        )
+        ctx.charge(costs.ring_batch_ns + produced * costs.ring_op_ns,
+                   label="tx_push")
+        self._kick_tx(ctx)
+        return produced
+
+    def _kick_tx(self, ctx: ExecContext) -> None:
+        """sendto(MSG_DONTWAIT): the kernel transmits queued descriptors
+        and reports them on the completion ring."""
+        costs = DEFAULT_COSTS
+        device = self.bound_device
+        with ctx.as_category(CpuCategory.SYSTEM):
+            ctx.charge(costs.syscall_base_ns, label="tx_kick")
+            descs = self.tx_ring.consume_batch(self.tx_ring.size)
+            done = []
+            for addr, _length in descs:
+                pkt = self.umem.read_frame(addr)
+                if device is not None:
+                    device.transmit(pkt, ctx)
+                self.tx_sent += 1
+                done.append((addr, 0))
+            self.umem.completion_ring.produce_batch(done)
+            ctx.charge(
+                costs.ring_batch_ns + len(done) * costs.ring_op_ns,
+                label="comp_push",
+            )
+
+    def reap_completions(self, ctx: ExecContext) -> int:
+        """Collect transmitted frames back into the pool."""
+        costs = DEFAULT_COSTS
+        descs = self.umem.completion_ring.consume_batch(
+            self.umem.completion_ring.size
+        )
+        if not descs:
+            return 0
+        ctx.charge(costs.ring_batch_ns + len(descs) * costs.ring_op_ns,
+                   label="comp_pop")
+        self.pool.free([addr for addr, _ in descs], ctx, batched=True)
+        return len(descs)

@@ -1,0 +1,58 @@
+"""umem: the shared packet-buffer memory area.
+
+A umem is a contiguous region carved into fixed-size frames; the kernel
+DMAs (zero-copy mode) or copies (copy mode) received packets into frames
+whose addresses userspace posted on the **fill ring**, and reports
+transmitted frames back on the **completion ring** (§3.1's numbered paths).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.afxdp.rings import DescRing
+from repro.net.packet import Packet
+
+FRAME_SIZE = 2048
+
+
+class Umem:
+    def __init__(self, n_frames: int = 4096, frame_size: int = FRAME_SIZE,
+                 ring_size: int = 2048) -> None:
+        if n_frames <= 0:
+            raise ValueError("umem needs frames")
+        self.n_frames = n_frames
+        self.frame_size = frame_size
+        #: Frame contents, by frame address.  A Packet object stands in
+        #: for the bytes living at that address.
+        self._frames: Dict[int, Optional[Packet]] = {
+            i * frame_size: None for i in range(n_frames)
+        }
+        self.fill_ring = DescRing(ring_size)
+        self.completion_ring = DescRing(ring_size)
+
+    def all_addresses(self):
+        return list(self._frames.keys())
+
+    def _check(self, addr: int) -> None:
+        if addr not in self._frames:
+            raise ValueError(f"address {addr:#x} is not a frame boundary")
+
+    def write_frame(self, addr: int, pkt: Packet) -> None:
+        self._check(addr)
+        if len(pkt) > self.frame_size:
+            raise ValueError(
+                f"packet ({len(pkt)}B) larger than a frame ({self.frame_size}B)"
+            )
+        self._frames[addr] = pkt
+
+    def read_frame(self, addr: int) -> Packet:
+        self._check(addr)
+        pkt = self._frames[addr]
+        if pkt is None:
+            raise ValueError(f"frame {addr:#x} is empty")
+        return pkt
+
+    def clear_frame(self, addr: int) -> None:
+        self._check(addr)
+        self._frames[addr] = None

@@ -1,0 +1,16 @@
+"""Analysis helpers: the Figure 1 maintenance dataset and text rendering."""
+
+from repro.analysis.loc_model import (
+    BACKPORT_CASE_STUDIES,
+    OUT_OF_TREE_CHURN,
+    BackportModel,
+)
+from repro.analysis.reporting import bar_chart, format_table
+
+__all__ = [
+    "OUT_OF_TREE_CHURN",
+    "BACKPORT_CASE_STUDIES",
+    "BackportModel",
+    "format_table",
+    "bar_chart",
+]

@@ -1,0 +1,65 @@
+"""Text rendering for experiment output: tables and bar charts.
+
+Benches print the same rows/series the paper's tables and figures show;
+these helpers keep that output aligned and readable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A plain monospaced table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 40,
+    title: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """A horizontal ASCII bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    top = max_value if max_value is not None else max(values, default=0)
+    if top <= 0:
+        top = 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / top * width))
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+                     f"{value:,.2f} {unit}".rstrip())
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

@@ -1,0 +1,22 @@
+"""A DPDK-like kernel-bypass substrate.
+
+Binding a NIC to DPDK removes it from kernel control: the device vanishes
+from rtnetlink, so every tool in the paper's Table 1 stops working on it
+(§2.2.1's compatibility complaint).  In exchange, PMD threads poll the
+hardware rings directly from userspace — no interrupts, no syscalls, no
+skbs — and hardware offloads (RSS hash, checksum, TSO) are available to
+the application, which is exactly the cost structure that makes DPDK fast
+in Figures 9, 10 and 12.
+"""
+
+from repro.dpdk.ethdev import DpdkEthDev, bind_device, unbind_device
+from repro.dpdk.mempool import Mempool
+from repro.dpdk.af_packet import AfPacketPort
+
+__all__ = [
+    "DpdkEthDev",
+    "bind_device",
+    "unbind_device",
+    "Mempool",
+    "AfPacketPort",
+]

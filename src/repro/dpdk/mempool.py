@@ -1,0 +1,40 @@
+"""rte_mempool: per-core-cached fixed-size buffer pools.
+
+The modelled property is cost: an mbuf alloc/free from the per-core cache
+is ~20 ns, with no locking on the fast path — part of why DPDK's
+per-packet budget is so small.
+"""
+
+from __future__ import annotations
+
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
+
+
+class Mempool:
+    def __init__(self, n_mbufs: int = 8192, mbuf_size: int = 2176) -> None:
+        if n_mbufs <= 0:
+            raise ValueError("mempool needs buffers")
+        self.n_mbufs = n_mbufs
+        self.mbuf_size = mbuf_size
+        self._free = n_mbufs
+        self.alloc_failures = 0
+
+    @property
+    def free_count(self) -> int:
+        return self._free
+
+    def alloc(self, n: int, ctx: ExecContext) -> int:
+        """Allocate up to ``n`` mbufs; returns how many were granted."""
+        granted = min(n, self._free)
+        if granted < n:
+            self.alloc_failures += n - granted
+        self._free -= granted
+        ctx.charge(granted * DEFAULT_COSTS.mbuf_alloc_ns, label="mbuf_alloc")
+        return granted
+
+    def free(self, n: int, ctx: ExecContext) -> None:
+        if n < 0 or self._free + n > self.n_mbufs:
+            raise ValueError("freeing more mbufs than were allocated")
+        self._free += n
+        ctx.charge(n * DEFAULT_COSTS.mbuf_free_ns, label="mbuf_free")

@@ -1,0 +1,215 @@
+"""eBPF maps: the only mutable state an eBPF program may touch.
+
+The paper leans on maps twice: Table 5's task C does an "eBPF map table
+lookup", and footnote 1 records that implementing the megaflow cache as a
+new map type was rejected by kernel maintainers — so our map set contains
+only the standard types a real 5.x kernel offers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class MapError(Exception):
+    pass
+
+
+class BpfMap:
+    """Base class: fixed key/value sizes, bounded capacity."""
+
+    map_type = "base"
+
+    def __init__(self, key_size: int, value_size: int, max_entries: int) -> None:
+        if key_size <= 0 or value_size <= 0 or max_entries <= 0:
+            raise ValueError("map dimensions must be positive")
+        self.key_size = key_size
+        self.value_size = value_size
+        self.max_entries = max_entries
+
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise MapError(
+                f"key size {len(key)} != declared {self.key_size}"
+            )
+
+    def _check_value(self, value: bytes) -> None:
+        if len(value) != self.value_size:
+            raise MapError(
+                f"value size {len(value)} != declared {self.value_size}"
+            )
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def update(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> None:
+        raise NotImplementedError
+
+
+class HashMap(BpfMap):
+    """BPF_MAP_TYPE_HASH."""
+
+    map_type = "hash"
+
+    def __init__(self, key_size: int, value_size: int, max_entries: int) -> None:
+        super().__init__(key_size, value_size, max_entries)
+        self._table: Dict[bytes, bytes] = {}
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        return self._table.get(key)
+
+    def update(self, key: bytes, value: bytes) -> None:
+        self._check_key(key)
+        self._check_value(value)
+        if key not in self._table and len(self._table) >= self.max_entries:
+            raise MapError("hash map full (E2BIG)")
+        self._table[key] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        if key not in self._table:
+            raise MapError("no such key (ENOENT)")
+        del self._table[key]
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        return iter(list(self._table.items()))
+
+
+class ArrayMap(BpfMap):
+    """BPF_MAP_TYPE_ARRAY: keys are u32 indexes; slots always exist."""
+
+    map_type = "array"
+
+    def __init__(self, value_size: int, max_entries: int) -> None:
+        super().__init__(4, value_size, max_entries)
+        self._slots = [bytes(value_size) for _ in range(max_entries)]
+
+    def _index(self, key: bytes) -> int:
+        self._check_key(key)
+        return int.from_bytes(key, "little")
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        idx = self._index(key)
+        if idx >= self.max_entries:
+            return None
+        return self._slots[idx]
+
+    def update(self, key: bytes, value: bytes) -> None:
+        idx = self._index(key)
+        self._check_value(value)
+        if idx >= self.max_entries:
+            raise MapError("array index out of range (E2BIG)")
+        self._slots[idx] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        raise MapError("array map entries cannot be deleted (EINVAL)")
+
+
+class LpmTrieMap(BpfMap):
+    """BPF_MAP_TYPE_LPM_TRIE over big-endian keys (prefix, data).
+
+    Key bytes are ``u32 prefixlen (little-endian, as in the kernel ABI)``
+    followed by ``key_size - 4`` bytes of data.
+    """
+
+    map_type = "lpm_trie"
+
+    def __init__(self, data_size: int, value_size: int, max_entries: int) -> None:
+        super().__init__(4 + data_size, value_size, max_entries)
+        self.data_size = data_size
+        self._entries: Dict[Tuple[int, bytes], bytes] = {}
+
+    def _split(self, key: bytes) -> Tuple[int, bytes]:
+        self._check_key(key)
+        prefix_len = int.from_bytes(key[:4], "little")
+        if prefix_len > self.data_size * 8:
+            raise MapError("prefix longer than key data")
+        return prefix_len, key[4:]
+
+    @staticmethod
+    def _prefix_bits(data: bytes, prefix_len: int) -> int:
+        value = int.from_bytes(data, "big")
+        width = len(data) * 8
+        return value >> (width - prefix_len) if prefix_len else 0
+
+    def update(self, key: bytes, value: bytes) -> None:
+        prefix_len, data = self._split(key)
+        self._check_value(value)
+        entry = (prefix_len, self._prefix_bits(data, prefix_len).to_bytes(8, "big"))
+        if entry not in self._entries and len(self._entries) >= self.max_entries:
+            raise MapError("LPM trie full (E2BIG)")
+        self._entries[entry] = bytes(value)
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        """Longest-prefix match: the key's prefixlen is the upper bound."""
+        max_len, data = self._split(key)
+        for plen in range(max_len, -1, -1):
+            entry = (plen, self._prefix_bits(data, plen).to_bytes(8, "big"))
+            value = self._entries.get(entry)
+            if value is not None:
+                return value
+        return None
+
+    def delete(self, key: bytes) -> None:
+        prefix_len, data = self._split(key)
+        entry = (prefix_len, self._prefix_bits(data, prefix_len).to_bytes(8, "big"))
+        if entry not in self._entries:
+            raise MapError("no such key (ENOENT)")
+        del self._entries[entry]
+
+
+class DevMap(BpfMap):
+    """BPF_MAP_TYPE_DEVMAP: ifindex slots for XDP_REDIRECT (§3.4 path C)."""
+
+    map_type = "devmap"
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__(4, 4, max_entries)
+        self._slots: Dict[int, int] = {}
+
+    def set_dev(self, slot: int, ifindex: int) -> None:
+        if slot >= self.max_entries:
+            raise MapError("devmap slot out of range")
+        self._slots[slot] = ifindex
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        self._check_key(key)
+        slot = int.from_bytes(key, "little")
+        ifindex = self._slots.get(slot)
+        if ifindex is None:
+            return None
+        return ifindex.to_bytes(4, "little")
+
+    def get_dev(self, slot: int) -> Optional[int]:
+        return self._slots.get(slot)
+
+    def update(self, key: bytes, value: bytes) -> None:
+        self._check_key(key)
+        self._check_value(value)
+        self.set_dev(
+            int.from_bytes(key, "little"), int.from_bytes(value, "little")
+        )
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        slot = int.from_bytes(key, "little")
+        if slot not in self._slots:
+            raise MapError("no such key (ENOENT)")
+        del self._slots[slot]
+
+
+class XskMap(DevMap):
+    """BPF_MAP_TYPE_XSKMAP: queue-index -> AF_XDP socket (§3.1).
+
+    Slots hold opaque XSK identifiers; the XDP hook resolves them to the
+    actual socket objects registered with the driver.
+    """
+
+    map_type = "xskmap"

@@ -1,0 +1,383 @@
+"""A library of XDP programs used by OVS and the experiments.
+
+These are the actual programs the paper discusses, written against our
+assembler:
+
+* :func:`xsk_redirect_program` — the tiny helper OVS attaches to feed every
+  packet to userspace through AF_XDP (§2.2.3, §3.1),
+* :func:`steering_program` — same, but punts management traffic to the
+  kernel stack (§4's control-plane steering idea),
+* :func:`drop_program`, :func:`parse_drop_program`,
+  :func:`parse_lookup_drop_program`, :func:`parse_swap_tx_program` — the
+  four tasks of Table 5 (§5.4),
+* :func:`container_redirect_program` — path C of Figure 5: forward traffic
+  for known container IPs straight to their veth, bypassing userspace,
+* :func:`l4_load_balancer_program` — §3.5's example of extending OVS with
+  eBPF: handle one 5-tuple entirely in the driver, pass the rest up.
+
+Calling convention reminder: helpers clobber r1–r5, so programs save the
+context pointer in r9 on entry, exactly as compiled C would.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.ebpf.helpers import Helper
+from repro.ebpf.isa import Reg
+from repro.ebpf.maps import DevMap, HashMap, XskMap
+from repro.ebpf.program import Program, ProgramBuilder
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import CTX_DATA, CTX_DATA_END, CTX_RX_QUEUE_INDEX
+
+# Frame offsets for Ethernet/IPv4/UDP (no VLAN).
+OFF_ETH_DST = 0
+OFF_ETH_SRC = 6
+OFF_ETHERTYPE = 12
+OFF_IP_PROTO = 23
+OFF_IP_SRC = 26
+OFF_IP_DST = 30
+OFF_L4_SPORT = 34
+OFF_L4_DPORT = 36
+MIN_IPV4_LEN = 34
+MIN_L4_LEN = 38
+
+
+def _prologue(b: ProgramBuilder, need_len: int, fail_label: str) -> None:
+    """r9 = ctx, r2 = data, r3 = data_end; bounds-check ``need_len``."""
+    b.mov_reg(Reg.R9, Reg.R1)
+    b.ldxw(Reg.R2, Reg.R9, CTX_DATA)
+    b.ldxw(Reg.R3, Reg.R9, CTX_DATA_END)
+    b.mov_reg(Reg.R4, Reg.R2)
+    b.add_imm(Reg.R4, need_len)
+    b.jgt_reg(Reg.R4, Reg.R3, fail_label)
+
+
+def _epilogue_redirect_to_xsk(
+    b: ProgramBuilder, map_id: int, label: str, fallback_action: int = 2
+) -> None:
+    """The shared tail: redirect to this queue's XSK, or fall back."""
+    b.label(label)
+    b.ldxw(Reg.R2, Reg.R9, CTX_RX_QUEUE_INDEX)
+    b.ld_map(Reg.R1, map_id)
+    b.mov_imm(Reg.R3, fallback_action)
+    b.call(Helper.REDIRECT_MAP)
+    b.exit_()
+
+
+def drop_program() -> Program:
+    """Table 5 task A: drop everything without looking at it."""
+    b = ProgramBuilder("xdp_drop_all")
+    b.mov_imm(Reg.R0, 1)  # XDP_DROP
+    b.exit_()
+    return verify(b.build())
+
+
+def pass_program() -> Program:
+    """Send everything up the normal kernel stack."""
+    b = ProgramBuilder("xdp_pass_all")
+    b.mov_imm(Reg.R0, 2)  # XDP_PASS
+    b.exit_()
+    return verify(b.build())
+
+
+def parse_drop_program() -> Program:
+    """Table 5 task B: parse Ethernet + IPv4 headers, then drop."""
+    b = ProgramBuilder("xdp_parse_drop")
+    _prologue(b, MIN_IPV4_LEN, "out")
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)
+    b.jne_imm(Reg.R5, 0x0800, "out")
+    b.ldxb(Reg.R5, Reg.R2, OFF_IP_PROTO)
+    b.ldxw(Reg.R6, Reg.R2, OFF_IP_SRC)
+    b.ldxw(Reg.R7, Reg.R2, OFF_IP_DST)
+    b.ldxb(Reg.R8, Reg.R2, 14)  # version/IHL
+    b.and_imm(Reg.R8, 0x0F)
+    b.label("out")
+    b.mov_imm(Reg.R0, 1)  # XDP_DROP
+    b.exit_()
+    return verify(b.build())
+
+
+def l2_key(mac_bytes: bytes) -> bytes:
+    """Build the 8-byte L2-table key task C's program constructs on its
+    stack: first 4 MAC bytes as a little-endian u32, next 2 as u16, zero pad.
+    """
+    if len(mac_bytes) != 6:
+        raise ValueError("a MAC is 6 bytes")
+    return struct.pack(
+        "<IHH",
+        int.from_bytes(mac_bytes[:4], "big"),
+        int.from_bytes(mac_bytes[4:6], "big"),
+        0,
+    )
+
+
+def parse_lookup_drop_program() -> Tuple[Program, HashMap]:
+    """Table 5 task C: parse, look the dst MAC up in an L2 table, drop.
+
+    Returns the program and its L2 table so tests/benches can populate it
+    (use :func:`l2_key` to build keys).  The 4-byte value is an ifindex,
+    unused because the task drops regardless, as in the paper.
+    """
+    l2_table = HashMap(key_size=8, value_size=4, max_entries=1024)
+    b = ProgramBuilder("xdp_parse_lookup_drop")
+    map_id = b.declare_map(l2_table)
+    _prologue(b, MIN_IPV4_LEN, "out")
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)
+    b.jne_imm(Reg.R5, 0x0800, "out")
+    # Build the key on the stack: dst MAC (4+2 bytes) zero-padded to 8.
+    b.ldxw(Reg.R5, Reg.R2, OFF_ETH_DST)
+    b.ldxh(Reg.R6, Reg.R2, OFF_ETH_DST + 4)
+    b.stxw(Reg.R10, Reg.R5, -8)
+    b.stw(Reg.R10, -4, 0)
+    b.stxh(Reg.R10, Reg.R6, -4)
+    b.ld_map(Reg.R1, map_id)
+    b.mov_reg(Reg.R2, Reg.R10)
+    b.add_imm(Reg.R2, -8)
+    b.call(Helper.MAP_LOOKUP_ELEM)
+    b.label("out")
+    b.mov_imm(Reg.R0, 1)  # XDP_DROP
+    b.exit_()
+    return verify(b.build()), l2_table
+
+
+def parse_swap_tx_program() -> Program:
+    """Table 5 task D: parse, swap src/dst MAC, bounce out the same port."""
+    b = ProgramBuilder("xdp_parse_swap_tx")
+    _prologue(b, MIN_IPV4_LEN, "drop")
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)
+    b.jne_imm(Reg.R5, 0x0800, "drop")
+    # Load dst MAC into r5:r6, src MAC into r7:r8, store swapped.
+    b.ldxw(Reg.R5, Reg.R2, OFF_ETH_DST)
+    b.ldxh(Reg.R6, Reg.R2, OFF_ETH_DST + 4)
+    b.ldxw(Reg.R7, Reg.R2, OFF_ETH_SRC)
+    b.ldxh(Reg.R8, Reg.R2, OFF_ETH_SRC + 4)
+    b.stxw(Reg.R2, Reg.R7, OFF_ETH_DST)
+    b.stxh(Reg.R2, Reg.R8, OFF_ETH_DST + 4)
+    b.stxw(Reg.R2, Reg.R5, OFF_ETH_SRC)
+    b.stxh(Reg.R2, Reg.R6, OFF_ETH_SRC + 4)
+    b.mov_imm(Reg.R0, 3)  # XDP_TX
+    b.exit_()
+    b.label("drop")
+    b.mov_imm(Reg.R0, 1)
+    b.exit_()
+    return verify(b.build())
+
+
+def l2_forward_program(n_ports: int = 64) -> Tuple[Program, HashMap]:
+    """The eBPF OVS datapath in miniature (§2.2.2): parse Ethernet/IPv4,
+    look the destination MAC up in a flow table, and redirect to the
+    ifindex the value names.  Attached at tc, this is the "OVS in eBPF"
+    configuration of Figure 2 — same work as the kernel module, executed
+    as sandboxed bytecode.
+
+    Table key: :func:`l2_key` of the dst MAC; value: 4-byte little-endian
+    ifindex.
+    """
+    fib = HashMap(key_size=8, value_size=4, max_entries=n_ports)
+    b = ProgramBuilder("tc_ovs_l2_forward")
+    map_id = b.declare_map(fib)
+    _prologue(b, MIN_L4_LEN, "drop")
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)
+    b.jne_imm(Reg.R5, 0x0800, "drop")
+    # Full flow-key extraction onto the stack, the way the eBPF datapath
+    # prototype mirrored the kernel module's key (every field loaded,
+    # masked where needed, and stored) — this is most of the program.
+    b.ldxw(Reg.R5, Reg.R2, OFF_ETH_DST)          # eth_dst hi
+    b.stxw(Reg.R10, Reg.R5, -64)
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETH_DST + 4)      # eth_dst lo
+    b.stxh(Reg.R10, Reg.R5, -60)
+    b.ldxw(Reg.R5, Reg.R2, OFF_ETH_SRC)          # eth_src hi
+    b.stxw(Reg.R10, Reg.R5, -58)
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETH_SRC + 4)      # eth_src lo
+    b.stxh(Reg.R10, Reg.R5, -54)
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)        # eth_type
+    b.stxh(Reg.R10, Reg.R5, -52)
+    b.ldxb(Reg.R5, Reg.R2, 14)                   # version/ihl
+    b.and_imm(Reg.R5, 0x0F)
+    b.stxb(Reg.R10, Reg.R5, -50)
+    b.ldxb(Reg.R5, Reg.R2, 15)                   # tos
+    b.stxb(Reg.R10, Reg.R5, -49)
+    b.ldxh(Reg.R5, Reg.R2, 20)                   # frag bits
+    b.and_imm(Reg.R5, 0x3FFF)
+    b.stxh(Reg.R10, Reg.R5, -48)
+    b.ldxb(Reg.R5, Reg.R2, 22)                   # ttl
+    b.stxb(Reg.R10, Reg.R5, -46)
+    b.ldxb(Reg.R5, Reg.R2, OFF_IP_PROTO)         # proto
+    b.stxb(Reg.R10, Reg.R5, -45)
+    b.ldxw(Reg.R5, Reg.R2, OFF_IP_SRC)           # nw_src
+    b.stxw(Reg.R10, Reg.R5, -44)
+    b.ldxw(Reg.R5, Reg.R2, OFF_IP_DST)           # nw_dst
+    b.stxw(Reg.R10, Reg.R5, -40)
+    b.ldxb(Reg.R6, Reg.R10, -45)                 # L4 only for TCP/UDP
+    b.jeq_imm(Reg.R6, 6, "l4")
+    b.jeq_imm(Reg.R6, 17, "l4")
+    b.ja("lookup")
+    b.label("l4")
+    b.ldxh(Reg.R5, Reg.R2, OFF_L4_SPORT)         # tp_src
+    b.stxh(Reg.R10, Reg.R5, -36)
+    b.ldxh(Reg.R5, Reg.R2, OFF_L4_DPORT)         # tp_dst
+    b.stxh(Reg.R10, Reg.R5, -34)
+    b.label("lookup")
+    # L2 flow-table key: dst MAC padded to 8 bytes.
+    b.ldxw(Reg.R5, Reg.R2, OFF_ETH_DST)
+    b.ldxh(Reg.R6, Reg.R2, OFF_ETH_DST + 4)
+    b.stxw(Reg.R10, Reg.R5, -8)
+    b.stw(Reg.R10, -4, 0)
+    b.stxh(Reg.R10, Reg.R6, -4)
+    b.ld_map(Reg.R1, map_id)
+    b.mov_reg(Reg.R2, Reg.R10)
+    b.add_imm(Reg.R2, -8)
+    b.call(Helper.MAP_LOOKUP_ELEM)
+    b.jeq_imm(Reg.R0, 0, "drop")
+    # Hit: bump the flow's packet counter (the module's per-flow stats),
+    # then redirect to the ifindex in the value.
+    b.ldxw(Reg.R7, Reg.R0, 0)                    # out ifindex
+    b.mov_reg(Reg.R1, Reg.R7)
+    b.call(Helper.REDIRECT)
+    b.exit_()
+    b.label("drop")
+    b.mov_imm(Reg.R0, 2)  # TC_ACT_SHOT
+    b.exit_()
+    return verify(b.build()), fib
+
+
+def xsk_redirect_program(n_queues: int = 64) -> Tuple[Program, XskMap]:
+    """The OVS AF_XDP helper: redirect every packet to this queue's XSK.
+
+    If no socket is bound to the queue the packet falls through to the
+    kernel stack (fallback = XDP_PASS), so e.g. ssh keeps working while
+    OVS is down — part of the compatibility story of §2.2.3.
+    """
+    xsks = XskMap(max_entries=n_queues)
+    b = ProgramBuilder("ovs_xsk_redirect")
+    map_id = b.declare_map(xsks)
+    b.mov_reg(Reg.R9, Reg.R1)
+    _epilogue_redirect_to_xsk(b, map_id, "to_xsk")
+    return verify(b.build()), xsks
+
+
+def steering_program(
+    n_queues: int = 64, mgmt_ports: Tuple[int, ...] = (22, 6653, 6640)
+) -> Tuple[Program, XskMap]:
+    """Feed the datapath via AF_XDP but PASS management traffic (§4).
+
+    TCP traffic to ssh/OpenFlow/OVSDB ports goes to the kernel stack so
+    the control plane works over the same NIC the datapath uses.
+    """
+    xsks = XskMap(max_entries=n_queues)
+    b = ProgramBuilder("ovs_xsk_steering")
+    map_id = b.declare_map(xsks)
+    _prologue(b, MIN_L4_LEN, "to_xsk")
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)
+    b.jne_imm(Reg.R5, 0x0800, "to_xsk")
+    b.ldxb(Reg.R5, Reg.R2, OFF_IP_PROTO)
+    b.jne_imm(Reg.R5, 6, "to_xsk")  # only TCP can be management here
+    b.ldxh(Reg.R5, Reg.R2, OFF_L4_DPORT)
+    for port in mgmt_ports:
+        b.jeq_imm(Reg.R5, port, "to_stack")
+    b.ja("to_xsk")
+    b.label("to_stack")
+    b.mov_imm(Reg.R0, 2)  # XDP_PASS
+    b.exit_()
+    _epilogue_redirect_to_xsk(b, map_id, "to_xsk")
+    return verify(b.build()), xsks
+
+
+def container_redirect_program(
+    n_queues: int = 64, n_containers: int = 256
+) -> Tuple[Program, XskMap, DevMap, HashMap]:
+    """Figure 5 path C: packets for known container IPs go straight to
+    the container's veth via XDP_REDIRECT; everything else goes to OVS
+    userspace through the XSK map.
+
+    Returns (program, xskmap, devmap, ip->slot hash table).  Populate the
+    hash table with ``container_ip_key(ip)`` -> 4-byte little-endian
+    devmap slot.
+    """
+    xsks = XskMap(max_entries=n_queues)
+    devs = DevMap(max_entries=n_containers)
+    ip_table = HashMap(key_size=4, value_size=4, max_entries=n_containers)
+    b = ProgramBuilder("ovs_container_redirect")
+    xsk_id = b.declare_map(xsks)
+    dev_id = b.declare_map(devs)
+    ip_id = b.declare_map(ip_table)
+    _prologue(b, MIN_IPV4_LEN, "to_xsk")
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)
+    b.jne_imm(Reg.R5, 0x0800, "to_xsk")
+    b.ldxw(Reg.R5, Reg.R2, OFF_IP_DST)
+    b.stxw(Reg.R10, Reg.R5, -4)
+    b.ld_map(Reg.R1, ip_id)
+    b.mov_reg(Reg.R2, Reg.R10)
+    b.add_imm(Reg.R2, -4)
+    b.call(Helper.MAP_LOOKUP_ELEM)
+    b.jeq_imm(Reg.R0, 0, "to_xsk")  # NULL: not a local container
+    b.ldxw(Reg.R6, Reg.R0, 0)  # devmap slot
+    b.ld_map(Reg.R1, dev_id)
+    b.mov_reg(Reg.R2, Reg.R6)
+    b.mov_imm(Reg.R3, 1)  # fallback: drop (slot must exist)
+    b.call(Helper.REDIRECT_MAP)
+    b.exit_()
+    _epilogue_redirect_to_xsk(b, xsk_id, "to_xsk")
+    return verify(b.build()), xsks, devs, ip_table
+
+
+def container_ip_key(ip: int) -> bytes:
+    """The ip->slot hash key as the container program builds it."""
+    return struct.pack("<I", ip)
+
+
+def lb_key(src_ip: int, dst_ip: int, sport: int, dport: int, proto: int) -> bytes:
+    """The 16-byte 5-tuple key as the load-balancer program builds it."""
+    return struct.pack("<IIHHI", src_ip, dst_ip, sport, dport, proto)
+
+
+def l4_load_balancer_program(
+    n_queues: int = 64, n_backends: int = 64
+) -> Tuple[Program, XskMap, HashMap]:
+    """§3.5's L4 load balancer: packets matching a configured 5-tuple are
+    rewritten (dst IP -> backend) and bounced with XDP_TX; the rest go to
+    OVS userspace.
+
+    Populate the backend table with :func:`lb_key` -> backend IPv4 as a
+    4-byte **little-endian** value: the program loads it with a (host
+    order) ldxw and stores it into the packet in network order.
+    """
+    xsks = XskMap(max_entries=n_queues)
+    backends = HashMap(key_size=16, value_size=4, max_entries=n_backends)
+    b = ProgramBuilder("xdp_l4_lb")
+    xsk_id = b.declare_map(xsks)
+    be_id = b.declare_map(backends)
+    _prologue(b, MIN_L4_LEN, "to_xsk")
+    b.ldxh(Reg.R5, Reg.R2, OFF_ETHERTYPE)
+    b.jne_imm(Reg.R5, 0x0800, "to_xsk")
+    # Build the 5-tuple key on the stack.
+    b.ldxw(Reg.R5, Reg.R2, OFF_IP_SRC)
+    b.stxw(Reg.R10, Reg.R5, -16)
+    b.ldxw(Reg.R5, Reg.R2, OFF_IP_DST)
+    b.stxw(Reg.R10, Reg.R5, -12)
+    b.ldxh(Reg.R5, Reg.R2, OFF_L4_SPORT)
+    b.stxh(Reg.R10, Reg.R5, -8)
+    b.ldxh(Reg.R5, Reg.R2, OFF_L4_DPORT)
+    b.stxh(Reg.R10, Reg.R5, -6)
+    b.ldxb(Reg.R5, Reg.R2, OFF_IP_PROTO)
+    b.stxw(Reg.R10, Reg.R5, -4)  # proto byte + implicit zero padding
+    b.ld_map(Reg.R1, be_id)
+    b.mov_reg(Reg.R2, Reg.R10)
+    b.add_imm(Reg.R2, -16)
+    b.call(Helper.MAP_LOOKUP_ELEM)
+    b.jeq_imm(Reg.R0, 0, "to_xsk")
+    # Hit: rewrite dst IP with the backend and bounce it back out.
+    # (r1-r5 were clobbered by the call; reload and re-bounds-check.)
+    b.ldxw(Reg.R6, Reg.R0, 0)
+    b.ldxw(Reg.R2, Reg.R9, CTX_DATA)
+    b.ldxw(Reg.R3, Reg.R9, CTX_DATA_END)
+    b.mov_reg(Reg.R4, Reg.R2)
+    b.add_imm(Reg.R4, MIN_L4_LEN)
+    b.jgt_reg(Reg.R4, Reg.R3, "to_xsk")
+    b.stxw(Reg.R2, Reg.R6, OFF_IP_DST)
+    b.mov_imm(Reg.R0, 3)  # XDP_TX
+    b.exit_()
+    _epilogue_redirect_to_xsk(b, xsk_id, "to_xsk")
+    return verify(b.build()), xsks, backends

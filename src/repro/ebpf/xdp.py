@@ -1,0 +1,90 @@
+"""XDP attach semantics and verdicts.
+
+An XDP program runs in the NIC driver on every received packet, *before*
+an sk_buff is allocated (§2.2.3).  The driver interprets the verdict:
+
+* ``DROP`` — recycle the buffer immediately (Table 5 task A),
+* ``PASS`` — proceed into the normal kernel stack (skb allocation etc.),
+* ``TX`` — bounce the (possibly rewritten) frame back out the same NIC,
+* ``REDIRECT`` — send it to another device (devmap) or to an AF_XDP
+  socket (xskmap), the paper's path to userspace,
+* ``ABORTED`` — the program faulted; the packet is dropped and a trace
+  event fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ebpf.program import Program
+from repro.ebpf.vm import EbpfVm, VmFault
+from repro.sim.cpu import ExecContext
+
+
+class XdpAction(enum.IntEnum):
+    ABORTED = 0
+    DROP = 1
+    PASS = 2
+    TX = 3
+    REDIRECT = 4
+
+
+@dataclass
+class XdpVerdict:
+    """Everything the driver needs to act on a program run."""
+
+    action: XdpAction
+    data: bytes
+    #: ("map", map_obj, slot) or ("ifindex", n) when action == REDIRECT.
+    redirect: Optional[Tuple] = None
+    insns_executed: int = 0
+    #: The program read the packet data (it is now cache-warm).
+    touched_data: bool = False
+
+
+class XdpContext:
+    """A program attached at a driver hook, ready to run per packet."""
+
+    def __init__(self, program: Program) -> None:
+        if not program.verified:
+            raise ValueError(
+                f"refusing to attach unverified program {program.name!r}"
+            )
+        self.program = program
+
+    def run(
+        self,
+        data: bytes,
+        exec_ctx: Optional[ExecContext] = None,
+        ingress_ifindex: int = 0,
+        rx_queue_index: int = 0,
+        ktime_ns: int = 0,
+    ) -> XdpVerdict:
+        """Run the program over one frame; never raises for program bugs."""
+        from repro.sim.costs import DEFAULT_COSTS
+
+        if exec_ctx is not None:
+            exec_ctx.charge(DEFAULT_COSTS.xdp_ctx_setup_ns, label="xdp_setup")
+        vm = EbpfVm(self.program, exec_ctx=exec_ctx, ktime_ns=ktime_ns)
+        try:
+            verdict = vm.run(
+                data,
+                ingress_ifindex=ingress_ifindex,
+                rx_queue_index=rx_queue_index,
+            )
+        except VmFault:
+            return XdpVerdict(XdpAction.ABORTED, data)
+        try:
+            action = XdpAction(verdict)
+        except ValueError:
+            # Unknown verdicts are treated as ABORTED by drivers.
+            return XdpVerdict(XdpAction.ABORTED, data)
+        return XdpVerdict(
+            action,
+            vm.pkt_bytes(),
+            redirect=vm.redirect_target,
+            insns_executed=vm.insns_executed,
+            touched_data=vm.touched_pkt_data,
+        )

@@ -1,0 +1,7 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every experiment exposes a ``run_*`` function returning a result object
+with the same rows/series the paper reports, plus ``main()`` for running
+from the command line (``python -m repro.experiments.fig9_forwarding``).
+The benchmarks package wraps these for pytest-benchmark.
+"""

@@ -1,0 +1,136 @@
+"""Figure 9 + Table 4: forwarding rate and CPU use across datapaths (§5.2).
+
+Three loopback scenarios — P2P, PVP, PCP — each with the kernel datapath,
+AF_XDP (tap and vhostuser for PVP) and DPDK, at 1 flow and 1,000 random
+flows of 64-byte packets.  The reductions report both the maximum
+lossless rate (Figure 9's top row) and the CPU consumption in
+hyperthread units split by accounting category (the bottom row and
+Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import PipelineMeasurement
+from repro.experiments.p2p import afxdp_p2p, dpdk_p2p, kernel_p2p
+from repro.experiments.pvp_pcp import (
+    afxdp_pcp,
+    afxdp_pvp,
+    dpdk_pcp,
+    dpdk_pvp,
+    kernel_pcp,
+    kernel_pvp,
+)
+from repro.traffic.trex import FlowSpec, TrexStream
+
+PACKETS = 1_500
+LINK_GBPS = 25.0
+FLOW_COUNTS = (1, 1000)
+
+#: scenario -> [(configuration label, bench factory)]
+CONFIGS: Dict[str, List[Tuple[str, Callable]]] = {
+    "P2P": [
+        ("kernel", lambda: kernel_p2p(n_queues=10, link_gbps=LINK_GBPS)),
+        ("afxdp", lambda: afxdp_p2p(link_gbps=LINK_GBPS)),
+        ("dpdk", lambda: dpdk_p2p(link_gbps=LINK_GBPS)),
+    ],
+    "PVP": [
+        ("kernel+tap", lambda: kernel_pvp(link_gbps=LINK_GBPS)),
+        ("afxdp+tap", lambda: afxdp_pvp("tap", link_gbps=LINK_GBPS)),
+        ("afxdp+vhost", lambda: afxdp_pvp("vhostuser", link_gbps=LINK_GBPS)),
+        ("dpdk+vhost", lambda: dpdk_pvp(link_gbps=LINK_GBPS)),
+    ],
+    "PCP": [
+        ("kernel", lambda: kernel_pcp(link_gbps=LINK_GBPS)),
+        ("afxdp", lambda: afxdp_pcp(link_gbps=LINK_GBPS)),
+        ("dpdk", lambda: dpdk_pcp(link_gbps=LINK_GBPS)),
+    ],
+}
+
+
+@dataclass
+class Fig9Result:
+    #: (scenario, config, n_flows) -> measurement
+    cells: Dict[Tuple[str, str, int], PipelineMeasurement] = field(
+        default_factory=dict
+    )
+
+    def mpps(self, scenario: str, config: str, flows: int) -> float:
+        return self.cells[(scenario, config, flows)].mpps
+
+    def cpu(self, scenario: str, config: str, flows: int) -> Dict[str, float]:
+        return self.cells[(scenario, config, flows)].cpu_util
+
+    def render_rates(self) -> str:
+        rows = []
+        for scenario, configs in CONFIGS.items():
+            for label, _ in configs:
+                if (scenario, label, 1) not in self.cells:
+                    continue  # partial run (subset of scenarios)
+                rows.append((
+                    scenario, label,
+                    f"{self.mpps(scenario, label, 1):.2f}",
+                    f"{self.mpps(scenario, label, 1000):.2f}",
+                ))
+        return format_table(
+            ["Scenario", "Configuration", "1 flow (Mpps)",
+             "1000 flows (Mpps)"],
+            rows,
+            title="Figure 9: maximum lossless forwarding rate",
+        )
+
+    def render_table4(self) -> str:
+        rows = []
+        for scenario, configs in CONFIGS.items():
+            for label, _ in configs:
+                if (scenario, label, 1000) not in self.cells:
+                    continue
+                util = self.cpu(scenario, label, 1000)
+                rows.append((
+                    scenario, label,
+                    util.get("system", 0.0),
+                    util.get("softirq", 0.0),
+                    util.get("guest", 0.0),
+                    util.get("user", 0.0),
+                    util.get("total", 0.0),
+                ))
+        return format_table(
+            ["Path", "Configuration", "system", "softirq", "guest",
+             "user", "total"],
+            rows,
+            title="Table 4: CPU use with 1,000 flows (hyperthread units)",
+        )
+
+
+def run_fig9(
+    packets: int = PACKETS,
+    scenarios: Tuple[str, ...] = ("P2P", "PVP", "PCP"),
+) -> Fig9Result:
+    result = Fig9Result()
+    for scenario in scenarios:
+        for label, factory in CONFIGS[scenario]:
+            for flows in FLOW_COUNTS:
+                bench = factory()
+                # PCP streams target the container's IP (the loopback
+                # path needs the packets delivered *to* it); sources
+                # still vary for flow diversity.
+                spec = FlowSpec(n_flows=flows,
+                                vary_dst=(scenario != "PCP"))
+                stream = TrexStream(spec, frame_len=64)
+                result.cells[(scenario, label, flows)] = bench.drive(
+                    stream, packets)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run_fig9()
+    print(result.render_rates())
+    print()
+    print(result.render_table4())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

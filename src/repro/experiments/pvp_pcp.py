@@ -1,0 +1,331 @@
+"""PVP and PCP forwarding benches (§5.2, Figure 9 b/c).
+
+PVP (physical-virtual-physical) adds a VM round trip to the P2P path: the
+guest runs a testpmd-style forwarder that bounces frames from its virtio
+rx queue to its tx queue.  PCP does the same with a container running a
+PACKET_MMAP-style ring forwarder on its veth.
+
+Connectivity variants follow the paper exactly:
+
+* kernel datapath — VM by tap (+QEMU shuttle), container by veth;
+* AF_XDP — VM by tap or vhostuser; container by the XDP-redirect program
+  (Figure 5 path C: the packet never reaches userspace);
+* DPDK — VM by vhostuser; container by the DPDK AF_PACKET driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.afxdp.driver import AfxdpOptions
+from repro.dpdk.ethdev import bind_device
+from repro.ebpf.programs import container_ip_key, container_redirect_program
+from repro.ebpf.xdp import XdpContext
+from repro.experiments.common import CpuSnapshot, PipelineMeasurement, reduce_run
+from repro.experiments.p2p import _base_host, warmup_count
+from repro.hosts.container import Container
+from repro.hosts.host import Host
+from repro.hosts.vm import VirtualMachine
+from repro.net.addresses import ip_to_int
+from repro.net.packet import Packet
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.ovs.pmd import PmdThread
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
+from repro.traffic.trex import TrexStream
+
+#: Per-packet cost of the guest's testpmd-style forwarding loop and of
+#: the container's PACKET_MMAP ring forwarder (tight userspace loops).
+GUEST_FWD_NS = 60.0
+CONTAINER_FWD_NS = 120.0
+
+
+@dataclass
+class LoopBench:
+    host: Host
+    drive: Callable[[TrexStream, int], PipelineMeasurement]
+    pmd_cpus: "tuple[int, ...]" = ()
+
+
+class GuestForwarder:
+    """testpmd inside the VM: rx queue -> tx queue, burning a vCPU."""
+
+    def __init__(self, vm: VirtualMachine) -> None:
+        self.vm = vm
+        self.ctx = vm.ctx
+
+    def pump(self, budget: int = 64) -> int:
+        pkts = self.vm.nic.rx_queue.pop_batch(budget)
+        for pkt in pkts:
+            self.ctx.charge(GUEST_FWD_NS, label="guest_fwd")
+            self.ctx.charge(DEFAULT_COSTS.virtqueue_op_ns, label="virtqueue")
+            self.vm.nic.tx_queue.push(pkt)
+        return len(pkts)
+
+
+class ContainerForwarder:
+    """A packet-ring forwarder inside the container namespace."""
+
+    def __init__(self, container: Container, ctx: ExecContext) -> None:
+        self.container = container
+        self.ctx = ctx
+        container.inside.set_rx_handler(self._forward)
+        self.forwarded = 0
+
+    def _forward(self, pkt: Packet, _ctx) -> None:
+        self.ctx.charge(CONTAINER_FWD_NS, label="container_fwd")
+        # Swap MACs and send straight back out (l2fwd semantics).
+        data = pkt.data[6:12] + pkt.data[0:6] + pkt.data[12:]
+        self.container.inside.transmit(pkt.with_data(data), self.ctx)
+        self.forwarded += 1
+
+
+def _measured_drive(host, inject, pump_all, link_gbps, pmd_cpus):
+    def drive(stream: TrexStream, n_packets: int) -> PipelineMeasurement:
+        for pkt in stream.burst(warmup_count(stream)):
+            inject(pkt)
+            pump_all()
+        before = CpuSnapshot.take(host.cpu)
+        sent = 0
+        while sent < n_packets:
+            chunk = min(32, n_packets - sent)
+            for pkt in stream.burst(chunk):
+                inject(pkt)
+            sent += chunk
+            pump_all()
+        return reduce_run(host.cpu, before, n_packets,
+                          link_gbps=link_gbps, frame_len=stream.frame_len,
+                          pmd_cpus=pmd_cpus)
+
+    return drive
+
+
+# ---------------------------------------------------------------------------
+# PVP
+# ---------------------------------------------------------------------------
+def kernel_pvp(link_gbps: float = 25.0, n_queues: int = 10) -> LoopBench:
+    host, nic_in, nic_out = _base_host(n_queues, link_gbps)
+    vm = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=12)
+    tap = vm.attach_tap(qemu_core=13)
+    fwd = GuestForwarder(vm)
+    vs = host.install_ovs("system")
+    vs.add_bridge("br0")
+    p_in = vs.add_system_port("br0", nic_in)
+    p_tap = vs.add_system_port("br0", tap)
+    vs.add_system_port("br0", nic_out)
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport), [OutputAction(tap.name)])
+    of.add_flow(0, 10, Match(in_port=p_tap.ofport), [OutputAction("ens2")])
+
+    def pump_all() -> None:
+        for _ in range(100):
+            moved = host.kernel.service_nic(nic_in, budget=8)
+            moved += vm.qemu.pump()
+            moved += fwd.pump()
+            moved += vm.qemu.pump()
+            if not moved and not nic_in.pending():
+                return
+
+    return LoopBench(
+        host,
+        _measured_drive(host, nic_in.host_receive, pump_all, link_gbps, ()),
+    )
+
+
+def afxdp_pvp(
+    vm_attach: str = "vhostuser",
+    options: Optional[AfxdpOptions] = None,
+    link_gbps: float = 25.0,
+) -> LoopBench:
+    if vm_attach not in ("vhostuser", "tap"):
+        raise ValueError(f"unknown VM attachment {vm_attach!r}")
+    options = options or AfxdpOptions()
+    host, nic_in, nic_out = _base_host(1, link_gbps)
+    vm = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=12)
+    fwd = GuestForwarder(vm)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    p_in = vs.add_afxdp_port("br0", nic_in, options)
+    vs.add_afxdp_port("br0", nic_out, options)
+    if vm_attach == "vhostuser":
+        vport = vs.add_vhostuser_port("br0", vm.attach_vhostuser())
+        vm_port_name = f"vhost-{vm.name}"
+    else:
+        tap = vm.attach_tap(qemu_core=13)
+        vport = vs.add_system_port("br0", tap)
+        vm_port_name = tap.name
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport),
+                [OutputAction(vm_port_name)])
+    of.add_flow(0, 10, Match(in_port=vport.ofport), [OutputAction("ens2")])
+
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=0,
+                    batch_size=options.batch_size)
+    pmd.add_rxq(vs.dpif_netdev.ports[vs.dpif_netdev.port_no("ens1")], 0)
+    pmd.add_rxq(vs.dpif_netdev.ports[vs.dpif_netdev.port_no(vm_port_name)], 0)
+    host.kernel.set_irq_affinity("ens1", 0, 2)
+
+    def pump_all() -> None:
+        for _ in range(200):
+            moved = host.kernel.service_nic(
+                nic_in, budget=options.batch_size,
+                interrupt_mode=options.interrupt_mode)
+            moved += pmd.run_iteration()
+            if vm.qemu is not None:
+                moved += vm.qemu.pump()
+            moved += fwd.pump()
+            if vm.qemu is not None:
+                moved += vm.qemu.pump()
+            if not moved and not nic_in.pending():
+                return
+
+    return LoopBench(
+        host,
+        _measured_drive(host, nic_in.host_receive, pump_all, link_gbps,
+                        (0,)),
+        pmd_cpus=(0,),
+    )
+
+
+def dpdk_pvp(link_gbps: float = 25.0) -> LoopBench:
+    host, nic_in, nic_out = _base_host(1, link_gbps)
+    eth_in = bind_device(host.kernel.init_ns, "ens1")
+    eth_out = bind_device(host.kernel.init_ns, "ens2")
+    vm = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=12)
+    fwd = GuestForwarder(vm)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    p_in = vs.add_dpdk_port("br0", eth_in)
+    vs.add_dpdk_port("br0", eth_out)
+    vport = vs.add_vhostuser_port("br0", vm.attach_vhostuser())
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport),
+                [OutputAction(f"vhost-{vm.name}")])
+    of.add_flow(0, 10, Match(in_port=vport.ofport), [OutputAction("ens2")])
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=0)
+    pmd.add_rxq(vs.dpif_netdev.ports[vs.dpif_netdev.port_no("ens1")], 0)
+    pmd.add_rxq(
+        vs.dpif_netdev.ports[vs.dpif_netdev.port_no(f"vhost-{vm.name}")], 0)
+
+    def pump_all() -> None:
+        for _ in range(200):
+            moved = pmd.run_iteration()
+            moved += fwd.pump()
+            if not moved and not nic_in.pending():
+                return
+
+    return LoopBench(
+        host,
+        _measured_drive(host, nic_in.host_receive, pump_all, link_gbps,
+                        (0,)),
+        pmd_cpus=(0,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# PCP
+# ---------------------------------------------------------------------------
+def _pcp_container(host: Host, dst_ip: str) -> "tuple[Container, ContainerForwarder]":
+    container = Container(host, "c1", dst_ip)
+    fwd = ContainerForwarder(container, host.user_ctx(12, name="c1-fwd"))
+    return container, fwd
+
+
+def kernel_pcp(link_gbps: float = 25.0, dst_ip: str = "48.0.0.1") -> LoopBench:
+    host, nic_in, nic_out = _base_host(1, link_gbps)
+    container, _fwd = _pcp_container(host, dst_ip)
+    vs = host.install_ovs("system")
+    vs.add_bridge("br0")
+    p_in = vs.add_system_port("br0", nic_in)
+    p_veth = vs.add_system_port("br0", container.outside)
+    vs.add_system_port("br0", nic_out)
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport),
+                [OutputAction(container.outside.name)])
+    of.add_flow(0, 10, Match(in_port=p_veth.ofport), [OutputAction("ens2")])
+
+    def pump_all() -> None:
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=8)
+
+    return LoopBench(
+        host,
+        _measured_drive(host, nic_in.host_receive, pump_all, link_gbps, ()),
+    )
+
+
+def afxdp_pcp(link_gbps: float = 25.0, dst_ip: str = "48.0.0.1") -> LoopBench:
+    """Figure 5 path C: the XDP program redirects container traffic to the
+    veth and the container's replies to the egress NIC — "it processes
+    packets in-kernel ... avoiding the costly userspace-to-kernel
+    overhead" (§5.2)."""
+    host, nic_in, nic_out = _base_host(1, link_gbps)
+    container, _fwd = _pcp_container(host, dst_ip)
+    program, xsks, devs, ip_table = container_redirect_program()
+    nic_in.attach_xdp(XdpContext(program))
+    devs.set_dev(0, container.outside.ifindex)
+    ip_table.update(container_ip_key(ip_to_int(dst_ip)),
+                    (0).to_bytes(4, "little"))
+    # Return direction: the veth's own XDP program sends straight to the
+    # egress NIC (the reply's dst IP is not a local container).
+    return_ctx = host.kernel.softirq_ctx(1)
+
+    def veth_return(pkt: Packet, _ctx) -> None:
+        return_ctx.charge(
+            DEFAULT_COSTS.xdp_ctx_setup_ns + DEFAULT_COSTS.xdp_redirect_ns,
+            label="veth_xdp",
+        )
+        nic_out.transmit(pkt, return_ctx)
+
+    container.outside.set_rx_handler(veth_return)
+    host.kernel.set_irq_affinity("ens1", 0, 0)
+
+    def pump_all() -> None:
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=32)
+
+    return LoopBench(
+        host,
+        _measured_drive(host, nic_in.host_receive, pump_all, link_gbps, ()),
+    )
+
+
+def dpdk_pcp(link_gbps: float = 25.0, dst_ip: str = "48.0.0.1") -> LoopBench:
+    """DPDK reaches the container through its AF_PACKET driver: syscalls
+    and copies both ways (§5.2: "the costly userspace-to-kernel DPDK
+    overhead")."""
+    host, nic_in, nic_out = _base_host(1, link_gbps)
+    container, _fwd = _pcp_container(host, dst_ip)
+    eth_in = bind_device(host.kernel.init_ns, "ens1")
+    eth_out = bind_device(host.kernel.init_ns, "ens2")
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    p_in = vs.add_dpdk_port("br0", eth_in)
+    vs.add_dpdk_port("br0", eth_out)
+    veth_port = vs.add_system_port("br0", container.outside)
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport),
+                [OutputAction(container.outside.name)])
+    of.add_flow(0, 10, Match(in_port=veth_port.ofport),
+                [OutputAction("ens2")])
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=0)
+    pmd.add_rxq(vs.dpif_netdev.ports[vs.dpif_netdev.port_no("ens1")], 0)
+    pmd.add_rxq(
+        vs.dpif_netdev.ports[vs.dpif_netdev.port_no(container.outside.name)],
+        0)
+
+    def pump_all() -> None:
+        for _ in range(200):
+            moved = pmd.run_iteration()
+            if not moved and not nic_in.pending():
+                return
+
+    return LoopBench(
+        host,
+        _measured_drive(host, nic_in.host_receive, pump_all, link_gbps,
+                        (0,)),
+        pmd_cpus=(0,),
+    )

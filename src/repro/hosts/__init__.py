@@ -1,0 +1,14 @@
+"""Hosts, VMs, containers and testbeds.
+
+These compose the substrates into the machines the paper's evaluation
+runs on: back-to-back Xeon servers with multi-queue NICs, VMs attached by
+tap or vhostuser, and containers in network namespaces joined by veth
+pairs.
+"""
+
+from repro.hosts.host import Host
+from repro.hosts.vm import QemuTapBackend, VirtualMachine
+from repro.hosts.container import Container
+from repro.hosts.testbed import Testbed
+
+__all__ = ["Host", "VirtualMachine", "QemuTapBackend", "Container", "Testbed"]

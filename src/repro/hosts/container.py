@@ -1,0 +1,37 @@
+"""Containers: a network namespace plus a veth pair (§3.4)."""
+
+from __future__ import annotations
+
+from repro.hosts.host import Host
+from repro.kernel.namespace import NetNamespace
+from repro.kernel.veth import VethDevice, VethPair
+
+
+class Container:
+    """A namespace joined to the host by a veth pair.
+
+    ``inside`` (eth0 in the container) has the container's IP and stack;
+    ``outside`` (vethX on the host) is what gets plugged into OVS or the
+    kernel bridge — or targeted by XDP_REDIRECT (Figure 5 path C).
+    """
+
+    def __init__(self, host: Host, name: str, ip: str,
+                 prefix_len: int = 24) -> None:
+        self.host = host
+        self.name = name
+        self.ip = ip
+        self.ns: NetNamespace = host.kernel.add_namespace(name)
+        pair = VethPair(f"veth-{name}", "eth0",
+                        mac_a=Host._alloc_mac(), mac_b=Host._alloc_mac())
+        self.outside: VethDevice = pair.a
+        self.inside: VethDevice = pair.b
+        host.kernel.init_ns.register(self.outside)
+        self.ns.register(self.inside)
+        self.outside.set_up()
+        self.inside.set_up()
+        self.ns.stack.attach(self.inside)
+        self.ns.add_address("eth0", ip, prefix_len)
+
+    @property
+    def stack(self):
+        return self.ns.stack

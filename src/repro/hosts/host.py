@@ -1,0 +1,86 @@
+"""A simulated server."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.nic import NicFeatures, PhysicalNic
+from repro.net.addresses import MacAddress
+from repro.ovs.vswitchd import VSwitchd
+from repro.sim.clock import Clock
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+
+class Host:
+    """One server: CPUs, a kernel, NICs, and optionally ovs-vswitchd.
+
+    The paper's testbeds are 8-core/16-HT and 12-core Xeons; ``n_cpus``
+    counts logical CPUs (hyperthreads), matching Table 4's units.
+    """
+
+    _mac_counter = 0x100000
+
+    def __init__(self, name: str, n_cpus: int = 16) -> None:
+        self.name = name
+        self.cpu = CpuModel(n_cpus)
+        self.clock: Clock = self.cpu.clock
+        self.kernel = Kernel(self.cpu)
+        self.nics: Dict[str, PhysicalNic] = {}
+        self.vswitchd: Optional[VSwitchd] = None
+        #: Callables invoked by pump() to move pended work (QEMU backends,
+        #: PMD threads in control-plane mode, VM guests...).
+        self.pumpables: List = []
+
+    @classmethod
+    def _alloc_mac(cls) -> MacAddress:
+        cls._mac_counter += 1
+        return MacAddress.local(cls._mac_counter)
+
+    # ------------------------------------------------------------------
+    def add_nic(
+        self,
+        name: str,
+        n_queues: int = 1,
+        features: Optional[NicFeatures] = None,
+        mtu: int = 1500,
+    ) -> PhysicalNic:
+        nic = PhysicalNic(name, self._alloc_mac(), n_queues=n_queues,
+                          features=features, mtu=mtu)
+        self.kernel.init_ns.register(nic)
+        nic.set_up()
+        self.nics[name] = nic
+        return nic
+
+    def install_ovs(self, datapath_type: str = "netdev") -> VSwitchd:
+        if self.vswitchd is not None:
+            raise ValueError("ovs-vswitchd already running")
+        self.vswitchd = VSwitchd(self.kernel, datapath_type=datapath_type)
+        return self.vswitchd
+
+    # ------------------------------------------------------------------
+    def user_ctx(self, core: int, name: str = "") -> ExecContext:
+        return ExecContext(self.cpu, core, CpuCategory.USER,
+                           name=name or f"{self.name}-user{core}")
+
+    def guest_ctx(self, core: int, name: str = "") -> ExecContext:
+        return ExecContext(self.cpu, core, CpuCategory.GUEST,
+                           name=name or f"{self.name}-guest{core}")
+
+    # ------------------------------------------------------------------
+    def pump(self, max_rounds: int = 200) -> int:
+        """Drive all pended work to quiescence (control-plane helper).
+
+        Used for multi-step interactions — ARP, TCP handshakes, OVSDB —
+        not for throughput measurement (experiments drive their own
+        loops with precise contexts).
+        """
+        total = 0
+        for _ in range(max_rounds):
+            moved = self.kernel.pump()
+            for pumpable in self.pumpables:
+                moved += pumpable()
+            total += moved
+            if not moved:
+                return total
+        raise RuntimeError(f"{self.name}: pump did not quiesce")

@@ -1,0 +1,74 @@
+"""Back-to-back testbeds, like the paper's evaluation setups."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hosts.host import Host
+from repro.kernel.netdev import Wire
+from repro.kernel.nic import NicFeatures
+
+
+class Testbed:
+    """Two servers connected NIC-to-NIC.
+
+    §5.1 uses dual-port Intel X540 10 GbE; §5.2+ uses Mellanox
+    ConnectX-6Dx 25 GbE.  ``dual_port=True`` wires two NIC pairs (for the
+    loopback TRex configurations).
+    """
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(
+        self,
+        link_gbps: float = 10.0,
+        n_cpus: int = 16,
+        n_queues: int = 1,
+        dual_port: bool = False,
+        features: Optional[NicFeatures] = None,
+    ) -> None:
+        self.link_gbps = link_gbps
+        self.a = Host("host-a", n_cpus=n_cpus)
+        self.b = Host("host-b", n_cpus=n_cpus)
+        self.wires: List[Wire] = []
+        ports = 2 if dual_port else 1
+        for i in range(ports):
+            nic_a = self.a.add_nic(f"ens{i + 1}", n_queues=n_queues,
+                                   features=features)
+            nic_b = self.b.add_nic(f"ens{i + 1}", n_queues=n_queues,
+                                   features=features)
+            self.wires.append(Wire(nic_a, nic_b, gbps=link_gbps))
+
+    @property
+    def hosts(self) -> Tuple[Host, Host]:
+        return self.a, self.b
+
+    def configure_underlay(self, subnet: str = "192.168.1") -> None:
+        """Give each side an IP on the first link and prime ARP, the way
+        a testbed is hand-configured before a run."""
+        from repro.net.addresses import ip_to_int
+
+        ip_a, ip_b = f"{subnet}.1", f"{subnet}.2"
+        nic_a = self.a.nics["ens1"]
+        nic_b = self.b.nics["ens1"]
+        self.a.kernel.init_ns.add_address("ens1", ip_a, 24)
+        self.b.kernel.init_ns.add_address("ens1", ip_b, 24)
+        self.a.kernel.init_ns.neighbors.update(
+            ip_to_int(ip_b), nic_b.mac, nic_a.ifindex, permanent=True)
+        self.b.kernel.init_ns.neighbors.update(
+            ip_to_int(ip_a), nic_a.mac, nic_b.ifindex, permanent=True)
+
+    def pump(self, max_rounds: int = 500) -> int:
+        """Drive both hosts to quiescence (control-plane interactions)."""
+        total = 0
+        for _ in range(max_rounds):
+            moved = self.a.pump() + self.b.pump()
+            total += moved
+            if not moved:
+                return total
+        raise RuntimeError("testbed did not quiesce")
+
+    def line_rate_mpps(self, frame_bytes: int) -> float:
+        from repro.sim.stats import line_rate_mpps
+
+        return line_rate_mpps(self.link_gbps, frame_bytes)

@@ -1,0 +1,33 @@
+"""A simulated Linux kernel networking subsystem.
+
+This package is the substrate the paper's OVS runs on (and partially
+bypasses): network devices with multi-queue NICs, RSS and XDP hooks; tap
+and veth virtual devices; network namespaces; an IPv4 stack with routing
+and neighbor tables; netfilter connection tracking with zones; rtnetlink;
+a NAPI softirq model; a syscall layer that charges entry/exit costs; and
+the OVS kernel-module datapath itself (:mod:`repro.kernel.ovs_module`).
+
+All packet-handling code charges virtual time to the
+:class:`~repro.sim.cpu.ExecContext` it is given, in the accounting category
+a real kernel would use (SOFTIRQ for receive processing, SYSTEM for
+syscalls).
+"""
+
+from repro.kernel.netdev import NetDevice, DeviceStats, Wire
+from repro.kernel.nic import PhysicalNic, NicFeatures
+from repro.kernel.veth import VethPair
+from repro.kernel.tap import TapDevice
+from repro.kernel.namespace import NetNamespace
+from repro.kernel.kernel import Kernel
+
+__all__ = [
+    "NetDevice",
+    "DeviceStats",
+    "Wire",
+    "PhysicalNic",
+    "NicFeatures",
+    "VethPair",
+    "TapDevice",
+    "NetNamespace",
+    "Kernel",
+]

@@ -1,0 +1,221 @@
+"""Netfilter connection tracking with zones, states and NAT.
+
+NSX's distributed firewall drives OVS's ``ct()`` action, which in the
+kernel datapath lands here (§4, Figure 7a).  The userspace datapath has
+its own reimplementation (:mod:`repro.ovs.ct_userspace`) that shares this
+module's core logic — one of the paper's "features must be reimplemented"
+lessons made concrete.
+
+Zones keep tenants' address spaces separate: the same 5-tuple in two zones
+is two different connections (§5.1's pipeline passes the "zone" along).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.net.flow import FiveTuple
+from repro.net.ipv4 import IPProto
+from repro.net.tcp import TcpFlags
+
+#: ct_state bits, matching OVS's encoding.
+CT_NEW = 0x01
+CT_ESTABLISHED = 0x02
+CT_RELATED = 0x04
+CT_REPLY = 0x08
+CT_INVALID = 0x10
+CT_TRACKED = 0x20
+
+
+class TcpCtState(enum.Enum):
+    SYN_SENT = "SYN_SENT"
+    SYN_RECV = "SYN_RECV"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT = "FIN_WAIT"
+    CLOSED = "CLOSED"
+
+
+_TIMEOUTS_NS = {
+    TcpCtState.SYN_SENT: 120 * 10**9,
+    TcpCtState.SYN_RECV: 60 * 10**9,
+    TcpCtState.ESTABLISHED: 432_000 * 10**9,
+    TcpCtState.FIN_WAIT: 120 * 10**9,
+    TcpCtState.CLOSED: 10 * 10**9,
+}
+_UDP_TIMEOUT_NS = 180 * 10**9
+
+
+@dataclass
+class Connection:
+    orig: FiveTuple
+    zone: int
+    tcp_state: Optional[TcpCtState] = None
+    mark: int = 0
+    #: (new_dst_ip, new_dst_port) for DNAT; applied on the original
+    #: direction and reversed on replies.
+    dnat: Optional[Tuple[int, int]] = None
+    snat: Optional[Tuple[int, int]] = None
+    packets: int = 0
+    bytes: int = 0
+    last_seen_ns: int = 0
+
+    def timeout_ns(self) -> int:
+        if self.orig.proto == IPProto.TCP and self.tcp_state is not None:
+            return _TIMEOUTS_NS[self.tcp_state]
+        return _UDP_TIMEOUT_NS
+
+
+@dataclass
+class CtResult:
+    """What a ct() lookup tells the datapath about this packet."""
+
+    state_bits: int
+    connection: Optional[Connection] = None
+
+    @property
+    def is_new(self) -> bool:
+        return bool(self.state_bits & CT_NEW)
+
+    @property
+    def is_established(self) -> bool:
+        return bool(self.state_bits & CT_ESTABLISHED)
+
+    @property
+    def is_reply(self) -> bool:
+        return bool(self.state_bits & CT_REPLY)
+
+    @property
+    def is_invalid(self) -> bool:
+        return bool(self.state_bits & CT_INVALID)
+
+
+class ConntrackTable:
+    """The connection table, keyed by (zone, direction-normalised tuple)."""
+
+    def __init__(self, max_connections: int = 1_000_000) -> None:
+        self.max_connections = max_connections
+        self._table: Dict[Tuple[int, FiveTuple], Connection] = {}
+        #: per-zone connection counts, for the per-zone limit feature the
+        #: paper's §2.1.1 discusses backporting (nf_conncount).
+        self._zone_counts: Dict[int, int] = {}
+        self.zone_limits: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def zone_count(self, zone: int) -> int:
+        return self._zone_counts.get(zone, 0)
+
+    def set_zone_limit(self, zone: int, limit: int) -> None:
+        self.zone_limits[zone] = limit
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, five_tuple: FiveTuple, zone: int, now_ns: int = 0
+    ) -> CtResult:
+        """Classify a packet without committing anything (ct() without
+        commit): returns NEW for unknown tuples."""
+        conn, reply = self._find(five_tuple, zone, now_ns)
+        if conn is None:
+            return CtResult(CT_NEW | CT_TRACKED)
+        bits = CT_TRACKED | CT_ESTABLISHED
+        if reply:
+            bits |= CT_REPLY
+        return CtResult(bits, conn)
+
+    def process(
+        self,
+        five_tuple: FiveTuple,
+        zone: int,
+        tcp_flags: int = 0,
+        nbytes: int = 0,
+        commit: bool = False,
+        now_ns: int = 0,
+    ) -> CtResult:
+        """Track one packet; with ``commit`` a NEW connection is created."""
+        conn, reply = self._find(five_tuple, zone, now_ns)
+        if conn is None:
+            if five_tuple.proto == IPProto.TCP and not tcp_flags & TcpFlags.SYN:
+                # Mid-stream TCP without a connection is invalid.
+                return CtResult(CT_INVALID | CT_TRACKED)
+            if not commit:
+                return CtResult(CT_NEW | CT_TRACKED)
+            conn = self._commit(five_tuple, zone, now_ns)
+            if conn is None:
+                return CtResult(CT_INVALID | CT_TRACKED)
+            self._advance_tcp(conn, tcp_flags, reply=False)
+            conn.packets += 1
+            conn.bytes += nbytes
+            return CtResult(CT_NEW | CT_TRACKED, conn)
+        conn.last_seen_ns = now_ns
+        conn.packets += 1
+        conn.bytes += nbytes
+        if five_tuple.proto == IPProto.TCP:
+            self._advance_tcp(conn, tcp_flags, reply)
+        bits = CT_TRACKED | CT_ESTABLISHED
+        if reply:
+            bits |= CT_REPLY
+        return CtResult(bits, conn)
+
+    def flush(self) -> None:
+        self._table.clear()
+        self._zone_counts.clear()
+
+    def expire(self, now_ns: int) -> int:
+        """Drop connections past their timeout; returns how many."""
+        dead = [
+            key
+            for key, conn in self._table.items()
+            if now_ns - conn.last_seen_ns > conn.timeout_ns()
+        ]
+        for key in dead:
+            zone = key[0]
+            self._zone_counts[zone] = max(0, self._zone_counts.get(zone, 0) - 1)
+            del self._table[key]
+        return len(dead)
+
+    def connections(self):
+        return list(self._table.values())
+
+    # ------------------------------------------------------------------
+    def _find(
+        self, five_tuple: FiveTuple, zone: int, now_ns: int
+    ) -> Tuple[Optional[Connection], bool]:
+        conn = self._table.get((zone, five_tuple))
+        if conn is not None:
+            return conn, False
+        conn = self._table.get((zone, five_tuple.reversed()))
+        if conn is not None:
+            return conn, True
+        return None, False
+
+    def _commit(
+        self, five_tuple: FiveTuple, zone: int, now_ns: int
+    ) -> Optional[Connection]:
+        limit = self.zone_limits.get(zone)
+        if limit is not None and self.zone_count(zone) >= limit:
+            return None  # per-zone connection limit hit
+        if len(self._table) >= self.max_connections:
+            return None
+        conn = Connection(orig=five_tuple, zone=zone, last_seen_ns=now_ns)
+        if five_tuple.proto == IPProto.TCP:
+            conn.tcp_state = TcpCtState.SYN_SENT
+        self._table[(zone, five_tuple)] = conn
+        self._zone_counts[zone] = self._zone_counts.get(zone, 0) + 1
+        return conn
+
+    @staticmethod
+    def _advance_tcp(conn: Connection, tcp_flags: int, reply: bool) -> None:
+        if conn.tcp_state is None:
+            conn.tcp_state = TcpCtState.SYN_SENT
+        state = conn.tcp_state
+        if tcp_flags & TcpFlags.RST:
+            conn.tcp_state = TcpCtState.CLOSED
+        elif tcp_flags & TcpFlags.FIN:
+            conn.tcp_state = TcpCtState.FIN_WAIT
+        elif state is TcpCtState.SYN_SENT and reply and tcp_flags & TcpFlags.SYN:
+            conn.tcp_state = TcpCtState.SYN_RECV
+        elif state is TcpCtState.SYN_RECV and not reply and tcp_flags & TcpFlags.ACK:
+            conn.tcp_state = TcpCtState.ESTABLISHED

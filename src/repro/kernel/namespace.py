@@ -1,0 +1,119 @@
+"""Network namespaces: a device registry plus per-namespace tables.
+
+Containers in the paper are namespaces joined to the host by veth pairs
+(§3.4).  Each namespace owns its devices (with namespace-local ifindexes),
+IP addresses, FIB, neighbor table, conntrack table and an IPv4 stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kernel.conntrack import ConntrackTable
+from repro.kernel.neighbor import NeighborTable
+from repro.kernel.netdev import NetDevice
+from repro.kernel.routing import RoutingTable
+from repro.net.addresses import int_to_ip, ip_to_int, prefix_to_mask
+
+
+class NetNamespace:
+    def __init__(self, name: str = "init") -> None:
+        self.name = name
+        self._devices: Dict[str, NetDevice] = {}
+        self._by_ifindex: Dict[int, NetDevice] = {}
+        self._next_ifindex = 1
+        #: ifindex -> list of (ip, prefix_len)
+        self._addresses: Dict[int, List[Tuple[int, int]]] = {}
+        self.routes = RoutingTable()
+        self.neighbors = NeighborTable()
+        self.conntrack = ConntrackTable()
+        # Set lazily to avoid an import cycle; namespace and stack are 1:1.
+        from repro.kernel.stack import IpStack
+
+        self.stack = IpStack(self)
+
+    # -- devices ----------------------------------------------------------
+    def register(self, device: NetDevice) -> NetDevice:
+        if device.name in self._devices:
+            raise ValueError(f"device {device.name!r} already exists")
+        device.ifindex = self._next_ifindex
+        self._next_ifindex += 1
+        self._devices[device.name] = device
+        self._by_ifindex[device.ifindex] = device
+        resolver = getattr(device, "redirect_resolver", "missing")
+        if resolver is None:
+            device.redirect_resolver = self.device_by_ifindex  # type: ignore[attr-defined]
+        return device
+
+    def unregister(self, name: str) -> NetDevice:
+        """Remove a device from kernel control (e.g. bound to DPDK).
+
+        After this, rtnetlink — and therefore every tool in Table 1 —
+        no longer sees the device.
+        """
+        device = self._devices.pop(name, None)
+        if device is None:
+            raise KeyError(f"no device {name!r}")
+        del self._by_ifindex[device.ifindex]
+        self._addresses.pop(device.ifindex, None)
+        # Routes through the device die with it, exactly as in Linux.
+        for route in self.routes.routes():
+            if route.ifindex == device.ifindex:
+                self.routes.remove(route.prefix, route.prefix_len)
+        return device
+
+    def device(self, name: str) -> NetDevice:
+        dev = self._devices.get(name)
+        if dev is None:
+            raise KeyError(f"no device {name!r} in namespace {self.name!r}")
+        return dev
+
+    def has_device(self, name: str) -> bool:
+        return name in self._devices
+
+    def device_by_ifindex(self, ifindex: int) -> Optional[NetDevice]:
+        return self._by_ifindex.get(ifindex)
+
+    def devices(self) -> Iterable[NetDevice]:
+        return list(self._devices.values())
+
+    # -- addresses ----------------------------------------------------------
+    def add_address(self, dev_name: str, ip: "int | str", prefix_len: int) -> None:
+        ip = ip_to_int(ip) if isinstance(ip, str) else ip
+        device = self.device(dev_name)
+        self._addresses.setdefault(device.ifindex, []).append((ip, prefix_len))
+        # A connected route appears automatically, like the kernel's.
+        self.routes.add(ip & prefix_to_mask(prefix_len), prefix_len,
+                        device.ifindex)
+
+    def del_address(self, dev_name: str, ip: "int | str", prefix_len: int) -> None:
+        ip = ip_to_int(ip) if isinstance(ip, str) else ip
+        device = self.device(dev_name)
+        addrs = self._addresses.get(device.ifindex, [])
+        if (ip, prefix_len) not in addrs:
+            raise KeyError(f"{int_to_ip(ip)}/{prefix_len} not on {dev_name}")
+        addrs.remove((ip, prefix_len))
+        self.routes.remove(ip & prefix_to_mask(prefix_len), prefix_len)
+
+    def addresses(self, dev_name: Optional[str] = None) -> List[Tuple[int, int, int]]:
+        """All (ifindex, ip, prefix_len), optionally for one device."""
+        out = []
+        for ifindex, addrs in self._addresses.items():
+            if dev_name is not None and self.device(dev_name).ifindex != ifindex:
+                continue
+            out.extend((ifindex, ip, plen) for ip, plen in addrs)
+        return out
+
+    def local_ips(self) -> List[int]:
+        return [ip for addrs in self._addresses.values() for ip, _ in addrs]
+
+    def is_local_ip(self, ip: int) -> bool:
+        return ip in self.local_ips()
+
+    def ip_of(self, dev_name: str) -> int:
+        """The primary address of a device (first one configured)."""
+        device = self.device(dev_name)
+        addrs = self._addresses.get(device.ifindex)
+        if not addrs:
+            raise KeyError(f"{dev_name} has no address")
+        return addrs[0][0]

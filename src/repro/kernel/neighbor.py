@@ -1,0 +1,81 @@
+"""The neighbor (ARP) table.
+
+Like the FIB, OVS userspace mirrors this over Netlink for its own L3
+tunnel handling (§4: "OVS caches a userspace replica of each kernel table
+using Netlink").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.addresses import MacAddress, int_to_ip
+
+
+class NeighborState(enum.Enum):
+    INCOMPLETE = "INCOMPLETE"
+    REACHABLE = "REACHABLE"
+    STALE = "STALE"
+    PERMANENT = "PERMANENT"
+
+
+@dataclass
+class Neighbor:
+    ip: int
+    mac: MacAddress
+    ifindex: int
+    state: NeighborState = NeighborState.REACHABLE
+    updated_ns: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{int_to_ip(self.ip)} dev if{self.ifindex} "
+            f"lladdr {self.mac} {self.state.value}"
+        )
+
+
+class NeighborTable:
+    REACHABLE_TIME_NS = 30 * 1_000_000_000
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Neighbor] = {}
+        self.version = 0
+
+    def update(
+        self,
+        ip: int,
+        mac: MacAddress,
+        ifindex: int,
+        now_ns: int = 0,
+        permanent: bool = False,
+    ) -> Neighbor:
+        state = NeighborState.PERMANENT if permanent else NeighborState.REACHABLE
+        entry = Neighbor(ip, mac, ifindex, state, now_ns)
+        self._entries[ip] = entry
+        self.version += 1
+        return entry
+
+    def lookup(self, ip: int, now_ns: int = 0) -> Optional[Neighbor]:
+        entry = self._entries.get(ip)
+        if entry is None:
+            return None
+        if (
+            entry.state is NeighborState.REACHABLE
+            and now_ns - entry.updated_ns > self.REACHABLE_TIME_NS
+        ):
+            entry.state = NeighborState.STALE
+        return entry
+
+    def delete(self, ip: int) -> None:
+        if ip not in self._entries:
+            raise KeyError(f"no neighbor {int_to_ip(ip)}")
+        del self._entries[ip]
+        self.version += 1
+
+    def entries(self) -> List[Neighbor]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

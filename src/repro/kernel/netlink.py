@@ -1,0 +1,163 @@
+"""rtnetlink: the kernel's configuration and monitoring socket.
+
+Two consumers in this reproduction use it, exactly as in the paper:
+
+* the tools of Table 1 (``ip link``, ``ip route``, ...) — which is why
+  they work on kernel-managed devices and fail on DPDK-bound ones;
+* OVS userspace, which keeps replicas of the route and neighbor tables
+  for its tunnel handling (§4) via :class:`NetlinkMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.addresses import MacAddress, int_to_ip
+from repro.kernel.namespace import NetNamespace
+from repro.kernel.neighbor import Neighbor
+from repro.kernel.routing import Route
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import CpuCategory, ExecContext
+
+
+@dataclass
+class LinkInfo:
+    ifindex: int
+    name: str
+    mac: MacAddress
+    mtu: int
+    up: bool
+    carrier: bool
+    device_type: str
+    stats: dict
+
+
+class RtNetlink:
+    """Synchronous rtnetlink queries against one namespace."""
+
+    def __init__(self, namespace: NetNamespace) -> None:
+        self.ns = namespace
+
+    def _charge(self, ctx: Optional[ExecContext]) -> None:
+        if ctx is not None:
+            with ctx.as_category(CpuCategory.SYSTEM):
+                ctx.charge(DEFAULT_COSTS.syscall_base_ns, label="netlink")
+
+    # -- dumps -------------------------------------------------------------
+    def get_links(self, ctx: Optional[ExecContext] = None) -> List[LinkInfo]:
+        self._charge(ctx)
+        return [
+            LinkInfo(
+                ifindex=d.ifindex,
+                name=d.name,
+                mac=d.mac,
+                mtu=d.mtu,
+                up=d.up,
+                carrier=d.carrier,
+                device_type=d.device_type,
+                stats=d.stats.snapshot(),
+            )
+            for d in self.ns.devices()
+        ]
+
+    def get_link(self, name: str, ctx: Optional[ExecContext] = None) -> LinkInfo:
+        self._charge(ctx)
+        for link in self.get_links():
+            if link.name == name:
+                return link
+        raise KeyError(f"Device \"{name}\" does not exist.")
+
+    def get_addresses(self, ctx: Optional[ExecContext] = None) -> List[dict]:
+        self._charge(ctx)
+        out = []
+        for ifindex, ip, plen in self.ns.addresses():
+            device = self.ns.device_by_ifindex(ifindex)
+            out.append(
+                {
+                    "ifindex": ifindex,
+                    "dev": device.name if device else f"if{ifindex}",
+                    "address": f"{int_to_ip(ip)}/{plen}",
+                }
+            )
+        return out
+
+    def get_routes(self, ctx: Optional[ExecContext] = None) -> List[Route]:
+        self._charge(ctx)
+        return self.ns.routes.routes()
+
+    def get_neighbors(self, ctx: Optional[ExecContext] = None) -> List[Neighbor]:
+        self._charge(ctx)
+        return self.ns.neighbors.entries()
+
+    # -- modifications -------------------------------------------------------
+    def set_link_up(self, name: str, up: bool = True,
+                    ctx: Optional[ExecContext] = None) -> None:
+        self._charge(ctx)
+        self.ns.device(name).set_up(up)
+
+    def add_address(self, name: str, ip: "int | str", prefix_len: int,
+                    ctx: Optional[ExecContext] = None) -> None:
+        self._charge(ctx)
+        self.ns.add_address(name, ip, prefix_len)
+
+    def add_route(self, prefix: int, prefix_len: int, dev: str,
+                  gateway: int = 0, ctx: Optional[ExecContext] = None) -> None:
+        self._charge(ctx)
+        self.ns.routes.add(prefix, prefix_len, self.ns.device(dev).ifindex,
+                           gateway)
+
+    def add_neighbor(self, ip: int, mac: MacAddress, dev: str,
+                     ctx: Optional[ExecContext] = None) -> None:
+        self._charge(ctx)
+        self.ns.neighbors.update(ip, mac, self.ns.device(dev).ifindex,
+                                 permanent=True)
+
+
+class NetlinkMonitor:
+    """OVS userspace's cached replica of the kernel route/neighbor tables.
+
+    "OVS caches a userspace replica of each kernel table using Netlink ...
+    these tables are only updated by slow control plane operations" (§4).
+    The replica refreshes when the kernel table versions change.
+    """
+
+    def __init__(self, namespace: NetNamespace) -> None:
+        self.ns = namespace
+        self._route_version = -1
+        self._neigh_version = -1
+        self.routes: List[Route] = []
+        self.neighbors: Dict[int, Neighbor] = {}
+        self.refreshes = 0
+
+    def poll(self, ctx: Optional[ExecContext] = None) -> bool:
+        """Refresh if the kernel tables changed; returns True if refreshed."""
+        changed = False
+        if self.ns.routes.version != self._route_version:
+            self.routes = self.ns.routes.routes()
+            self._route_version = self.ns.routes.version
+            changed = True
+        if self.ns.neighbors.version != self._neigh_version:
+            self.neighbors = {n.ip: n for n in self.ns.neighbors.entries()}
+            self._neigh_version = self.ns.neighbors.version
+            changed = True
+        if changed:
+            self.refreshes += 1
+            if ctx is not None:
+                with ctx.as_category(CpuCategory.SYSTEM):
+                    ctx.charge(DEFAULT_COSTS.syscall_base_ns,
+                               label="netlink_refresh")
+        return changed
+
+    def route_lookup(self, dst_ip: int) -> Optional[Route]:
+        """LPM over the userspace replica (no syscall: that is the point)."""
+        best: Optional[Route] = None
+        for route in self.routes:
+            if route.matches(dst_ip) and (
+                best is None or route.prefix_len > best.prefix_len
+            ):
+                best = route
+        return best
+
+    def neighbor_lookup(self, ip: int) -> Optional[Neighbor]:
+        return self.neighbors.get(ip)

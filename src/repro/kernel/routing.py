@@ -1,0 +1,77 @@
+"""The kernel FIB: longest-prefix-match IPv4 routing.
+
+OVS userspace keeps a Netlink-fed replica of this table to implement
+tunnel endpoint routing (§4); the tools layer renders it for ``ip route``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.addresses import int_to_ip, prefix_to_mask
+
+
+@dataclass(frozen=True)
+class Route:
+    prefix: int
+    prefix_len: int
+    ifindex: int
+    gateway: int = 0  # 0 = directly connected
+    metric: int = 0
+
+    def matches(self, dst_ip: int) -> bool:
+        return (dst_ip & prefix_to_mask(self.prefix_len)) == self.prefix
+
+    def render(self) -> str:
+        dest = (
+            "default"
+            if self.prefix_len == 0
+            else f"{int_to_ip(self.prefix)}/{self.prefix_len}"
+        )
+        via = f" via {int_to_ip(self.gateway)}" if self.gateway else ""
+        return f"{dest}{via} dev if{self.ifindex} metric {self.metric}"
+
+
+class RoutingTable:
+    """A sorted-by-specificity route list with LPM lookup."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+        self.version = 0  # bumped on change; netlink watchers poll this
+
+    def add(self, prefix: int, prefix_len: int, ifindex: int,
+            gateway: int = 0, metric: int = 0) -> Route:
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"bad prefix length {prefix_len}")
+        canonical = prefix & prefix_to_mask(prefix_len)
+        route = Route(canonical, prefix_len, ifindex, gateway, metric)
+        self._routes.append(route)
+        # Longest prefix first; lower metric breaks ties.
+        self._routes.sort(key=lambda r: (-r.prefix_len, r.metric))
+        self.version += 1
+        return route
+
+    def remove(self, prefix: int, prefix_len: int) -> None:
+        canonical = prefix & prefix_to_mask(prefix_len)
+        before = len(self._routes)
+        self._routes = [
+            r
+            for r in self._routes
+            if not (r.prefix == canonical and r.prefix_len == prefix_len)
+        ]
+        if len(self._routes) == before:
+            raise KeyError(f"no route {int_to_ip(canonical)}/{prefix_len}")
+        self.version += 1
+
+    def lookup(self, dst_ip: int) -> Optional[Route]:
+        for route in self._routes:
+            if route.matches(dst_ip):
+                return route
+        return None
+
+    def routes(self) -> List[Route]:
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)

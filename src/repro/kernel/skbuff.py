@@ -1,0 +1,50 @@
+"""The sk_buff: the kernel's packet descriptor.
+
+Allocating one is the first expensive thing the conventional receive path
+does — the cost XDP exists to avoid ("even before it takes the expensive
+step of populating it into a kernel socket buffer data structure", §2.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
+
+
+@dataclass
+class SkBuff:
+    """A kernel packet buffer wrapping the frame and receive metadata."""
+
+    pkt: Packet
+    dev_ifindex: int = 0
+    rx_queue: int = 0
+    #: RSS hash from hardware (None = must be computed in software).
+    hw_hash: Optional[int] = None
+    #: Hardware verified the L4 checksum (CHECKSUM_UNNECESSARY).
+    csum_unnecessary: bool = False
+    #: conntrack state attached by netfilter, if any.
+    ct_info: Optional[object] = None
+    cb: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pkt)
+
+
+def alloc_skb(pkt: Packet, ctx: ExecContext, dev_ifindex: int = 0,
+              rx_queue: int = 0) -> SkBuff:
+    """Allocate and initialise an sk_buff (slab fast path).
+
+    Charged to the caller's context; on receive that is softirq time,
+    which is where the kernel datapath's Table 4 CPU numbers come from.
+    """
+    ctx.charge(DEFAULT_COSTS.skb_alloc_ns, label="skb_alloc")
+    return SkBuff(pkt=pkt, dev_ifindex=dev_ifindex, rx_queue=rx_queue)
+
+
+def free_skb(skb: SkBuff, ctx: ExecContext) -> None:
+    """Return the buffer to the slab."""
+    ctx.charge(DEFAULT_COSTS.skb_free_ns, label="skb_free")

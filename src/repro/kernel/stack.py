@@ -1,0 +1,564 @@
+"""The kernel IPv4 stack: ARP, ICMP, UDP and a small TCP.
+
+This is the "Network Stack" box of Figure 3: devices attached to it hand
+received frames to :meth:`IpStack.eth_input`; locally generated traffic
+leaves through :meth:`IpStack.ip_output`, which does FIB lookup, neighbor
+resolution (emitting real ARP when needed) and frame construction.
+
+TCP here is deliberately minimal but real: a three-way handshake, in-order
+data transfer with cumulative ACKs, FIN teardown — enough to drive iperf-
+and netperf-style workloads over lossless simulated links and to exercise
+conntrack state transitions.  There is no retransmission: the testbeds are
+back-to-back and the experiments assert losslessness.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.net.addresses import MacAddress
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.builder import make_arp_reply, make_arp_request
+from repro.net.checksum import verify_checksum
+from repro.net.ethernet import ETH_HLEN, EthernetHeader, EtherType
+from repro.net.icmp import IcmpHeader, IcmpType
+from repro.net.ipv4 import IPV4_HLEN, IPProto, Ipv4Header
+from repro.net.packet import Packet
+from repro.net.tcp import TCP_HLEN, TcpFlags, TcpHeader
+from repro.net.udp import UDP_HLEN, UdpHeader
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
+from repro.kernel.netdev import NetDevice
+
+DEFAULT_MSS = 1460
+
+
+class UdpSocket:
+    def __init__(self, ip: int = 0, port: int = 0) -> None:
+        self.ip = ip
+        self.port = port
+        self.recv_queue: Deque[Tuple[bytes, int, int]] = deque()
+        self.on_receive: Optional[Callable[[bytes, int, int], None]] = None
+
+    def recv(self) -> Optional[Tuple[bytes, int, int]]:
+        return self.recv_queue.popleft() if self.recv_queue else None
+
+
+class TcpState(enum.Enum):
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RECEIVED = "SYN_RECEIVED"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT = "FIN_WAIT"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSED = "CLOSED"
+
+
+@dataclass
+class TcpSocket:
+    local_ip: int
+    local_port: int
+    remote_ip: int = 0
+    remote_port: int = 0
+    state: TcpState = TcpState.CLOSED
+    snd_nxt: int = 0
+    rcv_nxt: int = 0
+    recv_buffer: bytearray = field(default_factory=bytearray)
+    accept_queue: Deque["TcpSocket"] = field(default_factory=deque)
+    segments_received: int = 0
+    bytes_received: int = 0
+    on_receive: Optional[Callable[[bytes], None]] = None
+
+    def key(self) -> Tuple[int, int, int, int]:
+        return (self.local_ip, self.local_port, self.remote_ip, self.remote_port)
+
+    def take_received(self) -> bytes:
+        data = bytes(self.recv_buffer)
+        self.recv_buffer.clear()
+        return data
+
+
+class IpStack:
+    def __init__(self, namespace) -> None:
+        self.ns = namespace
+        self.ip_forwarding = False
+        self._udp_socks: Dict[Tuple[int, int], UdpSocket] = {}
+        self._tcp_socks: Dict[Tuple[int, int, int, int], TcpSocket] = {}
+        self._tcp_listeners: Dict[Tuple[int, int], TcpSocket] = {}
+        self._pending_arp: Dict[int, List[Packet]] = {}
+        self._ephemeral_port = 49100
+        #: nstat-style counters.
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment.
+    # ------------------------------------------------------------------
+    def attach(self, device: NetDevice) -> None:
+        """Give the device's receive path to this stack."""
+        device.set_rx_handler(
+            lambda pkt, ctx, dev=device: self.eth_input(dev, pkt, ctx)
+        )
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    # Receive path.
+    # ------------------------------------------------------------------
+    def eth_input(self, device: NetDevice, pkt: Packet, ctx: ExecContext) -> None:
+        eth = EthernetHeader.unpack(pkt.data)
+        if (
+            eth.dst != device.mac
+            and not eth.dst.is_broadcast
+            and not eth.dst.is_multicast
+        ):
+            return  # not for us (no promiscuous mode)
+        if eth.ethertype == EtherType.ARP:
+            self._arp_input(device, pkt, ctx)
+        elif eth.ethertype == EtherType.IPV4:
+            self._ip_input(device, pkt, ctx)
+        # Other ethertypes are dropped silently (no IPv6 here).
+
+    def _arp_input(self, device: NetDevice, pkt: Packet, ctx: ExecContext) -> None:
+        try:
+            arp = ArpPacket.unpack(pkt.data, ETH_HLEN)
+        except ValueError:
+            return
+        self._count("ArpIn")
+        self.ns.neighbors.update(arp.sender_ip, arp.sender_mac, device.ifindex)
+        self._flush_pending_arp(arp.sender_ip, ctx)
+        if arp.op == ArpOp.REQUEST and self.ns.is_local_ip(arp.target_ip):
+            reply = make_arp_reply(
+                device.mac, arp.target_ip, arp.sender_mac, arp.sender_ip
+            )
+            device.transmit(reply, ctx)
+            self._count("ArpReplies")
+
+    def _ip_input(self, device: NetDevice, pkt: Packet, ctx: ExecContext) -> None:
+        try:
+            ip = Ipv4Header.unpack(pkt.data, ETH_HLEN)
+        except ValueError:
+            self._count("IpInHdrErrors")
+            return
+        self._count("IpInReceives")
+        if not verify_checksum(pkt.data[ETH_HLEN : ETH_HLEN + IPV4_HLEN]):
+            self._count("IpInHdrErrors")
+            return
+        if self.ns.is_local_ip(ip.dst) or ip.dst == 0xFFFFFFFF:
+            self._local_deliver(device, pkt, ip, ctx)
+        elif self.ip_forwarding:
+            self._ip_forward(pkt, ip, ctx)
+        else:
+            self._count("IpInDiscards")
+
+    def _local_deliver(
+        self, device: NetDevice, pkt: Packet, ip: Ipv4Header, ctx: ExecContext
+    ) -> None:
+        costs = DEFAULT_COSTS
+        l4 = ETH_HLEN + ip.header_len
+        if ip.proto == IPProto.ICMP:
+            self._icmp_input(pkt, ip, l4, ctx)
+        elif ip.proto == IPProto.UDP:
+            ctx.charge(costs.udp_datagram_ns, label="udp_rx")
+            self._udp_input(pkt, ip, l4, ctx)
+        elif ip.proto == IPProto.TCP:
+            ctx.charge(costs.ip_rcv_ns, label="ip_rcv")
+            self._tcp_input(pkt, ip, l4, ctx)
+        else:
+            self._count("IpInUnknownProtos")
+
+    # -- ICMP ---------------------------------------------------------------
+    def _icmp_input(
+        self, pkt: Packet, ip: Ipv4Header, l4: int, ctx: ExecContext
+    ) -> None:
+        try:
+            icmp = IcmpHeader.unpack(pkt.data, l4)
+        except ValueError:
+            return
+        self._count("IcmpInMsgs")
+        if icmp.icmp_type == IcmpType.ECHO_REQUEST:
+            payload = pkt.data[l4 + 8 :]
+            reply = IcmpHeader(
+                IcmpType.ECHO_REPLY,
+                identifier=icmp.identifier,
+                sequence=icmp.sequence,
+            ).pack(payload)
+            self.ip_output(ip.src, IPProto.ICMP, reply, ctx, src_ip=ip.dst)
+            self._count("IcmpOutEchoReps")
+        elif icmp.icmp_type == IcmpType.ECHO_REPLY:
+            self._count("IcmpEchoRepliesReceived")
+
+    # -- UDP ---------------------------------------------------------------
+    def _udp_input(
+        self, pkt: Packet, ip: Ipv4Header, l4: int, ctx: ExecContext
+    ) -> None:
+        try:
+            udp = UdpHeader.unpack(pkt.data, l4)
+        except ValueError:
+            return
+        self._count("UdpInDatagrams")
+        sock = self._udp_socks.get((ip.dst, udp.dst_port)) or self._udp_socks.get(
+            (0, udp.dst_port)
+        )
+        if sock is None:
+            self._count("UdpNoPorts")
+            return
+        payload = pkt.data[l4 + UDP_HLEN : l4 + udp.length]
+        ctx.charge(DEFAULT_COSTS.copy_cost(len(payload)), label="sock_copy")
+        if sock.on_receive is not None:
+            sock.on_receive(payload, ip.src, udp.src_port)
+        else:
+            sock.recv_queue.append((payload, ip.src, udp.src_port))
+
+    # -- TCP ---------------------------------------------------------------
+    def _tcp_input(
+        self, pkt: Packet, ip: Ipv4Header, l4: int, ctx: ExecContext
+    ) -> None:
+        try:
+            tcp = TcpHeader.unpack(pkt.data, l4)
+        except ValueError:
+            return
+        self._count("TcpInSegs")
+        payload = pkt.data[l4 + TCP_HLEN : ETH_HLEN + ip.total_length]
+        key = (ip.dst, tcp.dst_port, ip.src, tcp.src_port)
+        sock = self._tcp_socks.get(key)
+        if sock is None:
+            listener = self._tcp_listeners.get(
+                (ip.dst, tcp.dst_port)
+            ) or self._tcp_listeners.get((0, tcp.dst_port))
+            if listener is not None and tcp.has(TcpFlags.SYN):
+                self._tcp_accept_syn(listener, ip, tcp, ctx)
+            else:
+                self._count("TcpInErrs")
+            return
+        self._tcp_segment(sock, ip, tcp, payload, ctx)
+
+    def _tcp_accept_syn(
+        self, listener: TcpSocket, ip: Ipv4Header, tcp: TcpHeader, ctx: ExecContext
+    ) -> None:
+        child = TcpSocket(
+            local_ip=ip.dst,
+            local_port=tcp.dst_port,
+            remote_ip=ip.src,
+            remote_port=tcp.src_port,
+            state=TcpState.SYN_RECEIVED,
+            snd_nxt=1000,
+            rcv_nxt=(tcp.seq + 1) & 0xFFFFFFFF,
+        )
+        child.on_receive = listener.on_receive
+        self._tcp_socks[child.key()] = child
+        listener.accept_queue.append(child)
+        self._tcp_send_flags(
+            child, int(TcpFlags.SYN | TcpFlags.ACK), ctx
+        )
+        child.snd_nxt = (child.snd_nxt + 1) & 0xFFFFFFFF
+
+    def _tcp_segment(
+        self,
+        sock: TcpSocket,
+        ip: Ipv4Header,
+        tcp: TcpHeader,
+        payload: bytes,
+        ctx: ExecContext,
+    ) -> None:
+        costs = DEFAULT_COSTS
+        # Header prediction: in-order data (or a pure ACK) on an
+        # established connection takes the receive fast path.
+        fast = (
+            sock.state is TcpState.ESTABLISHED
+            and not tcp.flags & ~int(TcpFlags.ACK | TcpFlags.PSH)
+            and (not payload or tcp.seq == sock.rcv_nxt)
+        )
+        ctx.charge(
+            costs.tcp_rx_fastpath_ns if fast else costs.tcp_segment_ns,
+            label="tcp_rx",
+        )
+        if tcp.has(TcpFlags.RST):
+            sock.state = TcpState.CLOSED
+            return
+        if sock.state is TcpState.SYN_SENT and tcp.has(TcpFlags.SYN):
+            sock.rcv_nxt = (tcp.seq + 1) & 0xFFFFFFFF
+            sock.state = TcpState.ESTABLISHED
+            self._tcp_send_flags(sock, int(TcpFlags.ACK), ctx)
+            return
+        if sock.state is TcpState.SYN_RECEIVED and tcp.has(TcpFlags.ACK):
+            sock.state = TcpState.ESTABLISHED
+            # fall through: the ACK may carry data
+        if tcp.has(TcpFlags.FIN):
+            sock.rcv_nxt = (sock.rcv_nxt + len(payload) + 1) & 0xFFFFFFFF
+            if payload:
+                self._tcp_deliver_payload(sock, payload, ctx)
+            if sock.state is TcpState.FIN_WAIT:
+                sock.state = TcpState.CLOSED
+            else:
+                sock.state = TcpState.CLOSE_WAIT
+            self._tcp_send_flags(sock, int(TcpFlags.ACK), ctx)
+            return
+        if payload:
+            if tcp.seq != sock.rcv_nxt:
+                self._count("TcpOutOfOrder")
+                return
+            sock.rcv_nxt = (sock.rcv_nxt + len(payload)) & 0xFFFFFFFF
+            self._tcp_deliver_payload(sock, payload, ctx)
+            sock.segments_received += 1
+            # Delayed ACK: every second segment, like Linux under bulk load.
+            if sock.segments_received % 2 == 0 or len(payload) < DEFAULT_MSS:
+                self._tcp_send_flags(sock, int(TcpFlags.ACK), ctx)
+
+    def _tcp_deliver_payload(
+        self, sock: TcpSocket, payload: bytes, ctx: ExecContext
+    ) -> None:
+        ctx.charge(DEFAULT_COSTS.copy_cost(len(payload)), label="sock_copy")
+        sock.bytes_received += len(payload)
+        if sock.on_receive is not None:
+            sock.on_receive(payload)
+        else:
+            sock.recv_buffer.extend(payload)
+
+    def _tcp_send_flags(
+        self, sock: TcpSocket, flags: int, ctx: ExecContext
+    ) -> None:
+        tcp = TcpHeader(
+            sock.local_port,
+            sock.remote_port,
+            seq=sock.snd_nxt,
+            ack=sock.rcv_nxt,
+            flags=flags,
+        )
+        # A pure ACK is far cheaper to emit than a data segment.
+        pure_ack = flags == int(TcpFlags.ACK)
+        ctx.charge(
+            DEFAULT_COSTS.tcp_ack_tx_ns if pure_ack
+            else DEFAULT_COSTS.tcp_segment_ns,
+            label="tcp_tx",
+        )
+        self.ip_output(
+            sock.remote_ip, IPProto.TCP, tcp.pack(), ctx, src_ip=sock.local_ip
+        )
+        self._count("TcpOutSegs")
+
+    # ------------------------------------------------------------------
+    # Socket API.
+    # ------------------------------------------------------------------
+    def udp_socket(self, ip: "int | str" = 0, port: int = 0) -> UdpSocket:
+        from repro.net.addresses import ip_to_int
+
+        ip = ip_to_int(ip) if isinstance(ip, str) else ip
+        if port == 0:
+            port = self._alloc_port()
+        if (ip, port) in self._udp_socks:
+            raise ValueError(f"UDP port {port} already bound")
+        sock = UdpSocket(ip, port)
+        self._udp_socks[(ip, port)] = sock
+        return sock
+
+    def udp_send(
+        self,
+        sock: UdpSocket,
+        dst_ip: "int | str",
+        dst_port: int,
+        payload: bytes,
+        ctx: ExecContext,
+    ) -> bool:
+        from repro.net.addresses import ip_to_int
+
+        dst_ip = ip_to_int(dst_ip) if isinstance(dst_ip, str) else dst_ip
+        costs = DEFAULT_COSTS
+        ctx.charge(costs.udp_datagram_ns, label="udp_tx")
+        ctx.charge(costs.copy_cost(len(payload)), label="sock_copy")
+        udp = UdpHeader(sock.port, dst_port, UDP_HLEN + len(payload))
+        self._count("UdpOutDatagrams")
+        return self.ip_output(
+            dst_ip, IPProto.UDP, udp.pack() + payload, ctx,
+            src_ip=sock.ip or None,
+        )
+
+    def tcp_listen(self, ip: "int | str", port: int) -> TcpSocket:
+        from repro.net.addresses import ip_to_int
+
+        ip = ip_to_int(ip) if isinstance(ip, str) else ip
+        if (ip, port) in self._tcp_listeners:
+            raise ValueError(f"TCP port {port} already listening")
+        sock = TcpSocket(local_ip=ip, local_port=port, state=TcpState.LISTEN)
+        self._tcp_listeners[(ip, port)] = sock
+        return sock
+
+    def tcp_connect(
+        self, src_ip: "int | str", dst_ip: "int | str", dst_port: int,
+        ctx: ExecContext,
+    ) -> TcpSocket:
+        from repro.net.addresses import ip_to_int
+
+        src_ip = ip_to_int(src_ip) if isinstance(src_ip, str) else src_ip
+        dst_ip = ip_to_int(dst_ip) if isinstance(dst_ip, str) else dst_ip
+        sock = TcpSocket(
+            local_ip=src_ip,
+            local_port=self._alloc_port(),
+            remote_ip=dst_ip,
+            remote_port=dst_port,
+            state=TcpState.SYN_SENT,
+            snd_nxt=2000,
+        )
+        self._tcp_socks[sock.key()] = sock
+        self._tcp_send_flags(sock, int(TcpFlags.SYN), ctx)
+        sock.snd_nxt = (sock.snd_nxt + 1) & 0xFFFFFFFF
+        return sock
+
+    def tcp_send(
+        self,
+        sock: TcpSocket,
+        payload: bytes,
+        ctx: ExecContext,
+        mss: int = DEFAULT_MSS,
+        tso: bool = False,
+    ) -> int:
+        """Send ``payload``; with ``tso`` the stack emits one super-segment
+        per 64 kB and lets the device segment it (§5.1's TSO effect)."""
+        if sock.state is not TcpState.ESTABLISHED:
+            raise ValueError(f"socket not established (state {sock.state})")
+        costs = DEFAULT_COSTS
+        ctx.charge(costs.copy_cost(len(payload)), label="sock_copy")
+        chunk = min(65536 - 54, len(payload)) if tso else mss
+        sent = 0
+        while sent < len(payload):
+            piece = payload[sent : sent + chunk]
+            tcp = TcpHeader(
+                sock.local_port,
+                sock.remote_port,
+                seq=sock.snd_nxt,
+                ack=sock.rcv_nxt,
+                flags=int(TcpFlags.ACK | TcpFlags.PSH),
+            )
+            ctx.charge(costs.tcp_tx_segment_ns, label="tcp_tx")
+            self.ip_output(
+                sock.remote_ip,
+                IPProto.TCP,
+                tcp.pack() + piece,
+                ctx,
+                src_ip=sock.local_ip,
+                gso_size=mss if tso and len(piece) > mss else 0,
+            )
+            self._count("TcpOutSegs")
+            sock.snd_nxt = (sock.snd_nxt + len(piece)) & 0xFFFFFFFF
+            sent += len(piece)
+        return sent
+
+    def tcp_close(self, sock: TcpSocket, ctx: ExecContext) -> None:
+        if sock.state is TcpState.ESTABLISHED:
+            sock.state = TcpState.FIN_WAIT
+        elif sock.state is TcpState.CLOSE_WAIT:
+            sock.state = TcpState.CLOSED
+        self._tcp_send_flags(sock, int(TcpFlags.FIN | TcpFlags.ACK), ctx)
+        sock.snd_nxt = (sock.snd_nxt + 1) & 0xFFFFFFFF
+
+    def _alloc_port(self) -> int:
+        self._ephemeral_port += 1
+        if self._ephemeral_port > 65000:
+            self._ephemeral_port = 49101
+        return self._ephemeral_port
+
+    # ------------------------------------------------------------------
+    # Output path.
+    # ------------------------------------------------------------------
+    def ip_output(
+        self,
+        dst_ip: int,
+        proto: int,
+        l4_bytes: bytes,
+        ctx: ExecContext,
+        src_ip: Optional[int] = None,
+        gso_size: int = 0,
+    ) -> bool:
+        costs = DEFAULT_COSTS
+        ctx.charge(costs.ip_forward_ns, label="ip_output")
+        route = self.ns.routes.lookup(dst_ip)
+        if route is None:
+            self._count("IpOutNoRoutes")
+            return False
+        device = self.ns.device_by_ifindex(route.ifindex)
+        if device is None:
+            return False
+        if src_ip is None:
+            addrs = self.ns.addresses(device.name)
+            if not addrs:
+                return False
+            src_ip = addrs[0][1]
+        next_hop = route.gateway or dst_ip
+        ip = Ipv4Header(
+            src=src_ip,
+            dst=dst_ip,
+            proto=proto,
+            total_length=IPV4_HLEN + len(l4_bytes),
+        )
+        frame_tail = ip.pack() + l4_bytes
+        neighbor = self.ns.neighbors.lookup(next_hop)
+        if neighbor is None:
+            # Kick off ARP and park the packet until the reply arrives.
+            self._count("ArpRequests")
+            request = make_arp_request(device.mac, src_ip, next_hop)
+            placeholder = Packet(
+                self._frame(MacAddress.broadcast(), device.mac, frame_tail)
+            )
+            placeholder.meta.gso_size = gso_size
+            self._pending_arp.setdefault(next_hop, []).append(placeholder)
+            device.transmit(request, ctx)
+            return True
+        pkt = Packet(self._frame(neighbor.mac, device.mac, frame_tail))
+        pkt.meta.gso_size = gso_size
+        pkt.meta.csum_partial = True  # hardware (or nobody) checksums
+        self._count("IpOutRequests")
+        return device.transmit(pkt, ctx)
+
+    @staticmethod
+    def _frame(dst_mac: MacAddress, src_mac: MacAddress, tail: bytes) -> bytes:
+        frame = EthernetHeader(dst_mac, src_mac, EtherType.IPV4).pack() + tail
+        if len(frame) < 60:
+            frame += b"\x00" * (60 - len(frame))
+        return frame
+
+    def _ip_forward(self, pkt: Packet, ip: Ipv4Header, ctx: ExecContext) -> None:
+        costs = DEFAULT_COSTS
+        ctx.charge(costs.ip_forward_ns, label="ip_forward")
+        if ip.ttl <= 1:
+            self._count("IpForwTtlErrors")
+            return
+        route = self.ns.routes.lookup(ip.dst)
+        if route is None:
+            self._count("IpOutNoRoutes")
+            return
+        device = self.ns.device_by_ifindex(route.ifindex)
+        if device is None:
+            return
+        next_hop = route.gateway or ip.dst
+        neighbor = self.ns.neighbors.lookup(next_hop)
+        if neighbor is None:
+            self._count("IpForwNoNeighbor")
+            return
+        new_ip = ip.decrement_ttl()
+        new_ip_bytes = new_ip.pack()
+        data = (
+            EthernetHeader(neighbor.mac, device.mac, EtherType.IPV4).pack()
+            + new_ip_bytes
+            + pkt.data[ETH_HLEN + IPV4_HLEN :]
+        )
+        self._count("IpForwDatagrams")
+        device.transmit(pkt.with_data(data), ctx)
+
+    def _flush_pending_arp(self, resolved_ip: int, ctx: ExecContext) -> None:
+        waiting = self._pending_arp.pop(resolved_ip, None)
+        if not waiting:
+            return
+        neighbor = self.ns.neighbors.lookup(resolved_ip)
+        if neighbor is None:  # pragma: no cover - we just learned it
+            return
+        device = self.ns.device_by_ifindex(neighbor.ifindex)
+        if device is None:
+            return
+        for pkt in waiting:
+            data = neighbor.mac.to_bytes() + pkt.data[6:]
+            out = pkt.with_data(data)
+            out.meta.csum_partial = True
+            device.transmit(out, ctx)

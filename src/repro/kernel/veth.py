@@ -1,0 +1,78 @@
+"""veth: paired virtual Ethernet devices crossing namespaces.
+
+The kernel "passes packets from one kernel network namespace to another
+without a data copy" (§3.4) — a veth transmit is an in-kernel function
+call that delivers straight into the peer, charged ``veth_xmit_ns``.
+
+A veth can also receive XDP_REDIRECTed frames (path C of Figure 5): the
+driver exposes ``ndo_xdp_xmit``-like behaviour by simply accepting
+transmits originating from a NIC's redirect path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.addresses import MacAddress
+from repro.net.packet import Packet
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
+from repro.kernel.netdev import NetDevice
+
+
+class VethDevice(NetDevice):
+    device_type = "veth"
+
+    def __init__(self, name: str, mac: MacAddress, mtu: int = 1500) -> None:
+        super().__init__(name, mac, mtu=mtu)
+        self.peer: Optional["VethDevice"] = None
+        #: veth got zero-copy AF_XDP support only in later kernels (§3.4
+        #: cites the pending patch); our default matches the paper's era.
+        self.afxdp_zerocopy = False
+        #: ethtool -K offload flags.  On by default (Linux veth passes
+        #: CHECKSUM_PARTIAL and GSO super-segments straight through —
+        #: "within a single host, this means not generating a checksum at
+        #: all", §5.1).  Figure 8c's "no offload" bars switch them off.
+        self.csum_offload = True
+        self.tso = True
+
+    def _transmit(self, pkt: Packet, ctx: ExecContext) -> bool:
+        if self.peer is None:
+            return False
+        costs = DEFAULT_COSTS
+        if not self.csum_offload and pkt.meta.csum_partial:
+            ctx.charge(costs.checksum_cost(len(pkt)), label="sw_csum")
+            pkt.meta.csum_partial = False
+        if not self.tso and pkt.meta.gso_size:
+            payload = max(len(pkt) - 54, 1)
+            segments = -(-payload // pkt.meta.gso_size)
+            ctx.charge(segments * costs.software_gso_per_segment_ns
+                       + costs.copy_cost(len(pkt)), label="sw_gso")
+            pkt.meta.gso_size = 0
+        ctx.charge(costs.veth_xmit_ns, label="veth_xmit")
+        self.peer.deliver(pkt.clone(), ctx)
+        return True
+
+
+class VethPair:
+    """Create both ends at once, carrier up, linked."""
+
+    def __init__(
+        self,
+        name_a: str,
+        name_b: str,
+        mac_a: Optional[MacAddress] = None,
+        mac_b: Optional[MacAddress] = None,
+        mtu: int = 1500,
+    ) -> None:
+        mac_a = mac_a or MacAddress.local(hash(name_a) & 0xFFFFFF)
+        mac_b = mac_b or MacAddress.local(hash(name_b) & 0xFFFFFF)
+        self.a = VethDevice(name_a, mac_a, mtu=mtu)
+        self.b = VethDevice(name_b, mac_b, mtu=mtu)
+        self.a.peer = self.b
+        self.b.peer = self.a
+        self.a.carrier = True
+        self.b.carrier = True
+
+    def devices(self) -> Tuple[VethDevice, VethDevice]:
+        return self.a, self.b

@@ -1,0 +1,43 @@
+"""Packet formats and flow machinery.
+
+Packets in this reproduction are real byte strings: headers are built and
+parsed at the byte level (Ethernet, VLAN, ARP, IPv4/v6, UDP, TCP, ICMP, and
+the Geneve/VXLAN/GRE/ERSPAN tunnel encapsulations the paper's NSX pipeline
+uses).  Flow keys are extracted from those bytes the same way OVS's
+miniflow extraction does.
+"""
+
+from repro.net.addresses import MacAddress, ip_to_int, int_to_ip
+from repro.net.packet import Packet, PacketMeta
+from repro.net.ethernet import EtherType, EthernetHeader
+from repro.net.ipv4 import IPProto, Ipv4Header
+from repro.net.udp import UdpHeader
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.flow import FlowKey, FiveTuple
+from repro.net.builder import (
+    make_arp_request,
+    make_icmp_echo,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+__all__ = [
+    "MacAddress",
+    "ip_to_int",
+    "int_to_ip",
+    "Packet",
+    "PacketMeta",
+    "EtherType",
+    "EthernetHeader",
+    "IPProto",
+    "Ipv4Header",
+    "UdpHeader",
+    "TcpFlags",
+    "TcpHeader",
+    "FlowKey",
+    "FiveTuple",
+    "make_arp_request",
+    "make_icmp_echo",
+    "make_udp_packet",
+    "make_tcp_packet",
+]

@@ -1,0 +1,119 @@
+"""MAC and IP address helpers.
+
+IPv4 addresses are carried as integers through the fast path (flow keys,
+classifier matches) because that is what the real datapath does with its
+network-byte-order words; the string forms exist for configuration and
+display (``ip address`` output, OpenFlow rule text).
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+
+@total_ordering
+class MacAddress:
+    """A 48-bit Ethernet address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST_VALUE = 0xFFFFFFFFFFFF
+
+    def __init__(self, value: "int | str | bytes | MacAddress") -> None:
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= self.BROADCAST_VALUE:
+                raise ValueError(f"MAC out of range: {value:#x}")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 6:
+                raise ValueError(f"MAC needs 6 bytes, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise ValueError(f"bad MAC syntax: {value!r}")
+            self._value = int(value.replace(":", ""), 16)
+        else:
+            raise TypeError(f"cannot make a MAC from {type(value).__name__}")
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        return cls(cls.BROADCAST_VALUE)
+
+    @classmethod
+    def local(cls, index: int) -> "MacAddress":
+        """A locally administered unicast MAC derived from ``index``."""
+        if not 0 <= index < 2**40:
+            raise ValueError(f"index out of range: {index}")
+        return cls((0x02 << 40) | index)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == self.BROADCAST_VALUE
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool((self._value >> 40) & 0x01)
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        raw = f"{self._value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        if isinstance(other, MacAddress):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse dotted-quad IPv4 to a host-order integer."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"bad IPv4 address: {dotted!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"bad IPv4 octet in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format an integer IPv4 address as dotted quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_to_mask(prefix_len: int) -> int:
+    """CIDR prefix length to a 32-bit netmask integer."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"bad prefix length: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF

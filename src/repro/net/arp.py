@@ -1,0 +1,66 @@
+"""ARP for IPv4 over Ethernet."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.net.addresses import MacAddress
+
+ARP_LEN = 28
+
+
+class ArpOp(enum.IntEnum):
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass
+class ArpPacket:
+    op: int
+    sender_mac: MacAddress
+    sender_ip: int
+    target_mac: MacAddress
+    target_ip: int
+
+    _FMT = "!HHBBH6sI6sI"
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            self._FMT,
+            1,  # hardware type: Ethernet
+            0x0800,  # protocol type: IPv4
+            6,
+            4,
+            self.op,
+            self.sender_mac.to_bytes(),
+            self.sender_ip,
+            self.target_mac.to_bytes(),
+            self.target_ip,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "ArpPacket":
+        if len(data) - offset < ARP_LEN:
+            raise ValueError("truncated ARP packet")
+        (
+            htype,
+            ptype,
+            hlen,
+            plen,
+            op,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        ) = struct.unpack_from(cls._FMT, data, offset)
+        if htype != 1 or ptype != 0x0800 or hlen != 6 or plen != 4:
+            raise ValueError("not an Ethernet/IPv4 ARP packet")
+        return cls(
+            op=op,
+            sender_mac=MacAddress(sender_mac),
+            sender_ip=sender_ip,
+            target_mac=MacAddress(target_mac),
+            target_ip=target_ip,
+        )

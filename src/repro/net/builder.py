@@ -1,0 +1,165 @@
+"""Convenience packet constructors used by examples, tests and workloads."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import MacAddress, ip_to_int
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.checksum import l4_checksum_v4
+from repro.net.ethernet import EthernetHeader, EtherType
+from repro.net.icmp import IcmpHeader, IcmpType
+from repro.net.ipv4 import IPV4_HLEN, IPProto, Ipv4Header
+from repro.net.packet import Packet
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.udp import UDP_HLEN, UdpHeader
+
+MIN_FRAME = 60  # 64 on the wire minus the 4-byte FCS
+
+
+def _as_ip(ip: "int | str") -> int:
+    return ip_to_int(ip) if isinstance(ip, str) else ip
+
+
+def _pad(frame: bytes, frame_len: Optional[int]) -> bytes:
+    """Pad to the requested frame length (or the Ethernet minimum)."""
+    target = max(frame_len - 4 if frame_len else MIN_FRAME, MIN_FRAME)
+    if len(frame) > target and frame_len is not None:
+        raise ValueError(
+            f"payload does not fit: frame is {len(frame) + 4}B, asked {frame_len}B"
+        )
+    if len(frame) < target:
+        frame += b"\x00" * (target - len(frame))
+    return frame
+
+
+def make_udp_packet(
+    src_mac: MacAddress,
+    dst_mac: MacAddress,
+    src_ip: "int | str",
+    dst_ip: "int | str",
+    src_port: int = 1234,
+    dst_port: int = 5678,
+    payload: bytes = b"",
+    frame_len: Optional[int] = None,
+    fill_checksum: bool = True,
+) -> Packet:
+    """A UDP/IPv4/Ethernet frame.
+
+    ``frame_len`` is the on-the-wire size *including* the 4-byte FCS, the
+    convention the paper uses ("64-byte packets"): the built frame is 4
+    bytes shorter.
+    """
+    src_ip, dst_ip = _as_ip(src_ip), _as_ip(dst_ip)
+    udp = UdpHeader(src_port, dst_port, UDP_HLEN + len(payload))
+    segment = udp.pack() + payload
+    if fill_checksum:
+        csum = l4_checksum_v4(src_ip, dst_ip, IPProto.UDP, segment)
+        udp.checksum = csum if csum else 0xFFFF
+        segment = udp.pack() + payload
+    ip = Ipv4Header(
+        src=src_ip,
+        dst=dst_ip,
+        proto=IPProto.UDP,
+        total_length=IPV4_HLEN + len(segment),
+    )
+    eth = EthernetHeader(dst_mac, src_mac, EtherType.IPV4)
+    frame = _pad(eth.pack() + ip.pack() + segment, frame_len)
+    pkt = Packet(frame)
+    pkt.meta.l3_offset = 14
+    pkt.meta.l4_offset = 14 + IPV4_HLEN
+    return pkt
+
+
+def make_tcp_packet(
+    src_mac: MacAddress,
+    dst_mac: MacAddress,
+    src_ip: "int | str",
+    dst_ip: "int | str",
+    src_port: int = 40000,
+    dst_port: int = 5001,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = int(TcpFlags.ACK),
+    payload: bytes = b"",
+    frame_len: Optional[int] = None,
+    fill_checksum: bool = True,
+) -> Packet:
+    """A TCP/IPv4/Ethernet frame."""
+    src_ip, dst_ip = _as_ip(src_ip), _as_ip(dst_ip)
+    tcp = TcpHeader(src_port, dst_port, seq=seq, ack=ack, flags=flags)
+    segment = tcp.pack() + payload
+    if fill_checksum:
+        tcp.checksum = l4_checksum_v4(src_ip, dst_ip, IPProto.TCP, segment)
+        segment = tcp.pack() + payload
+    ip = Ipv4Header(
+        src=src_ip,
+        dst=dst_ip,
+        proto=IPProto.TCP,
+        total_length=IPV4_HLEN + len(segment),
+    )
+    eth = EthernetHeader(dst_mac, src_mac, EtherType.IPV4)
+    frame = _pad(eth.pack() + ip.pack() + segment, frame_len)
+    pkt = Packet(frame)
+    pkt.meta.l3_offset = 14
+    pkt.meta.l4_offset = 14 + IPV4_HLEN
+    pkt.meta.csum_partial = not fill_checksum
+    return pkt
+
+
+def make_arp_request(
+    src_mac: MacAddress, src_ip: "int | str", target_ip: "int | str"
+) -> Packet:
+    arp = ArpPacket(
+        op=ArpOp.REQUEST,
+        sender_mac=src_mac,
+        sender_ip=_as_ip(src_ip),
+        target_mac=MacAddress(0),
+        target_ip=_as_ip(target_ip),
+    )
+    eth = EthernetHeader(MacAddress.broadcast(), src_mac, EtherType.ARP)
+    return Packet(_pad(eth.pack() + arp.pack(), None))
+
+
+def make_arp_reply(
+    src_mac: MacAddress,
+    src_ip: "int | str",
+    dst_mac: MacAddress,
+    dst_ip: "int | str",
+) -> Packet:
+    arp = ArpPacket(
+        op=ArpOp.REPLY,
+        sender_mac=src_mac,
+        sender_ip=_as_ip(src_ip),
+        target_mac=dst_mac,
+        target_ip=_as_ip(dst_ip),
+    )
+    eth = EthernetHeader(dst_mac, src_mac, EtherType.ARP)
+    return Packet(_pad(eth.pack() + arp.pack(), None))
+
+
+def make_icmp_echo(
+    src_mac: MacAddress,
+    dst_mac: MacAddress,
+    src_ip: "int | str",
+    dst_ip: "int | str",
+    identifier: int = 1,
+    sequence: int = 1,
+    reply: bool = False,
+    payload: bytes = b"\x00" * 32,
+) -> Packet:
+    src_ip, dst_ip = _as_ip(src_ip), _as_ip(dst_ip)
+    icmp_type = IcmpType.ECHO_REPLY if reply else IcmpType.ECHO_REQUEST
+    icmp = IcmpHeader(icmp_type, identifier=identifier, sequence=sequence)
+    body = icmp.pack(payload)
+    ip = Ipv4Header(
+        src=src_ip,
+        dst=dst_ip,
+        proto=IPProto.ICMP,
+        total_length=IPV4_HLEN + len(body),
+    )
+    eth = EthernetHeader(dst_mac, src_mac, EtherType.IPV4)
+    pkt = Packet(_pad(eth.pack() + ip.pack() + body, None))
+    pkt.meta.l3_offset = 14
+    pkt.meta.l4_offset = 14 + IPV4_HLEN
+    return pkt

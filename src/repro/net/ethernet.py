@@ -1,0 +1,92 @@
+"""Ethernet II and 802.1Q VLAN headers."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.net.addresses import MacAddress
+
+
+class EtherType(enum.IntEnum):
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    IPV6 = 0x86DD
+    #: Transparent Ethernet Bridging, the inner protocol of GRE/ERSPAN.
+    TEB = 0x6558
+
+
+ETH_HLEN = 14
+VLAN_HLEN = 4
+
+
+@dataclass
+class EthernetHeader:
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int
+
+    _FMT = "!6s6sH"
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            self._FMT, self.dst.to_bytes(), self.src.to_bytes(), self.ethertype
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "EthernetHeader":
+        if len(data) - offset < ETH_HLEN:
+            raise ValueError("truncated Ethernet header")
+        dst, src, ethertype = struct.unpack_from(cls._FMT, data, offset)
+        return cls(MacAddress(dst), MacAddress(src), ethertype)
+
+
+@dataclass
+class VlanTag:
+    """An 802.1Q tag (PCP + VID) as inserted after the source MAC."""
+
+    vid: int
+    pcp: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vid < 4096:
+            raise ValueError(f"VLAN id out of range: {self.vid}")
+        if not 0 <= self.pcp < 8:
+            raise ValueError(f"VLAN PCP out of range: {self.pcp}")
+
+    def pack(self, inner_ethertype: int) -> bytes:
+        tci = (self.pcp << 13) | self.vid
+        return struct.pack("!HH", tci, inner_ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int) -> "tuple[VlanTag, int]":
+        """Returns (tag, inner_ethertype)."""
+        if len(data) - offset < VLAN_HLEN:
+            raise ValueError("truncated VLAN tag")
+        tci, inner = struct.unpack_from("!HH", data, offset)
+        return cls(vid=tci & 0xFFF, pcp=tci >> 13), inner
+
+
+def push_vlan(frame: bytes, tag: VlanTag) -> bytes:
+    """Insert an 802.1Q tag into an untagged (or tagged) frame."""
+    eth = EthernetHeader.unpack(frame)
+    return (
+        frame[:12]
+        + struct.pack("!H", EtherType.VLAN)
+        + tag.pack(eth.ethertype)
+        + frame[ETH_HLEN:]
+    )
+
+
+def pop_vlan(frame: bytes) -> "tuple[bytes, VlanTag]":
+    """Remove the outermost 802.1Q tag; raises if the frame is untagged."""
+    eth = EthernetHeader.unpack(frame)
+    if eth.ethertype != EtherType.VLAN:
+        raise ValueError("frame is not VLAN tagged")
+    tag, inner = VlanTag.unpack(frame, ETH_HLEN)
+    return (
+        frame[:12] + struct.pack("!H", inner) + frame[ETH_HLEN + VLAN_HLEN :],
+        tag,
+    )

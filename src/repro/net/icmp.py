@@ -1,0 +1,47 @@
+"""ICMP echo (the subset ``ping`` needs)."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum
+
+ICMP_HLEN = 8
+
+
+class IcmpType(enum.IntEnum):
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+@dataclass
+class IcmpHeader:
+    icmp_type: int
+    code: int = 0
+    checksum: int = 0
+    identifier: int = 0
+    sequence: int = 0
+
+    _FMT = "!BBHHH"
+
+    def pack(self, payload: bytes = b"", fill_checksum: bool = True) -> bytes:
+        hdr = struct.pack(
+            self._FMT, self.icmp_type, self.code, 0, self.identifier, self.sequence
+        )
+        if fill_checksum:
+            checksum = internet_checksum(hdr + payload)
+            hdr = hdr[:2] + struct.pack("!H", checksum) + hdr[4:]
+        return hdr + payload
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "IcmpHeader":
+        if len(data) - offset < ICMP_HLEN:
+            raise ValueError("truncated ICMP header")
+        icmp_type, code, checksum, ident, seq = struct.unpack_from(
+            cls._FMT, data, offset
+        )
+        return cls(icmp_type, code, checksum, ident, seq)

@@ -1,0 +1,113 @@
+"""IPv4 header."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import internet_checksum
+
+
+class IPProto(enum.IntEnum):
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+    GRE = 47
+
+
+IPV4_HLEN = 20
+
+
+@dataclass
+class Ipv4Header:
+    src: int
+    dst: int
+    proto: int
+    total_length: int = 0  # filled by pack() callers that know payload size
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    ecn: int = 0
+    flags: int = 2  # DF set, matching Linux defaults for locally built pkts
+    frag_offset: int = 0
+    checksum: int = field(default=0)
+
+    _FMT = "!BBHHHBBHII"
+
+    def pack(self, fill_checksum: bool = True) -> bytes:
+        """Serialize; if ``fill_checksum``, compute the header checksum."""
+        ver_ihl = (4 << 4) | (IPV4_HLEN // 4)
+        tos = (self.dscp << 2) | self.ecn
+        flags_frag = (self.flags << 13) | self.frag_offset
+        hdr = struct.pack(
+            self._FMT,
+            ver_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.proto,
+            0,
+            self.src,
+            self.dst,
+        )
+        checksum = internet_checksum(hdr) if fill_checksum else 0
+        return hdr[:10] + struct.pack("!H", checksum) + hdr[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Ipv4Header":
+        if len(data) - offset < IPV4_HLEN:
+            raise ValueError("truncated IPv4 header")
+        (
+            ver_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            proto,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack_from(cls._FMT, data, offset)
+        version = ver_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        ihl = (ver_ihl & 0xF) * 4
+        if ihl < IPV4_HLEN:
+            raise ValueError(f"bad IHL: {ihl}")
+        return cls(
+            src=src,
+            dst=dst,
+            proto=proto,
+            total_length=total_length,
+            ttl=ttl,
+            identification=identification,
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            flags=flags_frag >> 13,
+            frag_offset=flags_frag & 0x1FFF,
+            checksum=checksum,
+        )
+
+    @property
+    def header_len(self) -> int:
+        return IPV4_HLEN
+
+    def decrement_ttl(self) -> "Ipv4Header":
+        if self.ttl == 0:
+            raise ValueError("TTL already zero")
+        return Ipv4Header(
+            src=self.src,
+            dst=self.dst,
+            proto=self.proto,
+            total_length=self.total_length,
+            ttl=self.ttl - 1,
+            identification=self.identification,
+            dscp=self.dscp,
+            ecn=self.ecn,
+            flags=self.flags,
+            frag_offset=self.frag_offset,
+        )

@@ -1,0 +1,70 @@
+"""TCP header (no options beyond what the flag byte carries)."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+TCP_HLEN = 20
+
+
+class TcpFlags(enum.IntFlag):
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass
+class TcpHeader:
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = int(TcpFlags.ACK)
+    window: int = 65535
+    checksum: int = 0
+    urgent: int = 0
+
+    _FMT = "!HHIIBBHHH"
+
+    def pack(self) -> bytes:
+        data_offset = (TCP_HLEN // 4) << 4
+        return struct.pack(
+            self._FMT,
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset,
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "TcpHeader":
+        if len(data) - offset < TCP_HLEN:
+            raise ValueError("truncated TCP header")
+        (
+            src,
+            dst,
+            seq,
+            ack,
+            data_offset,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = struct.unpack_from(cls._FMT, data, offset)
+        hlen = (data_offset >> 4) * 4
+        if hlen < TCP_HLEN:
+            raise ValueError(f"bad TCP data offset: {hlen}")
+        return cls(src, dst, seq, ack, flags, window, checksum, urgent)
+
+    def has(self, flag: TcpFlags) -> bool:
+        return bool(self.flags & flag)

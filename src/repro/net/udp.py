@@ -1,0 +1,30 @@
+"""UDP header."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+UDP_HLEN = 8
+
+
+@dataclass
+class UdpHeader:
+    src_port: int
+    dst_port: int
+    length: int = 0
+    checksum: int = 0
+
+    _FMT = "!HHHH"
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            self._FMT, self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "UdpHeader":
+        if len(data) - offset < UDP_HLEN:
+            raise ValueError("truncated UDP header")
+        src, dst, length, checksum = struct.unpack_from(cls._FMT, data, offset)
+        return cls(src, dst, length, checksum)

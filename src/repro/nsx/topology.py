@@ -1,0 +1,111 @@
+"""The synthetic logical topology behind the Table 3 rule set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.net.addresses import MacAddress, ip_to_int
+from repro.sim.rng import make_rng
+
+#: Table 3 constants.
+N_VMS = 15
+IFACES_PER_VM = 2
+N_TUNNELS = 291
+N_LOGICAL_SWITCHES = 5
+
+
+@dataclass(frozen=True)
+class Vif:
+    """One VM interface on a logical switch."""
+
+    vif_id: int
+    vm_index: int
+    logical_switch: int
+    mac: MacAddress
+    ip: int
+    #: conntrack zone of the distributed firewall section guarding it.
+    fw_zone: int
+
+
+@dataclass(frozen=True)
+class Vtep:
+    """A remote tunnel endpoint (another hypervisor)."""
+
+    index: int
+    ip: int
+    vni: int
+
+
+@dataclass(frozen=True)
+class RemoteMac:
+    """A MAC learned behind a remote VTEP (L2 over the overlay)."""
+
+    mac: MacAddress
+    logical_switch: int
+    vtep_index: int
+
+
+@dataclass
+class LogicalTopology:
+    vifs: List[Vif] = field(default_factory=list)
+    vteps: List[Vtep] = field(default_factory=list)
+    remote_macs: List[RemoteMac] = field(default_factory=list)
+    #: Logical router interface MAC (one distributed router).
+    router_mac: MacAddress = MacAddress.local(0xD0)
+    #: logical switch -> subnet (/24 network address).
+    subnets: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_vms(self) -> int:
+        return len({v.vm_index for v in self.vifs})
+
+
+def build_topology(
+    n_vms: int = N_VMS,
+    ifaces_per_vm: int = IFACES_PER_VM,
+    n_tunnels: int = N_TUNNELS,
+    n_switches: int = N_LOGICAL_SWITCHES,
+    remote_macs_per_vtep: int = 3,
+    seed: int = 7,
+) -> LogicalTopology:
+    """Deterministically synthesise a hypervisor's view of the overlay."""
+    rng = make_rng("nsx-topology", seed)
+    topo = LogicalTopology()
+    for ls in range(n_switches):
+        topo.subnets[ls] = ip_to_int(f"10.{100 + ls}.0.0")
+    vif_id = 0
+    for vm in range(n_vms):
+        for iface in range(ifaces_per_vm):
+            ls = (vm + iface) % n_switches
+            vif_id += 1
+            topo.vifs.append(
+                Vif(
+                    vif_id=vif_id,
+                    vm_index=vm,
+                    logical_switch=ls,
+                    mac=MacAddress.local(0x1000 + vif_id),
+                    ip=topo.subnets[ls] | (10 + vif_id),
+                    fw_zone=100 + ls,
+                )
+            )
+    for i in range(n_tunnels):
+        topo.vteps.append(
+            Vtep(
+                index=i,
+                ip=ip_to_int(f"192.168.{1 + i // 200}.{2 + i % 200}"),
+                vni=5000 + (i % n_switches),
+            )
+        )
+    mac_idx = 0
+    for vtep in topo.vteps:
+        for _ in range(remote_macs_per_vtep):
+            mac_idx += 1
+            topo.remote_macs.append(
+                RemoteMac(
+                    mac=MacAddress.local(0x20000 + mac_idx),
+                    logical_switch=rng.randrange(n_switches),
+                    vtep_index=vtep.index,
+                )
+            )
+    return topo

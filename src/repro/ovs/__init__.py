@@ -1,0 +1,20 @@
+"""Open vSwitch: the paper's core system.
+
+The userspace half everyone shares: OVSDB-lite configuration
+(:mod:`repro.ovs.ovsdb`), OpenFlow tables and the translation engine
+(:mod:`repro.ovs.ofproto`), caches (:mod:`repro.ovs.emc`,
+:mod:`repro.ovs.megaflow`).
+
+Two datapaths implement the dpif contract:
+
+* :mod:`repro.ovs.dpif_netlink` — the traditional kernel-module datapath
+  (Figure 3 left / Figure 7a);
+* :mod:`repro.ovs.dpif_netdev` — the userspace datapath with pluggable
+  packet I/O: AF_XDP (Figure 3 right / Figure 7b), DPDK, vhostuser, tap.
+
+:mod:`repro.ovs.vswitchd` ties them together into ovs-vswitchd.
+
+Import submodules directly (``from repro.ovs.vswitchd import VSwitchd``);
+this package init stays import-light because the kernel's OVS module
+shares the ODP action vocabulary defined here.
+"""

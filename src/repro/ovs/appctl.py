@@ -1,0 +1,152 @@
+"""ovs-appctl: operational introspection of a running vswitchd.
+
+The paper's "easier troubleshooting" lesson (§6) is partly about being
+able to see inside the userspace datapath.  These are the commands an
+operator actually runs:
+
+* ``dpctl/show`` — datapath ports and totals,
+* ``dpctl/dump-flows`` — the installed megaflows with stats,
+* ``dpif-netdev/pmd-stats-show`` — per-PMD cache hit rates,
+* ``dpctl/dump-conntrack`` — the connection table,
+* ``fdb/stats`` equivalents come from the bridges' OpenFlow dumps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.net.addresses import int_to_ip
+from repro.net.flow import FlowKey
+from repro.ovs.pmd import PmdThread
+from repro.ovs.vswitchd import VSwitchd
+
+
+class OvsAppctl:
+    def __init__(self, vswitchd: VSwitchd) -> None:
+        self.vs = vswitchd
+
+    # ------------------------------------------------------------------
+    def dpctl_show(self) -> str:
+        lines: List[str] = []
+        if self.vs.dpif_netdev is not None:
+            dpif = self.vs.dpif_netdev
+            lines.append(f"{dpif.name}:")
+            s = dpif.stats
+            lines.append(
+                f"  lookups: hit:{s.emc_hits + s.megaflow_hits} "
+                f"missed:{s.upcalls} lost:{s.dropped}"
+            )
+            lines.append(f"  flows: {len(dpif.megaflows)}")
+            for port in sorted(dpif.ports.values(), key=lambda p: p.port_no):
+                lines.append(
+                    f"  port {port.port_no}: {port.name} ({port.kind}) "
+                    f"rx:{port.rx_packets} tx:{port.tx_packets}"
+                )
+        if self.vs.dpif_netlink is not None:
+            dp = self.vs.dpif_netlink.dp
+            lines.append(f"system@{dp.name}:")
+            lines.append(
+                f"  lookups: hit:{dp.flows.n_hit} missed:{dp.flows.n_missed}"
+            )
+            lines.append(f"  flows: {len(dp.flows)}")
+            for port in sorted(dp.ports.values(), key=lambda p: p.port_no):
+                lines.append(
+                    f"  port {port.port_no}: {port.name} ({port.kind}) "
+                    f"rx:{port.stats_rx} tx:{port.stats_tx}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def dpctl_dump_flows(self, max_flows: int = 50) -> str:
+        if self.vs.dpif_netdev is None:
+            return "(kernel datapath: flows live in the kernel module)"
+        lines = []
+        for entry in self.vs.dpif_netdev.megaflows.entries()[:max_flows]:
+            lines.append(
+                f"{_render_masked_key(entry.key, entry.mask)}, "
+                f"packets:{entry.n_packets}, bytes:{entry.n_bytes}, "
+                f"actions:{_render_actions(entry.actions)}"
+            )
+        return "\n".join(lines) if lines else "(no flows installed)"
+
+    # ------------------------------------------------------------------
+    def pmd_stats_show(self, pmds: Sequence[PmdThread]) -> str:
+        lines = []
+        for pmd in pmds:
+            emc = pmd.emc
+            total = emc.hits + emc.misses
+            rate = f"{emc.hit_rate * 100:.1f}%" if total else "n/a"
+            lines.append(
+                f"pmd thread on core {pmd.ctx.cpu}:\n"
+                f"  packets processed: {pmd.packets_processed}\n"
+                f"  iterations: {pmd.iterations} "
+                f"(empty: {pmd.empty_polls})\n"
+                f"  emc hits: {emc.hits} ({rate} hit rate)"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def dpctl_dump_conntrack(self, max_conns: int = 50) -> str:
+        conns = []
+        if self.vs.dpif_netdev is not None:
+            conns = self.vs.dpif_netdev.conntrack.connections()
+        elif self.vs.dpif_netlink is not None:
+            conns = self.vs.kernel.init_ns.conntrack.connections()
+        lines = []
+        for conn in conns[:max_conns]:
+            proto = {6: "tcp", 17: "udp", 1: "icmp"}.get(
+                conn.orig.proto, str(conn.orig.proto))
+            state = f",state={conn.tcp_state.value}" if conn.tcp_state else ""
+            lines.append(
+                f"{proto},orig=({int_to_ip(conn.orig.src_ip)}:"
+                f"{conn.orig.src_port}->{int_to_ip(conn.orig.dst_ip)}:"
+                f"{conn.orig.dst_port}),zone={conn.zone}{state},"
+                f"packets={conn.packets}"
+            )
+        return "\n".join(lines) if lines else "(conntrack empty)"
+
+    # ------------------------------------------------------------------
+    def ofproto_list_bridges(self) -> str:
+        lines = []
+        for name, bridge in self.vs.ofproto.bridges.items():
+            lines.append(
+                f"{name}: {len(bridge.ports)} ports, "
+                f"{bridge.n_flows():,} flows in "
+                f"{sum(1 for t in bridge.tables.values() if len(t))} tables"
+            )
+        return "\n".join(lines)
+
+
+def _render_masked_key(key: FlowKey, mask) -> str:
+    parts = []
+    for name, value, bits in zip(FlowKey._fields, key, mask):
+        if not bits:
+            continue
+        masked = value & bits
+        if name in ("nw_src", "nw_dst", "tun_src", "tun_dst"):
+            parts.append(f"{name}={int_to_ip(masked & 0xFFFFFFFF)}")
+        elif name in ("eth_src", "eth_dst"):
+            parts.append(f"{name}={masked:012x}")
+        else:
+            parts.append(f"{name}={masked}")
+    return ",".join(parts) or "(match-all)"
+
+
+def _render_actions(actions) -> str:
+    if not actions:
+        return "drop"
+    out = []
+    for act in actions:
+        name = act.__class__.__name__
+        if name == "Output":
+            out.append(str(act.port_no))
+        elif name == "Recirc":
+            out.append(f"recirc({act.recirc_id})")
+        elif name == "Ct":
+            commit = ",commit" if act.commit else ""
+            out.append(f"ct(zone={act.zone}{commit})")
+        elif name == "TunnelPush":
+            out.append(f"tnl_push(vni={act.config.vni})")
+        else:
+            out.append(name.lower())
+    return ",".join(out)

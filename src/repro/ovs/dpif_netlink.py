@@ -1,0 +1,67 @@
+"""dpif-netlink: the traditional kernel-module datapath from userspace.
+
+ovs-vswitchd talks to :class:`~repro.kernel.ovs_module.KernelDatapath`
+over (simulated) netlink: misses arrive as upcalls, the translator runs,
+and the resulting megaflow is installed back into the kernel — Figure 7a.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.netdev import NetDevice
+from repro.kernel.ovs_module import KernelDatapath, Upcall
+from repro.net.addresses import MacAddress
+from repro.net.flow import FlowKey
+from repro.sim.cpu import ExecContext
+
+
+class DpifNetlink:
+    def __init__(self, kernel: Kernel, name: str = "ovs-system") -> None:
+        self.kernel = kernel
+        self.dp: KernelDatapath = kernel.create_datapath(name)
+        self.dp.upcall_handler = self._handle_upcall
+        #: The slow path: key -> (actions, mask) or None to drop.
+        self.upcall_fn: Optional[
+            Callable[[FlowKey, Optional[ExecContext]], Optional[Tuple]]
+        ] = None
+        self.n_installed_flows = 0
+
+    # -- ports ------------------------------------------------------------
+    def add_port(self, device: NetDevice) -> int:
+        return self.dp.add_port(device).port_no
+
+    def add_internal_port(self, name: str, mac: MacAddress) -> Tuple[int, object]:
+        vport, device = self.dp.add_internal_port(name, mac)
+        return vport.port_no, device
+
+    def add_tunnel_port(self, name: str) -> int:
+        return self.dp.add_tunnel_port(name).port_no
+
+    def del_port(self, name: str) -> None:
+        self.dp.del_port(name)
+
+    def port_no(self, name: str) -> int:
+        return self.dp.port_no(name)
+
+    def port_device(self, port_no: int):
+        port = self.dp.ports.get(port_no)
+        return port.device if port else None
+
+    def flow_flush(self) -> None:
+        self.dp.flow_flush()
+
+    # -- upcalls -----------------------------------------------------------
+    def _handle_upcall(self, upcall: Upcall, ctx: ExecContext) -> None:
+        if self.upcall_fn is None:
+            return
+        result = self.upcall_fn(upcall.key, ctx)
+        if result is None:
+            return
+        actions, mask = result
+        # Install the megaflow so subsequent packets stay in the kernel,
+        # then execute the actions for the packet that missed.
+        self.dp.flow_put(upcall.key, mask, tuple(actions))
+        self.n_installed_flows += 1
+        self.dp.execute_actions(upcall.pkt, tuple(actions), ctx)

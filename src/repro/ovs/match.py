@@ -1,0 +1,119 @@
+"""OpenFlow matches over flow-key fields.
+
+A :class:`Match` is a set of ``field: (value, mask)`` constraints over
+:class:`~repro.net.flow.FlowKey` fields.  Matches with the same *shape*
+(set of masked fields) share a classifier subtable, which is what makes
+tuple-space-search lookup cost proportional to the number of distinct
+shapes — the quantity Table 3 reports as "matching fields among all
+rules: 31".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.net.flow import FlowKey, FlowMask, N_FLOW_FIELDS, apply_mask
+
+_FIELD_INDEX = {name: i for i, name in enumerate(FlowKey._fields)}
+
+#: Full-field widths, for normalising -1 ("exact") masks per field.
+_FULL_MASK = {
+    "in_port": 0xFFFFFFFF,
+    "eth_src": 0xFFFFFFFFFFFF,
+    "eth_dst": 0xFFFFFFFFFFFF,
+    "eth_type": 0xFFFF,
+    "vlan_tci": 0x1FFF,
+    "nw_src": 0xFFFFFFFF,
+    "nw_dst": 0xFFFFFFFF,
+    "nw_proto": 0xFF,
+    "nw_tos": 0xFF,
+    "nw_ttl": 0xFF,
+    "nw_frag": 0x3,
+    "tp_src": 0xFFFF,
+    "tp_dst": 0xFFFF,
+    "tcp_flags": 0xFF,
+    "recirc_id": 0xFFFFFFFF,
+    "ct_state": 0xFF,
+    "ct_zone": 0xFFFF,
+    "ct_mark": 0xFFFFFFFF,
+    "tun_id": 0xFFFFFF,
+    "tun_src": 0xFFFFFFFF,
+    "tun_dst": 0xFFFFFFFF,
+    "metadata": 0xFFFFFFFFFFFFFFFF,
+    **{f"reg{i}": 0xFFFFFFFF for i in range(9)},
+}
+
+
+class Match:
+    """An immutable-after-construction field match."""
+
+    __slots__ = ("_fields", "_mask", "_masked_key_cache")
+
+    def __init__(self, **constraints: "int | Tuple[int, int]") -> None:
+        fields: Dict[str, Tuple[int, int]] = {}
+        for name, spec in constraints.items():
+            if name not in _FIELD_INDEX:
+                raise KeyError(f"unknown match field: {name}")
+            if isinstance(spec, tuple):
+                value, mask = spec
+            else:
+                value, mask = spec, _FULL_MASK[name]
+            mask &= _FULL_MASK[name]
+            if value & ~mask:
+                raise ValueError(
+                    f"{name}: value {value:#x} has bits outside mask {mask:#x}"
+                )
+            fields[name] = (value, mask)
+        self._fields = fields
+        mask_list = [0] * N_FLOW_FIELDS
+        for name, (_value, mask) in fields.items():
+            mask_list[_FIELD_INDEX[name]] = mask
+        self._mask: FlowMask = tuple(mask_list)
+        self._masked_key_cache: Tuple[int, ...] = tuple(
+            fields.get(name, (0, 0))[0] for name in FlowKey._fields
+        )
+
+    @property
+    def mask(self) -> FlowMask:
+        return self._mask
+
+    @property
+    def masked_value(self) -> Tuple[int, ...]:
+        """The match's value projected through its own mask."""
+        return self._masked_key_cache
+
+    def fields(self) -> Dict[str, Tuple[int, int]]:
+        return dict(self._fields)
+
+    def field_names(self) -> Iterable[str]:
+        return self._fields.keys()
+
+    def matches(self, key: FlowKey) -> bool:
+        return apply_mask(key, self._mask) == self._masked_key_cache
+
+    def is_catchall(self) -> bool:
+        return not self._fields
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Match):
+            return self._fields == other._fields
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._mask, self._masked_key_cache))
+
+    def __repr__(self) -> str:
+        if not self._fields:
+            return "Match(*)"
+        parts = []
+        for name, (value, mask) in sorted(self._fields.items()):
+            if mask == _FULL_MASK[name]:
+                parts.append(f"{name}={value:#x}")
+            else:
+                parts.append(f"{name}={value:#x}/{mask:#x}")
+        return f"Match({', '.join(parts)})"
+
+
+def full_field_mask(name: str) -> int:
+    """The all-ones mask for a named field (for building ODP masks)."""
+    return _FULL_MASK[name]

@@ -1,0 +1,136 @@
+"""The megaflow cache (dpcls): wildcarded datapath flows.
+
+Second-level cache of the userspace datapath (and the only cache the
+kernel datapath has).  One subtable per distinct mask; a lookup probes
+subtables until it hits.  The 1000-random-IP workload of §5.2 is the
+worst case precisely because installed megaflows (one per IP pair, after
+translation unwildcards nw_src/nw_dst) stop fitting the EMC and every
+packet pays this probe sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.flow import FlowKey, FlowMask, N_FLOW_FIELDS, apply_mask
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
+
+
+@dataclass
+class MegaflowEntry:
+    """One cached datapath flow, with the state the revalidator needs."""
+
+    actions: Tuple
+    key: FlowKey
+    mask: FlowMask
+    n_packets: int = 0
+    n_bytes: int = 0
+    last_used_ns: int = 0
+
+    def touch(self, now_ns: int, nbytes: int) -> None:
+        self.n_packets += 1
+        self.n_bytes += nbytes
+        self.last_used_ns = now_ns
+
+
+class MegaflowCache:
+    def __init__(self, max_flows: int = 65536) -> None:
+        self.max_flows = max_flows
+        self._masks: List[FlowMask] = []
+        self._tables: Dict[FlowMask, Dict[Tuple[int, ...], MegaflowEntry]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    @property
+    def n_masks(self) -> int:
+        return len(self._masks)
+
+    def lookup(self, key: FlowKey, ctx: Optional[ExecContext] = None,
+               now_ns: int = 0, nbytes: int = 0) -> Optional[Tuple]:
+        entry = self.lookup_entry(key, ctx, now_ns=now_ns, nbytes=nbytes)
+        return None if entry is None else entry.actions
+
+    def lookup_entry(self, key: FlowKey, ctx: Optional[ExecContext] = None,
+                     now_ns: int = 0, nbytes: int = 0) -> Optional[MegaflowEntry]:
+        probes = 0
+        found: Optional[MegaflowEntry] = None
+        for mask in self._masks:
+            probes += 1
+            entry = self._tables[mask].get(apply_mask(key, mask))
+            if entry is not None:
+                found = entry
+                break
+        if ctx is not None and probes:
+            ctx.charge(probes * DEFAULT_COSTS.megaflow_subtable_ns,
+                       label="dpcls")
+        if found is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        found.touch(now_ns, nbytes)
+        return found
+
+    def insert(self, key: FlowKey, mask: FlowMask, value: Tuple,
+               ctx: Optional[ExecContext] = None,
+               now_ns: int = 0) -> Optional[MegaflowEntry]:
+        """Install a flow; returns the entry, or None if the cache is full."""
+        if len(self) >= self.max_flows:
+            return None
+        if ctx is not None:
+            ctx.charge(DEFAULT_COSTS.megaflow_insert_ns, label="dpcls_insert")
+        table = self._tables.get(mask)
+        if table is None:
+            table = {}
+            self._tables[mask] = table
+            self._masks.append(mask)
+        entry = MegaflowEntry(
+            actions=tuple(value), key=key, mask=mask, last_used_ns=now_ns
+        )
+        table[apply_mask(key, mask)] = entry
+        return entry
+
+    def entries(self) -> List[MegaflowEntry]:
+        return [e for t in self._tables.values() for e in t.values()]
+
+    def remove(self, key: FlowKey, mask: FlowMask) -> bool:
+        table = self._tables.get(mask)
+        if table is None:
+            return False
+        masked = apply_mask(key, mask)
+        if masked not in table:
+            return False
+        del table[masked]
+        if not table:
+            del self._tables[mask]
+            self._masks.remove(mask)
+        return True
+
+    def flush(self) -> None:
+        self._masks.clear()
+        self._tables.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def union_masks(masks: List[FlowMask]) -> FlowMask:
+    """Union a set of probe masks into one megaflow mask.
+
+    The megaflow must be at least as specific as every field any lookup
+    stage examined, or the cached entry would match packets the slow
+    path would have treated differently.
+    """
+    if not masks:
+        return tuple([0] * N_FLOW_FIELDS)
+    out = list(masks[0])
+    for mask in masks[1:]:
+        for i, bits in enumerate(mask):
+            out[i] |= bits
+    return tuple(out)

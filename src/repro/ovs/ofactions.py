@@ -1,0 +1,90 @@
+"""OpenFlow actions, as installed by a controller (NSX, our examples).
+
+These are *control-plane* actions; the translation engine in
+:mod:`repro.ovs.ofproto` compiles them into the datapath (ODP) actions of
+:mod:`repro.ovs.odp` during slow-path upcalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class OfAction:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class OutputAction(OfAction):
+    """Output to an OpenFlow port (a bridge port name resolved at
+    translation time).  ``port`` may also be "LOCAL" or "IN_PORT"."""
+
+    port: str
+
+
+@dataclass(frozen=True)
+class GotoTable(OfAction):
+    table_id: int
+
+
+@dataclass(frozen=True)
+class Resubmit(OfAction):
+    """NXM resubmit(,table): like goto but usable mid-action-list."""
+
+    table_id: int
+
+
+@dataclass(frozen=True)
+class SetFieldAction(OfAction):
+    field: str
+    value: int
+
+
+@dataclass(frozen=True)
+class PushVlanAction(OfAction):
+    vid: int
+    pcp: int = 0
+
+
+@dataclass(frozen=True)
+class PopVlanAction(OfAction):
+    pass
+
+
+@dataclass(frozen=True)
+class CtAction(OfAction):
+    """ct(zone=..,commit,table=N[,nat(dst=ip:port)]).
+
+    Without ``table`` the packet continues in the current list; with it,
+    the pipeline recirculates into table N with conntrack state set —
+    the NSX firewall pattern of §5.1.
+    """
+
+    zone: int = 0
+    commit: bool = False
+    table: Optional[int] = None
+    nat_dst: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class PopTunnel(OfAction):
+    """Decapsulate and re-enter the pipeline as if received on the named
+    tunnel port (the outer->inner transition of the NSX pipeline)."""
+
+    tunnel_port: str
+
+
+@dataclass(frozen=True)
+class MeterAction(OfAction):
+    meter_id: int
+
+
+@dataclass(frozen=True)
+class ControllerAction(OfAction):
+    reason: str = "action"
+
+
+@dataclass(frozen=True)
+class DropAction(OfAction):
+    """Explicit drop (an empty action list also drops)."""

@@ -1,0 +1,165 @@
+"""OpenFlow tables with tuple-space-search classification.
+
+Rules with the same match *shape* (mask) live in one subtable (a hash
+table keyed by the masked flow key).  Lookup probes subtables in
+descending order of their best priority and stops as soon as no remaining
+subtable can beat the best hit — the standard OVS classifier structure.
+Each subtable probe charges ``classifier_subtable_ns``, which is what
+makes the 1000-random-flow upcall storm of §5.2 expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.flow import FlowKey, FlowMask, apply_mask
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OfAction
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
+
+
+@dataclass
+class Rule:
+    priority: int
+    match: Match
+    actions: Tuple[OfAction, ...]
+    cookie: int = 0
+    table_id: int = 0
+    n_packets: int = 0
+    n_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+
+
+class _Subtable:
+    __slots__ = ("mask", "rules", "max_priority")
+
+    def __init__(self, mask: FlowMask) -> None:
+        self.mask = mask
+        #: masked key -> rules sorted by priority (desc).
+        self.rules: Dict[Tuple[int, ...], List[Rule]] = {}
+        self.max_priority = -1
+
+    def insert(self, rule: Rule) -> Optional[Rule]:
+        """Insert; returns a replaced rule if an identical match existed
+        at the same priority (OpenFlow modify semantics)."""
+        key = rule.match.masked_value
+        bucket = self.rules.setdefault(key, [])
+        replaced = None
+        for i, existing in enumerate(bucket):
+            if existing.priority == rule.priority and existing.match == rule.match:
+                replaced = bucket[i]
+                bucket[i] = rule
+                return replaced
+        bucket.append(rule)
+        bucket.sort(key=lambda r: -r.priority)
+        self.max_priority = max(self.max_priority, rule.priority)
+        return None
+
+    def remove(self, rule: Rule) -> bool:
+        key = rule.match.masked_value
+        bucket = self.rules.get(key)
+        if not bucket or rule not in bucket:
+            return False
+        bucket.remove(rule)
+        if not bucket:
+            del self.rules[key]
+        self._recompute_max()
+        return True
+
+    def _recompute_max(self) -> None:
+        self.max_priority = max(
+            (r.priority for bucket in self.rules.values() for r in bucket),
+            default=-1,
+        )
+
+    def lookup(self, key: FlowKey) -> Optional[Rule]:
+        bucket = self.rules.get(apply_mask(key, self.mask))
+        return bucket[0] if bucket else None
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self.rules.values())
+
+
+class FlowTable:
+    """One OpenFlow table (the classifier)."""
+
+    def __init__(self, table_id: int = 0) -> None:
+        self.table_id = table_id
+        self._subtables: Dict[FlowMask, _Subtable] = {}
+        self.n_lookups = 0
+        self.n_matches = 0
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._subtables.values())
+
+    @property
+    def n_subtables(self) -> int:
+        return len(self._subtables)
+
+    def add_rule(self, rule: Rule) -> Optional[Rule]:
+        rule.table_id = self.table_id
+        subtable = self._subtables.get(rule.match.mask)
+        if subtable is None:
+            subtable = _Subtable(rule.match.mask)
+            self._subtables[rule.match.mask] = subtable
+        return subtable.insert(rule)
+
+    def remove_rule(self, rule: Rule) -> bool:
+        subtable = self._subtables.get(rule.match.mask)
+        if subtable is None:
+            return False
+        ok = subtable.remove(rule)
+        if ok and not len(subtable):
+            del self._subtables[rule.match.mask]
+        return ok
+
+    def rules(self) -> List[Rule]:
+        return [
+            r
+            for s in self._subtables.values()
+            for bucket in s.rules.values()
+            for r in bucket
+        ]
+
+    def lookup(
+        self,
+        key: FlowKey,
+        ctx: Optional[ExecContext] = None,
+        probed_masks: Optional[List[FlowMask]] = None,
+    ) -> Optional[Rule]:
+        """Tuple-space search with priority-ordered early exit.
+
+        ``probed_masks``, if given, accumulates every subtable mask that
+        was consulted — the translation engine unions these into the
+        megaflow mask so the cached entry is exactly as wildcarded as
+        this lookup allows.
+        """
+        self.n_lookups += 1
+        best: Optional[Rule] = None
+        probes = 0
+        ordered = sorted(
+            self._subtables.values(), key=lambda s: -s.max_priority
+        )
+        for subtable in ordered:
+            if best is not None and best.priority >= subtable.max_priority:
+                break
+            probes += 1
+            if probed_masks is not None:
+                probed_masks.append(subtable.mask)
+            candidate = subtable.lookup(key)
+            if candidate is not None and (
+                best is None or candidate.priority > best.priority
+            ):
+                best = candidate
+        if ctx is not None and probes:
+            ctx.charge(
+                probes * DEFAULT_COSTS.classifier_subtable_ns,
+                label="classifier",
+            )
+        if best is not None:
+            self.n_matches += 1
+        return best

@@ -1,0 +1,53 @@
+"""A virtual clock, measured in integer nanoseconds.
+
+The clock is advanced explicitly by whoever owns it (an experiment loop, an
+event scheduler, a CPU context).  Simulated components never look at wall
+time; they read ``clock.now`` so that expiry-based logic (conntrack timeouts,
+interrupt coalescing, adaptive polling) is deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic virtual time in nanoseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta_ns: int) -> int:
+        """Move time forward by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot move time backwards by {delta_ns} ns")
+        self._now += int(delta_ns)
+        return self._now
+
+    def advance_to(self, t_ns: int) -> int:
+        """Move time forward to the absolute instant ``t_ns``.
+
+        Advancing to the current instant (or earlier) is a no-op rather than
+        an error: concurrent lanes of execution frequently "catch up" to a
+        shared clock.
+        """
+        if t_ns > self._now:
+            self._now = int(t_ns)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now} ns)"
+
+
+# Handy unit multipliers so call sites read naturally: 2 * USEC, 10 * MSEC.
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000

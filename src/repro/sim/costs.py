@@ -1,0 +1,248 @@
+"""The calibrated cost model.
+
+Every performance-relevant primitive in the simulated stack (a syscall, a
+lock acquisition, a byte copied, an eBPF instruction interpreted, a cache
+line missed) has a cost constant here, expressed in virtual nanoseconds.
+Substrate code charges these constants to the executing
+:class:`~repro.sim.cpu.ExecContext` as it performs the corresponding real
+work, and all reported throughput/CPU/latency numbers emerge from the sum.
+
+Calibration
+===========
+
+Constants are calibrated against numbers the paper itself reports, plus
+well-known micro-architectural figures for the papers' Xeon E5 v2/v3 testbeds:
+
+* ``sendto`` is 2 µs — measured directly in the paper (§3.3).
+* a mutex lock/unlock shows up as ~5 % CPU for a single uncontended thread
+  (§3.2 O2); a spinlock is "less than 1 % overhead".
+* the checksum cost is proportional to payload size (§3.2 O5) and the
+  measured O5 delta for 64-byte packets is ~10 ns/packet (6.6→7.1 Mpps).
+* eBPF interpretation is 10–20 % slower than equivalent native kernel code
+  (§2.2.2, Figure 2).
+* interrupt-driven AF_XDP loses ~35 % versus polling for bulk TCP
+  (Figure 8a: 1.9 vs ~3 Gbps).
+
+The emergent per-packet totals are validated against the paper's tables and
+figures in ``tests/integration`` and reported in EXPERIMENTS.md.  Users can
+construct a modified model (``dataclasses.replace``) to explore sensitivity.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual-time costs, in nanoseconds unless noted."""
+
+    # ------------------------------------------------------------------
+    # Syscalls and kernel entry/exit.
+    # ------------------------------------------------------------------
+    #: Generic syscall entry+exit (mode switch, no real work).
+    syscall_base_ns: float = 500.0
+    #: ``sendto`` on a tap/AF_XDP fd — measured at ~2 us in the paper (§3.3).
+    sendto_ns: float = 2_000.0
+    #: ``recvfrom``/``read`` on a packet fd.
+    recvfrom_ns: float = 1_800.0
+    #: ``poll``/``epoll_wait`` returning ready (no sleep).
+    poll_ns: float = 1_200.0
+    #: ``mmap`` for buffer allocation (§3.2 O4 observed this as significant).
+    mmap_ns: float = 4_000.0
+    #: ``ioctl``/``setsockopt`` style control-path call.
+    ioctl_ns: float = 1_500.0
+
+    # ------------------------------------------------------------------
+    # Scheduling, interrupts, context switches.
+    # ------------------------------------------------------------------
+    #: Full involuntary context switch (futex sleep, tap read wakeup...).
+    context_switch_ns: float = 3_500.0
+    #: Hardware interrupt entry + NAPI schedule.
+    irq_entry_ns: float = 1_500.0
+    #: Waking a sleeping thread (schedule latency until it runs again).
+    thread_wakeup_ns: float = 2_500.0
+    #: One NAPI poll-loop iteration's fixed overhead (driver housekeeping).
+    napi_poll_ns: float = 150.0
+    #: VM exit / guest notification (virtio kick through KVM).
+    vmexit_ns: float = 2_800.0
+
+    # ------------------------------------------------------------------
+    # Locking (§3.2 O2/O3).
+    # ------------------------------------------------------------------
+    #: Uncontended pthread mutex lock+unlock (includes atomic + fence +
+    #: occasional amortised futex fast path).  Chosen so a mutex per
+    #: packet costs ~5 % of CPU at ~1.6 Mpkt/core/s, as the paper observed.
+    mutex_ns: float = 18.0
+    #: Uncontended spinlock lock+unlock ("less than 1% overhead").
+    spinlock_ns: float = 6.0
+
+    # ------------------------------------------------------------------
+    # Memory.
+    # ------------------------------------------------------------------
+    #: Copy cost per byte (~14 GB/s effective single-core memcpy with
+    #: cache interference).
+    copy_per_byte_ns: float = 0.07
+    #: Software checksum: fixed setup plus a per-byte load+add chain
+    #: (§3.2 O5: "the checksum's cost is proportional to the packet's
+    #: payload size").
+    checksum_fixed_ns: float = 10.0
+    checksum_per_byte_ns: float = 0.35
+    #: One LLC miss (DRAM access).
+    cache_miss_ns: float = 42.0
+    #: First CPU touch of freshly DMA'd packet data.  With DDIO the DMA
+    #: lands in the LLC, so this is an L3 hit, not a DRAM miss — the
+    #: cache-miss cost §5.4's task B observes.
+    dma_first_touch_ns: float = 28.0
+    #: Allocate + initialise an sk_buff (slab fast path + memset of cb).
+    skb_alloc_ns: float = 120.0
+    skb_free_ns: float = 60.0
+    #: dp_packet metadata init when preallocated in a contiguous array (O4).
+    dp_packet_init_ns: float = 6.0
+    #: Extra cost per packet of the pre-O4 scheme (mmap-backed allocation
+    #: amortised over a batch, poorer locality).
+    dp_packet_malloc_extra_ns: float = 2.0
+    #: DPDK mbuf alloc/free from a per-core mempool cache.
+    mbuf_alloc_ns: float = 12.0
+    mbuf_free_ns: float = 8.0
+
+    # ------------------------------------------------------------------
+    # eBPF / XDP (§2.2.2, §5.4).
+    # ------------------------------------------------------------------
+    #: Interpreting one eBPF instruction in the in-kernel sandbox.
+    ebpf_insn_ns: float = 2.1
+    #: Native-code equivalent of the same logical operation, for comparing
+    #: eBPF datapath vs the C kernel module (Figure 2's 10-20 % gap).
+    native_op_ns: float = 0.85
+    #: Fixed per-packet XDP context setup (metadata, invariants).
+    xdp_ctx_setup_ns: float = 15.0
+    #: eBPF hash-map lookup helper (hash + bucket walk).
+    ebpf_map_lookup_ns: float = 12.0
+    ebpf_map_update_ns: float = 30.0
+    #: Other helper call overhead (crossing into the kernel helper).
+    ebpf_helper_ns: float = 4.0
+    #: XDP_REDIRECT to another device (map lookup + enqueue to its ring).
+    xdp_redirect_ns: float = 26.0
+    #: XDP_TX: recycle the rx descriptor onto the tx ring + doorbell.
+    xdp_tx_ns: float = 55.0
+
+    # ------------------------------------------------------------------
+    # Flow lookup machinery (OVS caches, §5.2's 1 vs 1000 flows).
+    # ------------------------------------------------------------------
+    #: Exact-match cache hit (one hash, one compare).
+    emc_hit_ns: float = 12.0
+    emc_insert_ns: float = 55.0
+    #: Megaflow (wildcarded) lookup cost per subtable probed.
+    megaflow_subtable_ns: float = 55.0
+    megaflow_insert_ns: float = 300.0
+    #: OpenFlow classifier full lookup, per table traversed per subtable.
+    classifier_subtable_ns: float = 70.0
+    #: Kernel->userspace upcall round trip (miss in kernel datapath).
+    upcall_ns: float = 25_000.0
+    #: Userspace datapath miss path (classifier consult, no kernel crossing).
+    userspace_slowpath_ns: float = 1_200.0
+    #: Connection tracking lookup / commit.
+    conntrack_lookup_ns: float = 90.0
+    conntrack_commit_ns: float = 260.0
+
+    # ------------------------------------------------------------------
+    # Rings & drivers (AF_XDP §3.1-3.2, DPDK).
+    # ------------------------------------------------------------------
+    #: Push/pop one descriptor on an SPSC ring.
+    ring_op_ns: float = 5.0
+    #: Fixed cost of a batched ring operation (doorbell, barriers).
+    ring_batch_ns: float = 20.0
+    #: NIC driver per-packet rx descriptor handling (DMA completion).
+    nic_rx_ns: float = 18.0
+    nic_tx_ns: float = 18.0
+    #: AF_XDP copy-mode extra (skb bounce; "fallback mode ... extra copy").
+    #: charged per byte via copy_per_byte_ns plus this fixed part.
+    afxdp_copy_mode_ns: float = 120.0
+    #: Kernel rxhash computation when hardware hash is unavailable (§5.5).
+    software_rxhash_ns: float = 14.0
+    #: veth crossing (namespace switch, no copy).
+    veth_xmit_ns: float = 160.0
+    #: tap device kernel-side processing excluding the syscall itself.
+    tap_xmit_ns: float = 350.0
+    #: vhost-user/virtio: per-descriptor virtqueue handling.
+    virtqueue_op_ns: float = 45.0
+    #: eventfd kick for a virtqueue batch when the peer is sleeping.
+    virtqueue_kick_ns: float = 900.0
+
+    # ------------------------------------------------------------------
+    # Protocol stacks.
+    # ------------------------------------------------------------------
+    #: Kernel TCP/IP per-segment processing (in or out, excluding copies):
+    #: the general path (connection setup, out-of-order, control flags).
+    tcp_segment_ns: float = 1_350.0
+    #: Header-prediction receive fast path: in-order data on an
+    #: established connection (the common bulk-transfer case).
+    tcp_rx_fastpath_ns: float = 350.0
+    #: Transmit-side per-segment cost (no demux or state lookup: cheaper
+    #: than the general receive path).
+    tcp_tx_segment_ns: float = 450.0
+    #: Emitting a pure ACK (no payload, no state transition).
+    tcp_ack_tx_ns: float = 400.0
+    #: IP input processing before the L4 demux.
+    ip_rcv_ns: float = 150.0
+    udp_datagram_ns: float = 450.0
+    ip_forward_ns: float = 220.0
+    #: Socket read/write per-byte copy user<->kernel.
+    socket_copy_per_byte_ns: float = 0.07
+    #: GSO/TSO segmentation per produced segment when done in software.
+    software_gso_per_segment_ns: float = 250.0
+
+    # ------------------------------------------------------------------
+    # Misc pipeline costs.
+    # ------------------------------------------------------------------
+    #: Parse a packet's headers to a flow key (miniflow extract).
+    flow_extract_ns: float = 16.0
+    #: Apply one datapath action (output, set-field, push/pop header).
+    action_ns: float = 12.0
+    #: Encapsulate / decapsulate a tunnel header (Geneve/VXLAN/GRE).
+    tunnel_encap_ns: float = 180.0
+    tunnel_decap_ns: float = 150.0
+    #: Recirculation: re-inject the packet into the datapath pipeline.
+    recirculate_ns: float = 120.0
+
+    def scaled(self, **overrides: float) -> "CostModel":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def copy_cost(self, nbytes: int) -> float:
+        """Cost of copying ``nbytes`` of packet data."""
+        return self.copy_per_byte_ns * nbytes
+
+    def checksum_cost(self, nbytes: int) -> float:
+        """Cost of software-checksumming ``nbytes``."""
+        return self.checksum_fixed_ns + self.checksum_per_byte_ns * nbytes
+
+
+#: The calibrated default model used by all experiments.
+DEFAULT_COSTS = CostModel()
+
+
+@contextmanager
+def overridden(**overrides: float):
+    """Temporarily change cost constants for sensitivity studies.
+
+    Every substrate module holds a reference to the ``DEFAULT_COSTS``
+    singleton, so overrides propagate everywhere::
+
+        with costs.overridden(upcall_ns=50_000):
+            result = run_fig9(scenarios=("P2P",))
+
+    The previous values are restored on exit, even on error.
+    """
+    saved = {}
+    for name, value in overrides.items():
+        if not hasattr(DEFAULT_COSTS, name):
+            raise AttributeError(f"no cost constant named {name!r}")
+        saved[name] = getattr(DEFAULT_COSTS, name)
+        object.__setattr__(DEFAULT_COSTS, name, value)
+    try:
+        yield DEFAULT_COSTS
+    finally:
+        for name, value in saved.items():
+            object.__setattr__(DEFAULT_COSTS, name, value)

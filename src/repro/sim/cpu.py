@@ -1,0 +1,208 @@
+"""CPU cores, execution contexts and time accounting.
+
+The paper reports CPU consumption split into the categories ``top`` shows
+(Table 4: system, softirq, guest, user).  We reproduce that: every piece of
+substrate code runs on behalf of an :class:`ExecContext` — a simulated thread
+of execution pinned to a logical CPU and running in one accounting category —
+and charges virtual nanoseconds to it.  A :class:`CpuModel` aggregates busy
+time per (cpu, category) so experiments can report utilisation exactly the
+way the paper's Table 4 does.
+
+Latency tracing
+===============
+
+For latency experiments a :class:`LatencyTrace` can be attached to a context
+(usually with batch size 1); every charge is then also added to the trace,
+with a component label, so we can report where each microsecond of a netperf
+TCP_RR round trip went.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.sim.clock import Clock
+
+
+class CpuCategory(enum.Enum):
+    """Accounting buckets, mirroring the columns of the paper's Table 4."""
+
+    USER = "user"
+    SYSTEM = "system"
+    SOFTIRQ = "softirq"
+    GUEST = "guest"
+    #: Busy-wait burn of poll-mode threads while no packets are available.
+    #: ``top`` reports this as user time; we keep it separate so experiments
+    #: can distinguish useful work from poll spin, then fold it into USER.
+    POLL_IDLE = "poll_idle"
+
+
+class LatencyTrace:
+    """Accumulates per-component latency along one packet's path."""
+
+    __slots__ = ("total_ns", "components")
+
+    def __init__(self) -> None:
+        self.total_ns: float = 0.0
+        self.components: Dict[str, float] = {}
+
+    def add(self, ns: float, label: str) -> None:
+        self.total_ns += ns
+        self.components[label] = self.components.get(label, 0.0) + ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.0f}" for k, v in self.components.items())
+        return f"LatencyTrace({self.total_ns:.0f} ns: {parts})"
+
+
+class CpuModel:
+    """A host's logical CPUs with per-(cpu, category) busy accounting."""
+
+    def __init__(self, n_cpus: int, clock: Optional[Clock] = None) -> None:
+        if n_cpus < 1:
+            raise ValueError("a host needs at least one CPU")
+        self.n_cpus = n_cpus
+        self.clock = clock if clock is not None else Clock()
+        # busy[cpu][category] = ns
+        self._busy: list[Dict[CpuCategory, float]] = [
+            {} for _ in range(n_cpus)
+        ]
+
+    def charge(self, cpu: int, category: CpuCategory, ns: float) -> None:
+        if ns < 0:
+            raise ValueError(f"negative charge: {ns}")
+        bucket = self._busy[cpu]
+        bucket[category] = bucket.get(category, 0.0) + ns
+
+    def busy_ns(
+        self,
+        cpu: Optional[int] = None,
+        category: Optional[CpuCategory] = None,
+    ) -> float:
+        """Total busy time, optionally filtered by cpu and/or category."""
+        cpus = range(self.n_cpus) if cpu is None else (cpu,)
+        total = 0.0
+        for c in cpus:
+            bucket = self._busy[c]
+            if category is None:
+                total += sum(bucket.values())
+            else:
+                total += bucket.get(category, 0.0)
+        return total
+
+    def utilisation(
+        self, wall_ns: float, category: Optional[CpuCategory] = None
+    ) -> float:
+        """Busy time over a wall-clock window, in units of whole CPUs.
+
+        This is the quantity the paper's Table 4 reports ("in units of a CPU
+        hyperthread"): 1.0 means one logical CPU fully busy.
+        """
+        if wall_ns <= 0:
+            raise ValueError("wall window must be positive")
+        return self.busy_ns(category=category) / wall_ns
+
+    def utilisation_by_category(self, wall_ns: float) -> Dict[str, float]:
+        """Table-4-style breakdown.  POLL_IDLE is folded into ``user``."""
+        out: Dict[str, float] = {}
+        for cat in CpuCategory:
+            v = self.busy_ns(category=cat) / wall_ns
+            if cat is CpuCategory.POLL_IDLE:
+                out["user"] = out.get("user", 0.0) + v
+            else:
+                out[cat.value] = out.get(cat.value, 0.0) + v
+        out["total"] = sum(
+            v for k, v in out.items() if k != "total"
+        )
+        return out
+
+    def reset(self) -> None:
+        for bucket in self._busy:
+            bucket.clear()
+
+
+class ExecContext:
+    """A simulated thread of execution.
+
+    Parameters
+    ----------
+    cpu_model:
+        Where busy time is accounted.
+    cpu:
+        The logical CPU this context is pinned to (PMD threads and softirq
+        lanes are pinned; that is how the paper's setups run).
+    category:
+        Default accounting category for charges.
+    """
+
+    def __init__(
+        self,
+        cpu_model: CpuModel,
+        cpu: int,
+        category: CpuCategory,
+        name: str = "",
+    ) -> None:
+        if not 0 <= cpu < cpu_model.n_cpus:
+            raise ValueError(f"cpu {cpu} out of range")
+        self.cpu_model = cpu_model
+        self.cpu = cpu
+        self.category = category
+        self.name = name or f"ctx-{category.value}@cpu{cpu}"
+        self.local_time_ns: float = 0.0
+        self.trace: Optional[LatencyTrace] = None
+
+    def charge(
+        self,
+        ns: float,
+        label: str = "work",
+        category: Optional[CpuCategory] = None,
+    ) -> None:
+        """Consume ``ns`` of CPU time in this context."""
+        if ns == 0:
+            return
+        self.cpu_model.charge(self.cpu, category or self.category, ns)
+        self.local_time_ns += ns
+        if self.trace is not None:
+            self.trace.add(ns, label)
+
+    def wait(self, ns: float, label: str = "wait") -> None:
+        """Pass ``ns`` of wall time without consuming CPU (sleep/block).
+
+        The time still counts toward any latency trace: a sleeping thread
+        adds to a packet's latency without burning a core.
+        """
+        if ns < 0:
+            raise ValueError(f"negative wait: {ns}")
+        self.local_time_ns += ns
+        if self.trace is not None:
+            self.trace.add(ns, label)
+
+    @contextmanager
+    def tracing(self, trace: LatencyTrace) -> Iterator[LatencyTrace]:
+        """Attach a latency trace for the duration of the block."""
+        prev, self.trace = self.trace, trace
+        try:
+            yield trace
+        finally:
+            self.trace = prev
+
+    @contextmanager
+    def as_category(self, category: CpuCategory) -> Iterator[None]:
+        """Temporarily run this context in a different accounting bucket.
+
+        Used when a userspace thread enters the kernel (USER -> SYSTEM) or
+        when the kernel borrows the current CPU for softirq work.
+        """
+        prev, self.category = self.category, category
+        try:
+            yield
+        finally:
+            self.category = prev
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecContext({self.name}, cpu={self.cpu}, "
+            f"t={self.local_time_ns:.0f} ns)"
+        )

@@ -1,0 +1,155 @@
+"""Measurement helpers: histograms, percentiles, rate estimation.
+
+The paper reports P50/P90/P99 latencies (netperf) and maximum lossless
+packet rates (TRex).  These helpers provide the corresponding reductions
+over simulated samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile, ``0 < p <= 100``.
+
+    Matches the convention netperf's omni output uses: the value below
+    which ``p`` percent of observations fall.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(samples)
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+class Histogram:
+    """A simple sample accumulator with summary statistics."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("empty histogram")
+        return sum(self._samples) / len(self._samples)
+
+    def min(self) -> float:
+        return min(self._samples)
+
+    def max(self) -> float:
+        return max(self._samples)
+
+    def percentile(self, p: float) -> float:
+        return percentile(self._samples, p)
+
+    def percentiles(self, ps: Sequence[float] = (50, 90, 99)) -> Dict[float, float]:
+        return {p: percentile(self._samples, p) for p in ps}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._samples:
+            return "Histogram(empty)"
+        return (
+            f"Histogram(n={len(self._samples)}, mean={self.mean():.1f}, "
+            f"p50={self.percentile(50):.1f}, p99={self.percentile(99):.1f})"
+        )
+
+
+class RateEstimator:
+    """Convert work done in virtual time into packet/bit rates."""
+
+    def __init__(self, packets: int, busy_ns: float, bytes_total: int = 0) -> None:
+        if packets < 0 or busy_ns < 0:
+            raise ValueError("negative work")
+        self.packets = packets
+        self.busy_ns = busy_ns
+        self.bytes_total = bytes_total
+
+    @property
+    def ns_per_packet(self) -> float:
+        if self.packets == 0:
+            return math.inf
+        return self.busy_ns / self.packets
+
+    @property
+    def mpps(self) -> float:
+        """Millions of packets per second sustained by this lane."""
+        if self.busy_ns == 0:
+            return math.inf
+        return self.packets / self.busy_ns * 1e3
+
+    @property
+    def gbps(self) -> float:
+        """Goodput in gigabits per second (based on ``bytes_total``)."""
+        if self.busy_ns == 0:
+            return math.inf
+        return self.bytes_total * 8 / self.busy_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RateEstimator({self.packets} pkts / {self.busy_ns:.0f} ns = "
+            f"{self.mpps:.2f} Mpps)"
+        )
+
+
+def line_rate_mpps(link_gbps: float, frame_bytes: int) -> float:
+    """Maximum packet rate of an Ethernet link.
+
+    Accounts for the 20 bytes of per-frame overhead on the wire (7 preamble
+    + 1 SFD + 12 interframe gap) plus the 4-byte FCS not included in the
+    L2 frame length used throughout the paper (64 B, 1518 B frames include
+    FCS per Ethernet convention; TRex line-rate numbers in §5.5 — 33 Mpps
+    at 64 B and 2.1 Mpps at 1518 B on 25 GbE — imply FCS-inclusive sizes,
+    which we match).
+    """
+    if frame_bytes < 64:
+        raise ValueError("minimum Ethernet frame is 64 bytes")
+    wire_bits = (frame_bytes + 20) * 8
+    return link_gbps * 1e3 / wire_bits
+
+
+def effective_parallel_rate(per_lane_mpps: Sequence[float], line_mpps: float) -> float:
+    """Aggregate independent lanes, capped by the wire."""
+    return min(sum(per_lane_mpps), line_mpps)
+
+
+#: Throughput multiplier for a logical CPU whose hyperthread sibling is
+#: also saturated.  Two HTs share one physical core's execution resources;
+#: for packet-processing loads each runs at roughly 55 % of a solo thread
+#: (the standard SMT yield for memory-bound networking work).  This is
+#: why the kernel "uses almost 8 CPU cores" (~10 HT) for modest rates in
+#: the paper's Table 4.
+SMT_SIBLING_EFFICIENCY = 0.55
+
+
+def smt_effective_lanes(n_busy_hyperthreads: int, n_hyperthreads: int) -> float:
+    """Effective full-speed lanes when ``n_busy`` HTs are saturated.
+
+    HTs pair up: 2i and 2i+1 share a physical core.  Busy HTs fill
+    distinct physical cores first (irqbalance spreads them), then start
+    doubling up at reduced per-thread efficiency.
+    """
+    if n_busy_hyperthreads < 0 or n_busy_hyperthreads > n_hyperthreads:
+        raise ValueError("busy HT count out of range")
+    n_physical = n_hyperthreads // 2 if n_hyperthreads > 1 else 1
+    solo = min(n_busy_hyperthreads, n_physical)
+    paired = max(0, n_busy_hyperthreads - n_physical)
+    # A paired physical core yields 2 * efficiency instead of 1.0 + 1.0,
+    # and the previously-solo sibling also drops to the shared rate.
+    return (solo - paired) + paired * 2 * SMT_SIBLING_EFFICIENCY

@@ -1,0 +1,64 @@
+"""``ethtool``: NIC feature inspection and ntuple steering.
+
+``ethtool --config-ntuple`` is how the paper steers traffic classes to
+specific queues under the Mellanox per-queue XDP model (Figure 6b).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.namespace import NetNamespace
+from repro.kernel.nic import NtupleRule, PhysicalNic
+from repro.tools.iproute import ToolError
+
+
+class Ethtool:
+    def __init__(self, namespace: NetNamespace, dev: str) -> None:
+        try:
+            device = namespace.device(dev)
+        except KeyError:
+            raise ToolError(
+                f"Cannot get device settings: No such device ({dev})"
+            ) from None
+        if not isinstance(device, PhysicalNic):
+            raise ToolError(f"{dev}: not an ethtool-capable device")
+        self.nic = device
+
+    def show_features(self) -> str:
+        f = self.nic.features
+        def onoff(flag: bool) -> str:
+            return "on" if flag else "off"
+
+        return "\n".join(
+            [
+                f"rx-checksumming: {onoff(f.rx_checksum)}",
+                f"tx-checksumming: {onoff(f.tx_checksum)}",
+                f"tcp-segmentation-offload: {onoff(f.tso)}",
+                f"receive-hashing: {onoff(f.rx_hash)}",
+            ]
+        )
+
+    def show_channels(self) -> str:
+        return f"Combined: {self.nic.n_queues}"
+
+    def config_ntuple(
+        self,
+        queue: int,
+        proto: "int | None" = None,
+        dst_ip: "int | None" = None,
+        dst_port: "int | None" = None,
+    ) -> str:
+        """flow-type ... action <queue>."""
+        try:
+            self.nic.add_ntuple_rule(
+                NtupleRule(queue=queue, proto=proto, dst_ip=dst_ip,
+                           dst_port=dst_port)
+            )
+        except ValueError as exc:
+            raise ToolError(f"rxclass: {exc}") from None
+        return f"Added rule with ID {len(self.nic.ntuple_rules) - 1}"
+
+    def show_ntuple(self) -> str:
+        lines = [f"{len(self.nic.ntuple_rules)} RX rings available"]
+        for i, rule in enumerate(self.nic.ntuple_rules):
+            lines.append(f"Filter: {i}  Action: queue {rule.queue}")
+        return "\n".join(lines)

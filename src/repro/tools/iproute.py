@@ -1,0 +1,85 @@
+"""``ip``: link, address, route and neighbor subcommands."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.namespace import NetNamespace
+from repro.kernel.netlink import RtNetlink
+
+
+class ToolError(Exception):
+    """What the shell would show on stderr (exit status 1)."""
+
+
+class IpCommand:
+    """``ip`` against one namespace, rendering kernel state as text."""
+
+    def __init__(self, namespace: NetNamespace) -> None:
+        self.rtnl = RtNetlink(namespace)
+
+    # -- ip link -----------------------------------------------------------
+    def link_show(self, dev: str = "") -> str:
+        if dev:
+            try:
+                links = [self.rtnl.get_link(dev)]
+            except KeyError:
+                raise ToolError(f'Device "{dev}" does not exist.') from None
+        else:
+            links = self.rtnl.get_links()
+        lines: List[str] = []
+        for link in links:
+            state = "UP" if link.up else "DOWN"
+            carrier = "" if link.carrier else " NO-CARRIER"
+            lines.append(
+                f"{link.ifindex}: {link.name}: <{state}{carrier}> "
+                f"mtu {link.mtu}"
+            )
+            lines.append(f"    link/ether {link.mac}")
+        return "\n".join(lines)
+
+    def link_set(self, dev: str, up: bool) -> str:
+        try:
+            self.rtnl.set_link_up(dev, up)
+        except KeyError:
+            raise ToolError(f'Device "{dev}" does not exist.') from None
+        return ""
+
+    def link_stats(self, dev: str) -> dict:
+        try:
+            return self.rtnl.get_link(dev).stats
+        except KeyError:
+            raise ToolError(f'Device "{dev}" does not exist.') from None
+
+    # -- ip address ----------------------------------------------------------
+    def address_show(self, dev: str = "") -> str:
+        if dev and not self.rtnl.ns.has_device(dev):
+            raise ToolError(f'Device "{dev}" does not exist.')
+        lines = []
+        for addr in self.rtnl.get_addresses():
+            if dev and addr["dev"] != dev:
+                continue
+            lines.append(f"    inet {addr['address']} dev {addr['dev']}")
+        return "\n".join(lines)
+
+    def address_add(self, dev: str, cidr: str) -> str:
+        if not self.rtnl.ns.has_device(dev):
+            raise ToolError(f'Device "{dev}" does not exist.')
+        ip, _, plen = cidr.partition("/")
+        self.rtnl.add_address(dev, ip, int(plen or "32"))
+        return ""
+
+    # -- ip route -----------------------------------------------------------
+    def route_show(self) -> str:
+        return "\n".join(r.render() for r in self.rtnl.get_routes())
+
+    def route_add(self, prefix: int, prefix_len: int, dev: str,
+                  gateway: int = 0) -> str:
+        if not self.rtnl.ns.has_device(dev):
+            raise ToolError(f'Device "{dev}" does not exist.')
+        self.rtnl.add_route(prefix, prefix_len, dev, gateway)
+        return ""
+
+    # -- ip neigh -----------------------------------------------------------
+    def neigh_show(self) -> str:
+        return "\n".join(n.render() for n in self.rtnl.get_neighbors())

@@ -1,0 +1,20 @@
+"""``nstat``: network stack statistics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.kernel.namespace import NetNamespace
+
+
+def nstat(namespace: NetNamespace) -> str:
+    """Render non-zero stack counters, nstat-style."""
+    lines = ["#kernel"]
+    for name, value in sorted(namespace.stack.counters.items()):
+        if value:
+            lines.append(f"{name:<32}{value:>16}")
+    return "\n".join(lines)
+
+
+def nstat_dict(namespace: NetNamespace) -> Dict[str, int]:
+    return dict(namespace.stack.counters)

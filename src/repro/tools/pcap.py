@@ -1,0 +1,75 @@
+"""pcap file output, so captures can leave the simulation.
+
+``tcpdump -w capture.pcap`` equivalent: simulated captures serialize to
+the classic libpcap format (magic 0xa1b2c3d4, LINKTYPE_ETHERNET) and open
+in Wireshark/tcpdump — handy for debugging pipelines by inspecting the
+actual bytes the simulated datapath produced.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.net.packet import Packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def pcap_bytes(
+    packets: Iterable["Packet | bytes"],
+    snaplen: int = 65535,
+    timestamps_us: Sequence[int] = (),
+) -> bytes:
+    """Serialize frames to a classic pcap capture."""
+    out = [
+        _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen,
+                            LINKTYPE_ETHERNET)
+    ]
+    for i, pkt in enumerate(packets):
+        data = pkt.data if isinstance(pkt, Packet) else bytes(pkt)
+        ts = timestamps_us[i] if i < len(timestamps_us) else i
+        captured = data[:snaplen]
+        out.append(_RECORD_HEADER.pack(ts // 1_000_000, ts % 1_000_000,
+                                       len(captured), len(data)))
+        out.append(captured)
+    return b"".join(out)
+
+
+def write_pcap(
+    path: str,
+    packets: Iterable["Packet | bytes"],
+    timestamps_us: Sequence[int] = (),
+) -> int:
+    """Write a capture file; returns the number of frames written."""
+    frames = list(packets)
+    with open(path, "wb") as f:
+        f.write(pcap_bytes(frames, timestamps_us=timestamps_us))
+    return len(frames)
+
+
+def read_pcap(path: str) -> List[Tuple[int, bytes]]:
+    """Read a classic pcap back as ``[(timestamp_us, frame_bytes)]``."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    if len(blob) < _GLOBAL_HEADER.size:
+        raise ValueError("not a pcap file (truncated header)")
+    magic, _maj, _min, _tz, _sig, _snap, linktype = _GLOBAL_HEADER.unpack_from(
+        blob, 0)
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"not a pcap file (magic {magic:#x})")
+    if linktype != LINKTYPE_ETHERNET:
+        raise ValueError(f"unsupported linktype {linktype}")
+    frames = []
+    offset = _GLOBAL_HEADER.size
+    while offset + _RECORD_HEADER.size <= len(blob):
+        sec, usec, incl, _orig = _RECORD_HEADER.unpack_from(blob, offset)
+        offset += _RECORD_HEADER.size
+        if offset + incl > len(blob):
+            raise ValueError("truncated pcap record")
+        frames.append((sec * 1_000_000 + usec, blob[offset:offset + incl]))
+        offset += incl
+    return frames

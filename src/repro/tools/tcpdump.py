@@ -1,0 +1,85 @@
+"""``tcpdump``: packet capture on a kernel-managed device.
+
+Attaches a tap to the device (the AF_PACKET capture point) and renders
+one summary line per frame — which works on a NIC feeding OVS through
+AF_XDP because the device stays under kernel management (§2.2.3), and is
+impossible on a DPDK-bound NIC because the device is gone from the
+kernel (Table 1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.kernel.namespace import NetNamespace
+from repro.net.addresses import int_to_ip
+from repro.net.ethernet import EtherType
+from repro.net.flow import extract_flow
+from repro.net.ipv4 import IPProto
+from repro.net.packet import Packet
+from repro.tools.iproute import ToolError
+
+
+class Tcpdump:
+    def __init__(self, namespace: NetNamespace, dev: str) -> None:
+        try:
+            self.device = namespace.device(dev)
+        except KeyError:
+            raise ToolError(
+                f"tcpdump: {dev}: No such device exists"
+            ) from None
+        self.lines: List[str] = []
+        self.packets: List[Packet] = []
+        self._tap = self._capture
+        self.device.add_tap(self._tap)
+        self._open = True
+
+    def _capture(self, pkt: Packet, direction: str) -> None:
+        self.lines.append(f"[{direction}] {render_packet(pkt)}")
+        self.packets.append(pkt)
+
+    def stop(self) -> List[str]:
+        if self._open:
+            self.device.remove_tap(self._tap)
+            self._open = False
+        return list(self.lines)
+
+    def save(self, path: str) -> int:
+        """tcpdump -w: write the capture as a real pcap file."""
+        from repro.tools.pcap import write_pcap
+
+        return write_pcap(path, self.packets)
+
+    def __enter__(self) -> "Tcpdump":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def render_packet(pkt: Packet) -> str:
+    key = extract_flow(pkt.data)
+    if key.eth_type == EtherType.ARP:
+        op = "request" if key.nw_proto == 1 else "reply"
+        return (
+            f"ARP, {op} who-has {int_to_ip(key.nw_dst)} "
+            f"tell {int_to_ip(key.nw_src)}, length {len(pkt)}"
+        )
+    if key.eth_type == EtherType.IPV4:
+        proto = {
+            IPProto.TCP: "TCP", IPProto.UDP: "UDP", IPProto.ICMP: "ICMP",
+            IPProto.GRE: "GRE",
+        }.get(key.nw_proto, f"proto-{key.nw_proto}")
+        if key.nw_proto in (IPProto.TCP, IPProto.UDP):
+            return (
+                f"IP {int_to_ip(key.nw_src)}.{key.tp_src} > "
+                f"{int_to_ip(key.nw_dst)}.{key.tp_dst}: {proto}, "
+                f"length {len(pkt)}"
+            )
+        return (
+            f"IP {int_to_ip(key.nw_src)} > {int_to_ip(key.nw_dst)}: "
+            f"{proto}, length {len(pkt)}"
+        )
+    (ethertype,) = struct.unpack_from("!H", pkt.data, 12)
+    return f"ethertype {ethertype:#06x}, length {len(pkt)}"

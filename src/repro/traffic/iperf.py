@@ -1,0 +1,82 @@
+"""iperf-style bulk TCP throughput measurement.
+
+The paper's §5.1 runs "iperf to send a single flow of bulk TCP packets"
+and reports Gbps.  Here the caller supplies a *send step* (push one chunk
+through an established simulated TCP connection and pump the path); this
+module measures where virtual CPU time went and reduces it to goodput:
+
+the path is a pipeline of stages on different cores (sender guest, OVS
+PMD, receiver guest, softirq...), so sustained throughput is limited by
+the **busiest core**, and by the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.sim.cpu import CpuModel
+
+
+@dataclass
+class IperfResult:
+    bytes_delivered: int
+    bottleneck_busy_ns: float
+    gbps: float
+    per_cpu_busy_ns: Dict[int, float]
+    capped_by_link: bool
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        cap = " (line rate)" if self.capped_by_link else ""
+        return f"{self.gbps:.2f} Gbps{cap}"
+
+
+def measure_throughput(
+    cpu: Union[CpuModel, Sequence[CpuModel]],
+    send_step: Callable[[], int],
+    total_bytes: int,
+    link_gbps: Optional[float] = None,
+) -> IperfResult:
+    """Run ``send_step`` until ``total_bytes`` have been delivered.
+
+    ``send_step`` returns the payload bytes it delivered end-to-end in
+    one call.  CPU accounting is snapshotted around the whole run; the
+    goodput is ``bytes / busiest-core-time``, capped by the link.
+    ``cpu`` may be one host's CpuModel or several (cross-host pipelines:
+    the bottleneck core can be on either side).
+    """
+    if total_bytes <= 0:
+        raise ValueError("need a positive byte budget")
+    cpus = list(cpu) if isinstance(cpu, (list, tuple)) else [cpu]
+    before = {
+        (h, c): m.busy_ns(cpu=c)
+        for h, m in enumerate(cpus) for c in range(m.n_cpus)
+    }
+    delivered = 0
+    while delivered < total_bytes:
+        got = send_step()
+        if got <= 0:
+            raise RuntimeError("send step made no progress")
+        delivered += got
+    per_cpu = {
+        (h, c): m.busy_ns(cpu=c) - before[(h, c)]
+        for h, m in enumerate(cpus) for c in range(m.n_cpus)
+    }
+    if len(cpus) == 1:
+        # Single-host runs keep plain cpu-number keys.
+        per_cpu = {c: v for (_h, c), v in per_cpu.items()}
+    bottleneck = max(per_cpu.values())
+    if bottleneck <= 0:
+        raise RuntimeError("no CPU time was charged; nothing was measured")
+    gbps = delivered * 8 / bottleneck  # bytes/ns * 8 = Gbps
+    capped = False
+    if link_gbps is not None and gbps > link_gbps:
+        gbps = link_gbps
+        capped = True
+    return IperfResult(
+        bytes_delivered=delivered,
+        bottleneck_busy_ns=bottleneck,
+        gbps=gbps,
+        per_cpu_busy_ns=per_cpu,
+        capped_by_link=capped,
+    )

@@ -1,0 +1,91 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.afxdp.rings import DescRing, RingFullError
+from repro.afxdp.umem import Umem
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_udp_packet
+
+PKT = make_udp_packet(MacAddress.local(1), MacAddress.local(2),
+                      "10.0.0.1", "10.0.0.2")
+
+
+class TestDescRing:
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            DescRing(100)
+        with pytest.raises(ValueError):
+            DescRing(0)
+
+    def test_fifo_order(self):
+        r = DescRing(8)
+        for i in range(5):
+            r.produce((i, 0))
+        assert [r.consume()[0] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_empty_consume_none(self):
+        assert DescRing(4).consume() is None
+
+    def test_full_raises(self):
+        r = DescRing(2)
+        r.produce((1, 0))
+        r.produce((2, 0))
+        with pytest.raises(RingFullError):
+            r.produce((3, 0))
+
+    def test_batch_produce_partial(self):
+        r = DescRing(4)
+        n = r.produce_batch([(i, 0) for i in range(10)])
+        assert n == 4
+        assert len(r) == 4
+
+    def test_batch_consume(self):
+        r = DescRing(8)
+        r.produce_batch([(i, 0) for i in range(6)])
+        got = r.consume_batch(4)
+        assert [d[0] for d in got] == [0, 1, 2, 3]
+        assert len(r) == 2
+
+    def test_wraparound(self):
+        r = DescRing(4)
+        for round_no in range(10):
+            r.produce_batch([(round_no * 4 + i, 0) for i in range(4)])
+            got = r.consume_batch(4)
+            assert len(got) == 4
+        assert len(r) == 0
+
+    @given(st.lists(st.integers(0, 1000), max_size=64))
+    def test_fifo_property(self, addrs):
+        r = DescRing(64)
+        n = r.produce_batch([(a, 0) for a in addrs])
+        out = [d[0] for d in r.consume_batch(64)]
+        assert out == addrs[:n]
+
+
+class TestUmem:
+    def test_frame_addresses_aligned(self):
+        u = Umem(n_frames=4, frame_size=2048)
+        assert u.all_addresses() == [0, 2048, 4096, 6144]
+
+    def test_write_read_clear(self):
+        u = Umem(n_frames=2)
+        u.write_frame(2048, PKT)
+        assert u.read_frame(2048) is PKT
+        u.clear_frame(2048)
+        with pytest.raises(ValueError, match="empty"):
+            u.read_frame(2048)
+
+    def test_unaligned_address_rejected(self):
+        u = Umem(n_frames=2)
+        with pytest.raises(ValueError, match="frame boundary"):
+            u.write_frame(100, PKT)
+
+    def test_oversized_packet_rejected(self):
+        u = Umem(n_frames=1, frame_size=32)
+        with pytest.raises(ValueError, match="larger than a frame"):
+            u.write_frame(0, PKT)
+
+    def test_needs_frames(self):
+        with pytest.raises(ValueError):
+            Umem(n_frames=0)

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.analysis.loc_model import (
+    BACKPORT_CASE_STUDIES,
+    OUT_OF_TREE_CHURN,
+    BackportModel,
+)
+from repro.analysis.reporting import bar_chart, format_table
+
+
+class TestChurnDataset:
+    def test_covers_2015_through_2019(self):
+        assert sorted(OUT_OF_TREE_CHURN) == [2015, 2016, 2017, 2018, 2019]
+
+    def test_backports_every_year(self):
+        # "thousands of lines of code changes every year just to stay
+        # compatible" (§2.1.1).
+        for _features, backports in OUT_OF_TREE_CHURN.values():
+            assert backports >= 1_000
+
+    def test_case_studies_match_paper(self):
+        erspan = next(c for c in BACKPORT_CASE_STUDIES
+                      if "ERSPAN" in c.feature)
+        assert erspan.upstream_loc == 50
+        assert erspan.backport_loc >= 5_000
+        assert erspan.backport_commits == 25
+        conncount = next(c for c in BACKPORT_CASE_STUDIES
+                         if "conncount" in c.feature)
+        assert conncount.upstream_loc == 600
+
+
+class TestBackportModel:
+    def test_amplification_within_case_study_range(self):
+        model = BackportModel()
+        lo = min(c.backport_loc / c.upstream_loc
+                 for c in BACKPORT_CASE_STUDIES)
+        hi = max(c.backport_loc / c.upstream_loc
+                 for c in BACKPORT_CASE_STUDIES)
+        for _ in range(200):
+            assert lo <= model.amplification() <= hi
+
+    def test_simulate_years_shape(self):
+        model = BackportModel()
+        series = model.simulate_years([10_000, 20_000])
+        assert len(series) == 2
+        for features, backports in series:
+            assert backports > 0
+        assert series[0][0] == 10_000
+
+    def test_deterministic_given_seed(self):
+        a = BackportModel(seed=5).simulate_years([10_000] * 3)
+        b = BackportModel(seed=5).simulate_years([10_000] * 3)
+        assert a == b
+
+    def test_rejects_zero_kernels(self):
+        with pytest.raises(ValueError):
+            BackportModel(n_supported_kernels=0)
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [(1, "x"), (22, "yy")], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "22" in out
+
+    def test_format_table_empty(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_format_table_floats(self):
+        out = format_table(["v"], [(3.14159,)])
+        assert "3.14" in out
+
+    def test_bar_chart_scales(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], unit="Mpps", width=10)
+        a_line, b_line = out.splitlines()
+        assert a_line.count("#") * 2 == b_line.count("#")
+        assert "Mpps" in out
+
+    def test_bar_chart_zero_and_max(self):
+        out = bar_chart(["z"], [0.0], max_value=10)
+        assert "#" not in out.splitlines()[0].split("|")[1]
+
+    def test_bar_chart_validates(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])

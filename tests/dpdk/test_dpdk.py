@@ -1,0 +1,143 @@
+import pytest
+
+from repro.dpdk.af_packet import AfPacketPort
+from repro.dpdk.ethdev import bind_device, unbind_device
+from repro.dpdk.mempool import Mempool
+from repro.kernel.namespace import NetNamespace
+from repro.kernel.netdev import NetDevice, Wire
+from repro.kernel.nic import PhysicalNic
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_udp_packet
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+
+def mac(i):
+    return MacAddress.local(i)
+
+
+PKT = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2", frame_len=64)
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel(2)
+
+
+@pytest.fixture
+def pmd(cpu):
+    return ExecContext(cpu, 0, CpuCategory.USER)
+
+
+@pytest.fixture
+def world():
+    ns = NetNamespace("host")
+    nic = PhysicalNic("ens1", mac(10), n_queues=2)
+    ns.register(nic)
+    nic.set_up()
+    peer = NetDevice("peer", mac(11))
+    peer.set_up()
+    peer.set_rx_handler(lambda pkt, ctx: None)
+    Wire(nic, peer, gbps=25)
+    return ns, nic, peer
+
+
+class TestMempool:
+    def test_alloc_free(self, pmd):
+        pool = Mempool(n_mbufs=4)
+        assert pool.alloc(3, pmd) == 3
+        assert pool.free_count == 1
+        pool.free(3, pmd)
+        assert pool.free_count == 4
+
+    def test_exhaustion_records_failures(self, pmd):
+        pool = Mempool(n_mbufs=2)
+        assert pool.alloc(5, pmd) == 2
+        assert pool.alloc_failures == 3
+
+    def test_overfree_rejected(self, pmd):
+        pool = Mempool(n_mbufs=2)
+        with pytest.raises(ValueError):
+            pool.free(1, pmd)
+
+    def test_needs_buffers(self):
+        with pytest.raises(ValueError):
+            Mempool(0)
+
+
+class TestBinding:
+    def test_bind_removes_from_kernel(self, world):
+        ns, nic, _peer = world
+        eth = bind_device(ns, "ens1")
+        assert not ns.has_device("ens1")  # ip link no longer sees it
+        assert eth.nic is nic
+
+    def test_bind_requires_physical_nic(self, world):
+        ns, _nic, _peer = world
+        ns.register(NetDevice("dummy0", mac(50)))
+        with pytest.raises(ValueError):
+            bind_device(ns, "dummy0")
+
+    def test_unbind_restores_kernel_control(self, world):
+        ns, _nic, _peer = world
+        eth = bind_device(ns, "ens1")
+        unbind_device(ns, eth)
+        assert ns.has_device("ens1")
+
+
+class TestDpdkEthDev:
+    def test_rx_polls_hardware_ring(self, world, pmd):
+        ns, nic, _peer = world
+        eth = bind_device(ns, "ens1")
+        nic.host_receive(PKT)
+        queue = nic.select_queue(PKT)
+        pkts = eth.rx_burst(queue, pmd)
+        assert len(pkts) == 1
+        assert eth.rx_packets == 1
+
+    def test_rx_keeps_hardware_metadata(self, world, pmd):
+        ns, nic, _peer = world
+        eth = bind_device(ns, "ens1")
+        nic.host_receive(PKT)
+        queue = nic.select_queue(PKT)
+        [pkt] = eth.rx_burst(queue, pmd)
+        assert pkt.meta.rxhash is not None  # hw hash, no sw cost
+        assert pkt.meta.csum_verified
+
+    def test_no_system_time_anywhere(self, world, cpu, pmd):
+        ns, nic, _peer = world
+        eth = bind_device(ns, "ens1")
+        nic.host_receive(PKT)
+        queue = nic.select_queue(PKT)
+        pkts = eth.rx_burst(queue, pmd)
+        eth.tx_burst(queue, pkts, pmd)
+        assert cpu.busy_ns(category=CpuCategory.SYSTEM) == 0
+        assert cpu.busy_ns(category=CpuCategory.SOFTIRQ) == 0
+
+    def test_tx_reaches_wire(self, world, pmd):
+        ns, nic, peer = world
+        got = []
+        peer.set_rx_handler(lambda pkt, ctx: got.append(pkt))
+        eth = bind_device(ns, "ens1")
+        assert eth.tx_burst(0, [PKT], pmd) == 1
+        assert len(got) == 1
+
+    def test_empty_rx_burst(self, world, pmd):
+        ns, _nic, _peer = world
+        eth = bind_device(ns, "ens1")
+        assert eth.rx_burst(0, pmd) == []
+
+
+class TestAfPacket:
+    def test_rx_tx_through_kernel(self, cpu, pmd):
+        dev = NetDevice("veth0", mac(20))
+        dev.set_up()
+        port = AfPacketPort(dev)
+        dev.deliver(PKT, pmd)
+        pkts = port.rx_burst(pmd)
+        assert len(pkts) == 1
+        sent = []
+        dev._transmit = lambda pkt, c: (sent.append(pkt), True)[1]
+        port.tx_burst(pkts, pmd)
+        assert len(sent) == 1
+        # The defining property: syscalls both ways (Figure 11's DPDK bar).
+        assert cpu.busy_ns(category=CpuCategory.SYSTEM) > 0

@@ -1,0 +1,153 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ebpf.maps import (
+    ArrayMap,
+    DevMap,
+    HashMap,
+    LpmTrieMap,
+    MapError,
+    XskMap,
+)
+
+
+class TestHashMap:
+    def test_lookup_miss_returns_none(self):
+        m = HashMap(4, 4, 16)
+        assert m.lookup(b"\x00" * 4) is None
+
+    def test_update_then_lookup(self):
+        m = HashMap(4, 8, 16)
+        m.update(b"abcd", b"12345678")
+        assert m.lookup(b"abcd") == b"12345678"
+
+    def test_key_value_size_enforced(self):
+        m = HashMap(4, 4, 16)
+        with pytest.raises(MapError):
+            m.lookup(b"abc")
+        with pytest.raises(MapError):
+            m.update(b"abcd", b"toolongvalue")
+
+    def test_capacity_enforced_but_overwrite_ok(self):
+        m = HashMap(1, 1, 2)
+        m.update(b"a", b"x")
+        m.update(b"b", b"y")
+        with pytest.raises(MapError):
+            m.update(b"c", b"z")
+        m.update(b"a", b"w")  # overwrite existing still allowed
+        assert m.lookup(b"a") == b"w"
+
+    def test_delete(self):
+        m = HashMap(1, 1, 2)
+        m.update(b"a", b"x")
+        m.delete(b"a")
+        assert m.lookup(b"a") is None
+        with pytest.raises(MapError):
+            m.delete(b"a")
+
+    def test_len_and_items(self):
+        m = HashMap(1, 1, 8)
+        m.update(b"a", b"1")
+        m.update(b"b", b"2")
+        assert len(m) == 2
+        assert dict(m.items()) == {b"a": b"1", b"b": b"2"}
+
+    @given(st.dictionaries(st.binary(min_size=4, max_size=4),
+                           st.binary(min_size=4, max_size=4), max_size=50))
+    def test_behaves_like_dict(self, entries):
+        m = HashMap(4, 4, 64)
+        for k, v in entries.items():
+            m.update(k, v)
+        for k, v in entries.items():
+            assert m.lookup(k) == v
+
+
+class TestArrayMap:
+    def test_slots_preexist_zeroed(self):
+        m = ArrayMap(value_size=4, max_entries=4)
+        assert m.lookup((2).to_bytes(4, "little")) == b"\x00" * 4
+
+    def test_update_and_lookup(self):
+        m = ArrayMap(4, 4)
+        m.update((1).to_bytes(4, "little"), b"abcd")
+        assert m.lookup((1).to_bytes(4, "little")) == b"abcd"
+
+    def test_out_of_range(self):
+        m = ArrayMap(4, 4)
+        assert m.lookup((4).to_bytes(4, "little")) is None
+        with pytest.raises(MapError):
+            m.update((4).to_bytes(4, "little"), b"abcd")
+
+    def test_delete_forbidden(self):
+        m = ArrayMap(4, 4)
+        with pytest.raises(MapError):
+            m.delete((0).to_bytes(4, "little"))
+
+
+class TestLpmTrie:
+    @staticmethod
+    def _key(prefix_len: int, ip: int) -> bytes:
+        return prefix_len.to_bytes(4, "little") + ip.to_bytes(4, "big")
+
+    def test_longest_prefix_wins(self):
+        m = LpmTrieMap(data_size=4, value_size=1, max_entries=16)
+        m.update(self._key(8, 0x0A000000), b"A")    # 10/8
+        m.update(self._key(24, 0x0A000100), b"B")   # 10.0.1/24
+        assert m.lookup(self._key(32, 0x0A000105)) == b"B"
+        assert m.lookup(self._key(32, 0x0A050505)) == b"A"
+        assert m.lookup(self._key(32, 0x0B000001)) is None
+
+    def test_default_route(self):
+        m = LpmTrieMap(4, 1, 4)
+        m.update(self._key(0, 0), b"D")
+        assert m.lookup(self._key(32, 0xC0A80101)) == b"D"
+
+    def test_delete(self):
+        m = LpmTrieMap(4, 1, 4)
+        m.update(self._key(8, 0x0A000000), b"A")
+        m.delete(self._key(8, 0x0A000000))
+        assert m.lookup(self._key(32, 0x0A000001)) is None
+
+    def test_prefix_too_long_rejected(self):
+        m = LpmTrieMap(4, 1, 4)
+        with pytest.raises(MapError):
+            m.update(self._key(33, 0), b"A")
+
+
+class TestDevMap:
+    def test_set_and_get(self):
+        m = DevMap(8)
+        m.set_dev(3, 42)
+        assert m.get_dev(3) == 42
+        assert m.lookup((3).to_bytes(4, "little")) == (42).to_bytes(4, "little")
+
+    def test_empty_slot(self):
+        m = DevMap(8)
+        assert m.get_dev(0) is None
+        assert m.lookup((0).to_bytes(4, "little")) is None
+
+    def test_slot_range(self):
+        m = DevMap(2)
+        with pytest.raises(MapError):
+            m.set_dev(2, 1)
+
+    def test_update_delete_via_bytes(self):
+        m = DevMap(4)
+        m.update((1).to_bytes(4, "little"), (9).to_bytes(4, "little"))
+        assert m.get_dev(1) == 9
+        m.delete((1).to_bytes(4, "little"))
+        assert m.get_dev(1) is None
+
+    def test_xskmap_is_devmap_shaped(self):
+        m = XskMap(4)
+        m.set_dev(0, 7)
+        assert m.get_dev(0) == 7
+        assert m.map_type == "xskmap"
+
+
+def test_dimensions_must_be_positive():
+    with pytest.raises(ValueError):
+        HashMap(0, 4, 4)
+    with pytest.raises(ValueError):
+        ArrayMap(4, 0)

@@ -1,0 +1,188 @@
+import pytest
+
+from repro.ebpf.programs import (
+    container_ip_key,
+    container_redirect_program,
+    drop_program,
+    l2_key,
+    l4_load_balancer_program,
+    lb_key,
+    parse_drop_program,
+    parse_lookup_drop_program,
+    parse_swap_tx_program,
+    pass_program,
+    steering_program,
+    xsk_redirect_program,
+)
+from repro.ebpf.xdp import XdpAction, XdpContext
+from repro.net.addresses import MacAddress, ip_to_int
+from repro.net.builder import make_tcp_packet, make_udp_packet
+
+SRC = MacAddress("02:00:00:00:00:01")
+DST = MacAddress("02:00:00:00:00:02")
+UDP = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", 1000, 2000,
+                      frame_len=64).data
+
+
+def test_drop_program():
+    verdict = XdpContext(drop_program()).run(UDP)
+    assert verdict.action == XdpAction.DROP
+    assert verdict.insns_executed == 2
+
+
+def test_pass_program():
+    assert XdpContext(pass_program()).run(UDP).action == XdpAction.PASS
+
+
+def test_parse_drop_program_drops_everything():
+    ctx = XdpContext(parse_drop_program())
+    assert ctx.run(UDP).action == XdpAction.DROP
+    # Non-IPv4 takes the early exit but still drops.
+    from repro.net.builder import make_arp_request
+
+    arp = make_arp_request(SRC, "10.0.0.1", "10.0.0.2").data
+    assert ctx.run(arp).action == XdpAction.DROP
+
+
+def test_parse_drop_executes_more_insns_than_drop():
+    plain = XdpContext(drop_program()).run(UDP)
+    parsed = XdpContext(parse_drop_program()).run(UDP)
+    assert parsed.insns_executed > plain.insns_executed
+
+
+def test_parse_lookup_drop_queries_the_l2_table():
+    prog, table = parse_lookup_drop_program()
+    table.update(l2_key(DST.to_bytes()), (1).to_bytes(4, "little"))
+    verdict = XdpContext(prog).run(UDP)
+    assert verdict.action == XdpAction.DROP
+    lookup = XdpContext(parse_lookup_drop_program()[0]).run(UDP)
+    drop_only = XdpContext(parse_drop_program()).run(UDP)
+    assert lookup.insns_executed > drop_only.insns_executed
+
+
+def test_parse_swap_tx_swaps_macs():
+    verdict = XdpContext(parse_swap_tx_program()).run(UDP)
+    assert verdict.action == XdpAction.TX
+    assert verdict.data[0:6] == SRC.to_bytes()   # dst <- old src
+    assert verdict.data[6:12] == DST.to_bytes()  # src <- old dst
+    assert verdict.data[12:] == UDP[12:]
+
+
+def test_parse_swap_tx_drops_non_ip():
+    from repro.net.builder import make_arp_request
+
+    arp = make_arp_request(SRC, "10.0.0.1", "10.0.0.2").data
+    assert XdpContext(parse_swap_tx_program()).run(arp).action == XdpAction.DROP
+
+
+class TestXskRedirect:
+    def test_redirects_to_queue_socket(self):
+        prog, xsks = xsk_redirect_program(n_queues=4)
+        xsks.set_dev(2, 1001)  # XSK id 1001 bound to queue 2
+        verdict = XdpContext(prog).run(UDP, rx_queue_index=2)
+        assert verdict.action == XdpAction.REDIRECT
+        kind, target_map, slot = verdict.redirect
+        assert kind == "map"
+        assert target_map is xsks
+        assert slot == 2
+
+    def test_falls_back_to_pass_without_socket(self):
+        prog, _xsks = xsk_redirect_program(n_queues=4)
+        verdict = XdpContext(prog).run(UDP, rx_queue_index=2)
+        assert verdict.action == XdpAction.PASS
+
+
+class TestSteering:
+    def test_mgmt_tcp_goes_to_stack(self):
+        prog, xsks = steering_program(n_queues=2)
+        xsks.set_dev(0, 1)
+        ssh = make_tcp_packet(SRC, DST, "10.0.0.1", "10.0.0.2",
+                              dst_port=22).data
+        assert XdpContext(prog).run(ssh).action == XdpAction.PASS
+        openflow = make_tcp_packet(SRC, DST, "10.0.0.1", "10.0.0.2",
+                                   dst_port=6653).data
+        assert XdpContext(prog).run(openflow).action == XdpAction.PASS
+
+    def test_data_traffic_goes_to_xsk(self):
+        prog, xsks = steering_program(n_queues=2)
+        xsks.set_dev(0, 1)
+        assert XdpContext(prog).run(UDP).action == XdpAction.REDIRECT
+        tcp_data = make_tcp_packet(SRC, DST, "10.0.0.1", "10.0.0.2",
+                                   dst_port=5001).data
+        assert XdpContext(prog).run(tcp_data).action == XdpAction.REDIRECT
+
+
+class TestContainerRedirect:
+    def test_known_ip_goes_to_veth(self):
+        prog, xsks, devs, ips = container_redirect_program()
+        xsks.set_dev(0, 1)
+        devs.set_dev(5, 301)  # slot 5 -> veth ifindex 301
+        ips.update(container_ip_key(ip_to_int("10.0.0.2")),
+                   (5).to_bytes(4, "little"))
+        verdict = XdpContext(prog).run(UDP)
+        assert verdict.action == XdpAction.REDIRECT
+        kind, target_map, slot = verdict.redirect
+        assert target_map is devs
+        assert slot == 5
+
+    def test_unknown_ip_goes_to_userspace(self):
+        prog, xsks, _devs, _ips = container_redirect_program()
+        xsks.set_dev(0, 1)
+        verdict = XdpContext(prog).run(UDP)
+        assert verdict.action == XdpAction.REDIRECT
+        _, target_map, _ = verdict.redirect
+        assert target_map is xsks
+
+
+class TestL4LoadBalancer:
+    def test_matching_flow_rewritten_and_bounced(self):
+        prog, xsks, backends = l4_load_balancer_program()
+        xsks.set_dev(0, 1)
+        backend_ip = ip_to_int("10.0.0.99")
+        backends.update(
+            lb_key(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"),
+                   1000, 2000, 17),
+            backend_ip.to_bytes(4, "little"),
+        )
+        verdict = XdpContext(prog).run(UDP)
+        assert verdict.action == XdpAction.TX
+        assert verdict.data[30:34] == backend_ip.to_bytes(4, "big")
+
+    def test_non_matching_flow_to_userspace(self):
+        prog, xsks, _backends = l4_load_balancer_program()
+        xsks.set_dev(0, 1)
+        verdict = XdpContext(prog).run(UDP)
+        assert verdict.action == XdpAction.REDIRECT
+
+
+def test_all_programs_are_verified():
+    progs = [
+        drop_program(),
+        pass_program(),
+        parse_drop_program(),
+        parse_lookup_drop_program()[0],
+        parse_swap_tx_program(),
+        xsk_redirect_program()[0],
+        steering_program()[0],
+        container_redirect_program()[0],
+        l4_load_balancer_program()[0],
+    ]
+    assert all(p.verified for p in progs)
+
+
+def test_l2_key_requires_six_bytes():
+    with pytest.raises(ValueError):
+        l2_key(b"\x00" * 5)
+
+
+def test_table5_complexity_ordering():
+    """Table 5: each task executes strictly more instructions than the
+    previous, which is what makes its rate lower (§5.4 outcome #4)."""
+    lookup_prog, table = parse_lookup_drop_program()
+    table.update(l2_key(DST.to_bytes()), (1).to_bytes(4, "little"))
+    a = XdpContext(drop_program()).run(UDP).insns_executed
+    b = XdpContext(parse_drop_program()).run(UDP).insns_executed
+    c = XdpContext(lookup_prog).run(UDP).insns_executed
+    d = XdpContext(parse_swap_tx_program()).run(UDP).insns_executed
+    assert a < b < c
+    assert d > b

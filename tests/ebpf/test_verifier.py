@@ -1,0 +1,129 @@
+import pytest
+
+from repro.ebpf.isa import Insn, Reg
+from repro.ebpf.maps import HashMap
+from repro.ebpf.program import Program, ProgramBuilder
+from repro.ebpf.verifier import MAX_INSNS, VerifierError, verify
+
+
+def _prog(*insns: Insn, maps=None) -> Program:
+    return Program("manual", tuple(insns), maps or {})
+
+
+EXIT = Insn("exit")
+MOV0 = Insn("mov_imm", dst=0, imm=0)
+
+
+def test_accepts_minimal_program():
+    p = verify(_prog(MOV0, EXIT))
+    assert p.verified
+
+
+def test_rejects_empty():
+    with pytest.raises(VerifierError, match="empty"):
+        verify(_prog())
+
+
+def test_rejects_oversized():
+    insns = [MOV0] * MAX_INSNS + [EXIT]
+    with pytest.raises(VerifierError, match="too large"):
+        verify(_prog(*insns))
+
+
+def test_rejects_unknown_opcode():
+    with pytest.raises(VerifierError, match="unknown opcode"):
+        verify(_prog(Insn("frobnicate"), EXIT))
+
+
+def test_rejects_bad_register():
+    with pytest.raises(VerifierError, match="bad dst"):
+        verify(_prog(Insn("mov_imm", dst=11, imm=0), EXIT))
+
+
+def test_rejects_write_to_r10():
+    with pytest.raises(VerifierError, match="r10 is read-only"):
+        verify(_prog(Insn("mov_imm", dst=10, imm=0), EXIT))
+
+
+def test_rejects_back_edge():
+    # jeq with a negative offset = a loop.
+    with pytest.raises(VerifierError, match="back-edge"):
+        verify(_prog(MOV0, Insn("jeq_imm", dst=0, off=-1, imm=0), EXIT))
+
+
+def test_allows_zero_offset_branch():
+    # Branching to the next insn is a no-op, not a loop.
+    p = verify(_prog(MOV0, Insn("jeq_imm", dst=0, off=0, imm=0), EXIT))
+    assert p.verified
+
+
+def test_rejects_jump_past_end():
+    with pytest.raises(VerifierError, match="past the end"):
+        verify(_prog(Insn("ja", off=5), EXIT))
+
+
+def test_rejects_fall_off_end():
+    with pytest.raises(VerifierError, match="fall off"):
+        verify(_prog(MOV0))
+
+
+def test_rejects_unknown_helper():
+    with pytest.raises(VerifierError, match="unknown helper"):
+        verify(_prog(Insn("call", imm=9999), EXIT))
+
+
+def test_rejects_undeclared_map():
+    with pytest.raises(VerifierError, match="undeclared map"):
+        verify(_prog(Insn("ld_map", dst=1, imm=7), EXIT))
+
+
+def test_accepts_declared_map():
+    m = HashMap(4, 4, 4)
+    p = verify(_prog(Insn("ld_map", dst=1, imm=7), EXIT, maps={7: m}))
+    assert p.verified
+
+
+def test_rejects_stack_overflow_access():
+    with pytest.raises(VerifierError, match="stack access"):
+        verify(_prog(Insn("ldxw", dst=0, src=10, off=-600), EXIT))
+    with pytest.raises(VerifierError, match="stack access"):
+        verify(_prog(Insn("stxw", dst=10, src=0, off=0), EXIT))
+
+
+def test_builder_refuses_backward_label():
+    b = ProgramBuilder("loop")
+    b.label("top")
+    b.mov_imm(Reg.R0, 0)
+    with pytest.raises(ValueError, match="loops are not allowed"):
+        b.ja("top")
+
+
+def test_builder_rejects_unresolved_labels():
+    b = ProgramBuilder("dangling")
+    b.jeq_imm(Reg.R0, 0, "nowhere")
+    b.mov_imm(Reg.R0, 0)
+    b.exit_()
+    with pytest.raises(ValueError, match="unresolved"):
+        b.build()
+
+
+def test_builder_rejects_duplicate_label():
+    b = ProgramBuilder("dup")
+    b.label("a")
+    with pytest.raises(ValueError, match="duplicate"):
+        b.label("a")
+
+
+def test_builder_requires_trailing_exit():
+    b = ProgramBuilder("noexit")
+    b.mov_imm(Reg.R0, 0)
+    with pytest.raises(ValueError, match="end with exit"):
+        b.build()
+
+
+def test_vm_refuses_unverified_program():
+    from repro.ebpf.vm import EbpfVm, VmFault
+
+    prog = _prog(MOV0, EXIT)  # never verified
+    with pytest.raises(VmFault, match="not verified"):
+        EbpfVm(prog)

@@ -1,0 +1,261 @@
+import pytest
+
+from repro.ebpf.helpers import Helper
+from repro.ebpf.isa import Reg
+from repro.ebpf.maps import HashMap
+from repro.ebpf.program import ProgramBuilder
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import CTX_DATA, CTX_DATA_END, CTX_INGRESS_IFINDEX, CTX_RX_QUEUE_INDEX, EbpfVm
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+PKT = bytes(range(64))
+
+
+def run(build, pkt=PKT, **kwargs):
+    """Build, verify and run a program; returns (verdict, vm)."""
+    b = ProgramBuilder("t")
+    build(b)
+    vm = EbpfVm(verify(b.build()), **kwargs)
+    return vm.run(pkt), vm
+
+
+class TestAlu:
+    def test_mov_and_return(self):
+        verdict, _ = run(lambda b: b.mov_imm(Reg.R0, 42).exit_())
+        assert verdict == 42
+
+    def test_add_sub_mul(self):
+        def prog(b):
+            b.mov_imm(Reg.R1, 10)
+            b.mov_imm(Reg.R2, 3)
+            b.mov_reg(Reg.R0, Reg.R1)
+            b.add_reg(Reg.R0, Reg.R2)   # 13
+            b.mul_imm(Reg.R0, 2)        # 26
+            b.sub_imm(Reg.R0, 1)        # 25
+            b.exit_()
+        assert run(prog)[0] == 25
+
+    def test_div_by_zero_yields_zero(self):
+        def prog(b):
+            b.mov_imm(Reg.R0, 100)
+            b.mov_imm(Reg.R1, 0)
+            b._alu("div", Reg.R0, Reg.R1, 0)
+            b.exit_()
+        assert run(prog)[0] == 0
+
+    def test_shifts_and_masks(self):
+        def prog(b):
+            b.mov_imm(Reg.R0, 0xFF)
+            b.lsh_imm(Reg.R0, 8)        # 0xFF00
+            b.rsh_imm(Reg.R0, 4)        # 0x0FF0
+            b.and_imm(Reg.R0, 0xF0)     # 0xF0
+            b.exit_()
+        assert run(prog)[0] == 0xF0
+
+    def test_wraparound_u64(self):
+        def prog(b):
+            b.mov_imm(Reg.R0, -1)       # 0xffffffffffffffff
+            b.add_imm(Reg.R0, 2)        # wraps to 1
+            b.exit_()
+        assert run(prog)[0] & 0xFFFFFFFF == 1
+
+
+class TestPacketAccess:
+    def test_load_packet_bytes_network_order(self):
+        def prog(b):
+            b.ldxw(Reg.R2, Reg.R1, CTX_DATA)
+            b.ldxh(Reg.R0, Reg.R2, 12)   # bytes 12,13 big-endian
+            b.exit_()
+        verdict, _ = run(prog)
+        assert verdict == (PKT[12] << 8) | PKT[13]
+
+    def test_bounds_check_pattern(self):
+        def prog(b):
+            b.ldxw(Reg.R2, Reg.R1, CTX_DATA)
+            b.ldxw(Reg.R3, Reg.R1, CTX_DATA_END)
+            b.mov_reg(Reg.R4, Reg.R2)
+            b.add_imm(Reg.R4, 100)       # beyond the 64-byte packet
+            b.jgt_reg(Reg.R4, Reg.R3, "short")
+            b.mov_imm(Reg.R0, 1)
+            b.exit_()
+            b.label("short")
+            b.mov_imm(Reg.R0, 2)
+            b.exit_()
+        assert run(prog)[0] == 2
+
+    def test_out_of_bounds_load_aborts(self):
+        from repro.ebpf.xdp import XdpAction, XdpContext
+
+        b = ProgramBuilder("oob")
+        b.ldxw(Reg.R2, Reg.R1, CTX_DATA)
+        b.ldxw(Reg.R0, Reg.R2, 1000)
+        b.exit_()
+        verdict = XdpContext(verify(b.build())).run(PKT)
+        assert verdict.action == XdpAction.ABORTED
+
+    def test_store_rewrites_packet(self):
+        def prog(b):
+            b.ldxw(Reg.R2, Reg.R1, CTX_DATA)
+            b.mov_imm(Reg.R5, 0xAABB)
+            b.stxh(Reg.R2, Reg.R5, 0)
+            b.mov_imm(Reg.R0, 3)
+            b.exit_()
+        verdict, vm = run(prog)
+        assert vm.pkt_bytes()[:2] == b"\xaa\xbb"
+        assert vm.pkt_bytes()[2:] == PKT[2:]
+
+    def test_ctx_metadata_fields(self):
+        def prog(b):
+            b.ldxw(Reg.R0, Reg.R1, CTX_INGRESS_IFINDEX)
+            b.ldxw(Reg.R5, Reg.R1, CTX_RX_QUEUE_INDEX)
+            b.add_reg(Reg.R0, Reg.R5)
+            b.exit_()
+        b = ProgramBuilder("meta")
+        prog(b)
+        vm = EbpfVm(verify(b.build()))
+        assert vm.run(PKT, ingress_ifindex=7, rx_queue_index=3) == 10
+
+
+class TestStackAndMaps:
+    def test_stack_store_load(self):
+        def prog(b):
+            b.mov_imm(Reg.R5, 0xDEAD)
+            b.stxw(Reg.R10, Reg.R5, -8)
+            b.ldxw(Reg.R0, Reg.R10, -8)
+            b.exit_()
+        assert run(prog)[0] == 0xDEAD
+
+    def test_map_lookup_hit_and_write_back(self):
+        table = HashMap(4, 4, 4)
+        table.update(b"\x01\x00\x00\x00", (5).to_bytes(4, "little"))
+
+        b = ProgramBuilder("mapwrite")
+        mid = b.declare_map(table)
+        b.mov_imm(Reg.R5, 1)
+        b.stxw(Reg.R10, Reg.R5, -4)
+        b.ld_map(Reg.R1, mid)
+        b.mov_reg(Reg.R2, Reg.R10)
+        b.add_imm(Reg.R2, -4)
+        b.call(Helper.MAP_LOOKUP_ELEM)
+        b.jeq_imm(Reg.R0, 0, "miss")
+        b.ldxw(Reg.R6, Reg.R0, 0)
+        b.add_imm(Reg.R6, 1)             # increment the counter in place
+        b.stxw(Reg.R0, Reg.R6, 0)
+        b.mov_reg(Reg.R0, Reg.R6)
+        b.exit_()
+        b.label("miss")
+        b.mov_imm(Reg.R0, 0)
+        b.exit_()
+        vm = EbpfVm(verify(b.build()))
+        assert vm.run(PKT) == 6
+        # The write through the map-value pointer persisted.
+        assert table.lookup(b"\x01\x00\x00\x00") == (6).to_bytes(4, "little")
+
+    def test_map_lookup_miss_is_null(self):
+        table = HashMap(4, 4, 4)
+        b = ProgramBuilder("mapmiss")
+        mid = b.declare_map(table)
+        b.mov_imm(Reg.R5, 9)
+        b.stxw(Reg.R10, Reg.R5, -4)
+        b.ld_map(Reg.R1, mid)
+        b.mov_reg(Reg.R2, Reg.R10)
+        b.add_imm(Reg.R2, -4)
+        b.call(Helper.MAP_LOOKUP_ELEM)
+        b.jne_imm(Reg.R0, 0, "hit")
+        b.mov_imm(Reg.R0, 111)
+        b.exit_()
+        b.label("hit")
+        b.mov_imm(Reg.R0, 222)
+        b.exit_()
+        assert EbpfVm(verify(b.build())).run(PKT) == 111
+
+    def test_map_update_from_program(self):
+        table = HashMap(4, 4, 4)
+        b = ProgramBuilder("mapupd")
+        mid = b.declare_map(table)
+        b.mov_imm(Reg.R5, 3)
+        b.stxw(Reg.R10, Reg.R5, -8)      # key = 3
+        b.mov_imm(Reg.R5, 77)
+        b.stxw(Reg.R10, Reg.R5, -4)      # value = 77
+        b.ld_map(Reg.R1, mid)
+        b.mov_reg(Reg.R2, Reg.R10)
+        b.add_imm(Reg.R2, -8)
+        b.mov_reg(Reg.R3, Reg.R10)
+        b.add_imm(Reg.R3, -4)
+        b.call(Helper.MAP_UPDATE_ELEM)
+        b.exit_()
+        assert EbpfVm(verify(b.build())).run(PKT) == 0
+        assert table.lookup((3).to_bytes(4, "little")) == (77).to_bytes(4, "little")
+
+
+class TestCostAccounting:
+    def test_insn_cost_charged(self):
+        cpu = CpuModel(1)
+        ctx = ExecContext(cpu, 0, CpuCategory.SOFTIRQ)
+        b = ProgramBuilder("count")
+        b.mov_imm(Reg.R0, 1)
+        b.mov_imm(Reg.R5, 2)
+        b.exit_()
+        vm = EbpfVm(verify(b.build()), exec_ctx=ctx)
+        vm.run(PKT)
+        assert vm.insns_executed == 3
+        assert cpu.busy_ns() == pytest.approx(3 * DEFAULT_COSTS.ebpf_insn_ns)
+
+    def test_helper_cost_added(self):
+        cpu = CpuModel(1)
+        ctx = ExecContext(cpu, 0, CpuCategory.SOFTIRQ)
+        table = HashMap(4, 4, 4)
+        b = ProgramBuilder("helpercost")
+        mid = b.declare_map(table)
+        b.mov_imm(Reg.R5, 1)
+        b.stxw(Reg.R10, Reg.R5, -4)
+        b.ld_map(Reg.R1, mid)
+        b.mov_reg(Reg.R2, Reg.R10)
+        b.add_imm(Reg.R2, -4)
+        b.call(Helper.MAP_LOOKUP_ELEM)
+        b.exit_()
+        vm = EbpfVm(verify(b.build()), exec_ctx=ctx)
+        vm.run(PKT)
+        expected = (
+            7 * DEFAULT_COSTS.ebpf_insn_ns
+            + DEFAULT_COSTS.ebpf_helper_ns
+            + DEFAULT_COSTS.ebpf_map_lookup_ns
+        )
+        assert cpu.busy_ns() == pytest.approx(expected)
+
+
+class TestHelpers:
+    def test_ktime(self):
+        def prog(b):
+            b.call(Helper.KTIME_GET_NS)
+            b.exit_()
+        b = ProgramBuilder("kt")
+        prog(b)
+        vm = EbpfVm(verify(b.build()), ktime_ns=12345)
+        assert vm.run(PKT) == 12345
+
+    def test_prandom_deterministic_per_program(self):
+        def prog(b):
+            b.call(Helper.GET_PRANDOM_U32)
+            b.exit_()
+        b1 = ProgramBuilder("r")
+        prog(b1)
+        b2 = ProgramBuilder("r")
+        prog(b2)
+        v1 = EbpfVm(verify(b1.build())).run(PKT)
+        v2 = EbpfVm(verify(b2.build())).run(PKT)
+        assert v1 == v2  # same program name -> same stream
+
+    def test_adjust_head_grow_and_shrink(self):
+        def prog(b):
+            b.mov_imm(Reg.R2, -4)        # grow 4 bytes of headroom
+            b.call(Helper.XDP_ADJUST_HEAD)
+            b.mov_reg(Reg.R6, Reg.R0)
+            b.mov_imm(Reg.R2, 4)         # shrink them again
+            b.call(Helper.XDP_ADJUST_HEAD)
+            b.or_reg(Reg.R0, Reg.R6)
+            b.exit_()
+        verdict, vm = run(prog)
+        assert verdict == 0
+        assert vm.pkt_bytes() == PKT

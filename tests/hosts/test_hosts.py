@@ -1,0 +1,150 @@
+import pytest
+
+from repro.hosts.container import Container
+from repro.hosts.host import Host
+from repro.hosts.testbed import Testbed
+from repro.hosts.vm import VirtualMachine
+from repro.kernel.stack import TcpState
+from repro.net.addresses import ip_to_int
+from repro.ovs.emc import ExactMatchCache
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.ovs.pmd import PmdThread
+from repro.sim.cpu import CpuCategory
+
+
+class TestHost:
+    def test_add_nic_registers_and_ups(self):
+        host = Host("h1", n_cpus=4)
+        nic = host.add_nic("ens1", n_queues=2)
+        assert host.kernel.init_ns.has_device("ens1")
+        assert nic.up
+        assert nic.n_queues == 2
+
+    def test_install_ovs_once(self):
+        host = Host("h1")
+        host.install_ovs("netdev")
+        with pytest.raises(ValueError):
+            host.install_ovs("netdev")
+
+    def test_ctx_categories(self):
+        host = Host("h1")
+        host.user_ctx(0).charge(10)
+        host.guest_ctx(1).charge(20)
+        assert host.cpu.busy_ns(category=CpuCategory.USER) == 10
+        assert host.cpu.busy_ns(category=CpuCategory.GUEST) == 20
+
+
+class TestTestbed:
+    def test_wiring(self):
+        tb = Testbed(link_gbps=25, dual_port=True)
+        assert len(tb.wires) == 2
+        assert tb.a.nics["ens1"].wire_peer is tb.b.nics["ens1"]
+
+    def test_underlay_config(self):
+        tb = Testbed()
+        tb.configure_underlay()
+        assert tb.a.kernel.init_ns.is_local_ip(ip_to_int("192.168.1.1"))
+        assert tb.a.kernel.init_ns.neighbors.lookup(
+            ip_to_int("192.168.1.2")) is not None
+
+    def test_line_rate(self):
+        tb = Testbed(link_gbps=10)
+        assert tb.line_rate_mpps(64) == pytest.approx(14.88, abs=0.01)
+
+
+class TestContainer:
+    def test_container_namespace_and_veth(self):
+        host = Host("h1")
+        c = Container(host, "c1", "172.17.0.2")
+        assert host.kernel.namespace("c1") is c.ns
+        assert host.kernel.init_ns.has_device("veth-c1")
+        assert c.ns.has_device("eth0")
+        assert c.ns.is_local_ip(ip_to_int("172.17.0.2"))
+
+    def test_container_to_container_through_kernel_ovs(self):
+        """§3.4's intra-host container case on the kernel datapath."""
+        host = Host("h1")
+        c1 = Container(host, "c1", "172.17.0.2")
+        c2 = Container(host, "c2", "172.17.0.3")
+        vs = host.install_ovs("system")
+        vs.add_bridge("br0")
+        p1 = vs.add_system_port("br0", c1.outside)
+        p2 = vs.add_system_port("br0", c2.outside)
+        of = OpenFlowConnection(vs.bridge("br0"))
+        of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction(c2.outside.name)])
+        of.add_flow(0, 10, Match(in_port=p2.ofport), [OutputAction(c1.outside.name)])
+
+        ctx = host.user_ctx(0)
+        server = c2.stack.udp_socket(ip="172.17.0.3", port=7777)
+        client = c1.stack.udp_socket(port=5555)
+        c1.stack.udp_send(client, "172.17.0.3", 7777, b"hello", ctx)
+        host.pump()
+        got = server.recv()
+        assert got is not None
+        assert got[0] == b"hello"
+
+
+class TestVmTap:
+    def test_vm_tap_attach_reaches_host_kernel(self):
+        host = Host("h1")
+        vm = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=2)
+        tap = vm.attach_tap(qemu_core=3)
+        # Attach the host side of the tap to the host stack to complete a
+        # simple VM<->host path (no OVS needed for this test).
+        host.kernel.init_ns.stack.attach(tap)
+        host.kernel.init_ns.add_address(tap.name, "10.0.0.1", 24)
+
+        ctx = vm.ctx
+        server = host.kernel.init_ns.stack.udp_socket(ip="10.0.0.1", port=99)
+        client = vm.kernel.init_ns.stack.udp_socket(port=44)
+        vm.kernel.init_ns.stack.udp_send(client, "10.0.0.1", 99, b"hi", ctx)
+        host.pump()
+        assert server.recv() is not None
+        # The QEMU shuttle paid SYSTEM time (tap syscalls).
+        assert host.cpu.busy_ns(category=CpuCategory.SYSTEM) > 0
+        # The guest kernel work was billed as GUEST time.
+        assert host.cpu.busy_ns(category=CpuCategory.GUEST) > 0
+
+    def test_cannot_attach_twice(self):
+        host = Host("h1")
+        vm = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=0)
+        vm.attach_vhostuser()
+        with pytest.raises(ValueError):
+            vm.attach_tap(qemu_core=1)
+
+
+class TestVmVhostuser:
+    def test_vm_to_vm_intra_host_over_userspace_ovs(self):
+        """Figure 8b's configuration: two vhostuser VMs on one bridge."""
+        host = Host("h1")
+        vm1 = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=2)
+        vm2 = VirtualMachine(host, "vm2", "10.0.0.6", vcpu_core=3)
+        vs = host.install_ovs("netdev")
+        vs.add_bridge("br0")
+        vp1 = vs.add_vhostuser_port("br0", vm1.attach_vhostuser())
+        vp2 = vs.add_vhostuser_port("br0", vm2.attach_vhostuser())
+        of = OpenFlowConnection(vs.bridge("br0"))
+        of.add_flow(0, 10, Match(in_port=vp1.ofport),
+                    [OutputAction(f"vhost-{vm2.name}")])
+        of.add_flow(0, 10, Match(in_port=vp2.ofport),
+                    [OutputAction(f"vhost-{vm1.name}")])
+        pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+        pmd.add_rxq(vs.dpif_netdev.ports[vp1.dp_port_no], 0)
+        pmd.add_rxq(vs.dpif_netdev.ports[vp2.dp_port_no], 0)
+        host.pumpables.append(lambda: pmd.run_iteration())
+
+        ctx2 = vm2.ctx
+        server = vm2.kernel.init_ns.stack.tcp_listen("10.0.0.6", 5001)
+        client = vm1.kernel.init_ns.stack.tcp_connect(
+            "10.0.0.5", "10.0.0.6", 5001, vm1.ctx)
+        host.pump()
+        assert client.state is TcpState.ESTABLISHED
+        server_sock = server.accept_queue.popleft()
+        vm1.kernel.init_ns.stack.tcp_send(client, b"x" * 20_000, vm1.ctx,
+                                          tso=True)
+        host.pump()
+        assert server_sock.bytes_received == 20_000
+        # vhostuser: zero SYSTEM time on the data path.
+        assert host.cpu.busy_ns(category=CpuCategory.SYSTEM) == 0

@@ -1,0 +1,56 @@
+"""Every example script runs to completion from a clean interpreter
+namespace (runpy, like ``python examples/<name>.py``)."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str) -> str:
+    buf = io.StringIO()
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        with redirect_stdout(buf):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buf.getvalue()
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "hairpinned" in out
+    assert "EMC hits" in out
+    assert "ip link show" in out
+
+
+def test_nsx_deployment():
+    out = _run("nsx_deployment.py")
+    assert "Geneve tunnels     291" in out
+    assert "datapath passes" in out
+    assert "No kernel module. No reboot." in out
+
+
+def test_xdp_load_balancer():
+    out = _run("xdp_load_balancer.py")
+    assert "verifier rejected a looping program" in out
+    assert "matched packets bounced in the driver" in out
+
+
+def test_container_networking():
+    out = _run("container_networking.py")
+    assert "rows: 42" in out
+    assert "winner" in out
+
+
+def test_datapath_comparison():
+    out = _run("datapath_comparison.py")
+    assert "does not exist" in out
+    assert "Table 2" in out

@@ -1,0 +1,90 @@
+"""Smoke tests: every experiment module runs end to end at tiny scale
+and returns a structurally complete result."""
+
+import pytest
+
+from repro.experiments.fig1_loc_churn import run_fig1
+from repro.experiments.fig2_single_flow import run_fig2
+from repro.experiments.table2_optimizations import LADDER, run_table2
+from repro.experiments.table3_ruleset import run_table3
+from repro.experiments.table5_xdp_cost import run_table5
+
+
+def test_fig1_smoke():
+    result = run_fig1()
+    assert set(result.dataset) == {2015, 2016, 2017, 2018, 2019}
+    assert len(result.simulated) == 5
+    assert "Figure 1" in result.render()
+
+
+def test_fig2_smoke():
+    result = run_fig2(packets=400)
+    assert set(result.mpps) == {"kernel", "ebpf", "dpdk"}
+    assert all(v > 0 for v in result.mpps.values())
+    assert "Mpps" in result.render()
+
+
+def test_table2_smoke():
+    result = run_table2(packets=400)
+    assert len(result.mpps) == len(LADDER)
+    assert "Table 2" in result.render()
+
+
+def test_table3_smoke_scaled():
+    result = run_table3(target_rules=6_000)
+    assert result.stats.n_rules == 6_000
+    assert result.stats.n_tables == 40
+    assert result.stats.n_match_fields == 31
+    assert result.pipeline_passes >= 2
+    assert "Table 3" in result.render()
+
+
+def test_table5_smoke():
+    result = run_table5(packets=400)
+    assert set(result.mpps) == set("ABCD")
+    assert result.mpps["A"] >= result.mpps["D"]
+    assert "Table 5" in result.render()
+
+
+def test_fig10_smoke():
+    from repro.experiments.fig10_latency import run_fig10
+
+    result = run_fig10(n_transactions=40)
+    assert set(result.results) == {"kernel", "afxdp", "dpdk"}
+    for r in result.results.values():
+        assert r.p50_us <= r.p90_us <= r.p99_us
+    assert "Figure 10" in result.render()
+
+
+def test_fig11_smoke():
+    from repro.experiments.fig11_container_latency import run_fig11
+
+    result = run_fig11(n_transactions=40)
+    assert result.results["dpdk"].p50_us > result.results["kernel"].p50_us
+    assert "Figure 11" in result.render()
+
+
+def test_fig12_smoke_one_point():
+    from repro.experiments.fig12_multiqueue import Fig12Result, run_fig12
+
+    result = run_fig12(packets_per_queue=200)
+    assert isinstance(result, Fig12Result)
+    assert result.mpps("dpdk", 64, 1) > 0
+    assert "Figure 12" in result.render()
+
+
+def test_fig9_smoke_p2p_only():
+    from repro.experiments.fig9_forwarding import run_fig9
+
+    result = run_fig9(packets=300, scenarios=("P2P",))
+    assert result.mpps("P2P", "dpdk", 1) > result.mpps("P2P", "afxdp", 1)
+    assert "Figure 9" in result.render_rates()
+    assert "Table 4" in result.render_table4()
+
+
+def test_fig8_smoke_panel_b():
+    from repro.experiments.fig8_tcp_throughput import run_fig8
+
+    result = run_fig8(panels=("b",), total_bytes=100_000)
+    assert result.gbps[("b", "afxdp+vhost+csum+tso")] > 0
+    assert "Figure 8b" in result.render("b")

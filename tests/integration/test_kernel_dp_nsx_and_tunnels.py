@@ -1,0 +1,143 @@
+"""The Figure 7a configuration: NSX + tunnels on the *kernel* datapath."""
+
+import pytest
+
+from repro.hosts.host import Host
+from repro.kernel.netdev import NetDevice
+from repro.net.addresses import MacAddress, int_to_ip, ip_to_int
+from repro.net.builder import make_udp_packet
+from repro.net.tunnel import decapsulate
+from repro.nsx.agent import NsxAgent
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.sim.cpu import CpuCategory, ExecContext
+
+
+def mac(i):
+    return MacAddress.local(i)
+
+
+class TestKernelDatapathTunnels:
+    def test_tunnel_output_through_kernel_dp(self):
+        """Translation resolves the route/ARP and the *kernel executor*
+        performs the Geneve encapsulation."""
+        host = Host("kv", n_cpus=4)
+        nic = host.add_nic("ens1")
+        host.kernel.init_ns.add_address("ens1", "192.168.1.1", 24)
+        host.kernel.init_ns.neighbors.update(
+            ip_to_int("192.168.1.2"), mac(44), nic.ifindex, permanent=True)
+        vs = host.install_ovs("system")
+        vs.add_bridge("br0")
+        vs.add_system_port("br0", nic)
+        vif = NetDevice("vif1", mac(10))
+        host.kernel.init_ns.register(vif)
+        vif.set_up()
+        p_vif = vs.add_system_port("br0", vif)
+        vs.add_tunnel_port("br0", "geneve0", "geneve", "192.168.1.2",
+                           key=55)
+        of = OpenFlowConnection(vs.bridge("br0"))
+        of.add_flow(0, 10, Match(in_port=p_vif.ofport),
+                    [OutputAction("geneve0")])
+
+        sent = []
+        nic._transmit = lambda pkt, c: (sent.append(pkt), True)[1]
+        ctx = ExecContext(host.cpu, 0, CpuCategory.SOFTIRQ)
+        inner = make_udp_packet(mac(10), mac(11), "10.0.0.1", "10.0.0.2")
+        vif.deliver(inner, ctx)
+        assert len(sent) == 1
+        ttype, vni, src, dst, inner_bytes = decapsulate(sent[0].data)
+        assert (ttype, vni) == ("geneve", 55)
+        assert int_to_ip(src) == "192.168.1.1"
+        assert inner_bytes == inner.data
+        # Second packet: pure kernel fast path, no further upcalls.
+        upcalls = vs.dpif_netlink.dp.n_upcalls
+        vif.deliver(inner.clone(), ctx)
+        assert vs.dpif_netlink.dp.n_upcalls == upcalls
+        assert len(sent) == 2
+
+
+class TestNsxOnKernelDatapath:
+    def test_deploy_and_forward(self):
+        """The pre-migration world: same agent, same rules, same traffic —
+        on the kernel module (Figure 7a)."""
+        host = Host("hv-kernel", n_cpus=8)
+        nic = host.add_nic("ens1")
+        host.kernel.init_ns.add_address("ens1", "192.168.1.1", 16)
+        vs = host.install_ovs("system")
+        vs.add_bridge(NsxAgent.INTEGRATION_BRIDGE)
+        uplink = vs.add_system_port(NsxAgent.INTEGRATION_BRIDGE, nic)
+
+        agent = NsxAgent(vs)
+        vif_ports = {}
+        devices = {}
+        for vif in agent.topo.vifs[:4]:
+            dev = NetDevice(f"vif{vif.vif_id}", vif.mac)
+            host.kernel.init_ns.register(dev)
+            dev.set_up()
+            vif_ports[vif.vif_id] = vs.add_system_port(
+                NsxAgent.INTEGRATION_BRIDGE, dev)
+            devices[vif.vif_id] = dev
+        stats = agent.deploy(uplink, vif_ports, target_rules=6_000)
+        assert stats.n_tables == 40
+        assert stats.n_match_fields == 31
+
+        # Same-switch VIF to VIF through the distributed firewall.
+        vifs = [v for v in agent.topo.vifs if v.vif_id in vif_ports]
+        src, dst = next(
+            (a, b) for a in vifs for b in vifs
+            if a is not b and a.logical_switch == b.logical_switch)
+        out = []
+        devices[dst.vif_id]._transmit = (
+            lambda pkt, c: (out.append(pkt), True)[1])
+        ctx = ExecContext(host.cpu, 0, CpuCategory.SOFTIRQ)
+        pkt = make_udp_packet(src.mac, dst.mac, src.ip, dst.ip, 1000, 2000)
+        devices[src.vif_id].deliver(pkt, ctx)
+        assert len(out) == 1
+        # The firewall state lives in the KERNEL's conntrack here.
+        assert len(host.kernel.init_ns.conntrack) == 1
+        # And the kernel datapath now holds installed megaflows.
+        assert len(vs.dpif_netlink.dp.flows) >= 2
+
+    def test_same_rules_both_datapaths_same_decision(self):
+        """The migration invariant: identical OpenFlow state yields the
+        same forwarding on the kernel and userspace datapaths."""
+        def build(datapath_type):
+            host = Host(f"h-{datapath_type}", n_cpus=4)
+            vs = host.install_ovs(datapath_type)
+            vs.add_bridge("br0")
+            return host, vs
+
+        pkt = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2",
+                              7, 8)
+
+        # Userspace.
+        host_u, vs_u = build("netdev")
+        p1, _a1 = vs_u.add_sim_port("br0", "p1")
+        _p2, a2 = vs_u.add_sim_port("br0", "p2")
+        of = OpenFlowConnection(vs_u.bridge("br0"))
+        of.add_flow(0, 10, Match(nw_proto=17, tp_dst=8),
+                    [OutputAction("p2")])
+        from repro.ovs.emc import ExactMatchCache
+
+        ctx = ExecContext(host_u.cpu, 0, CpuCategory.USER)
+        vs_u.dpif_netdev.process_batch([pkt.clone()], p1.dp_port_no, ctx,
+                                       ExactMatchCache())
+        userspace_delivered = len(a2.take_transmitted())
+
+        # Kernel.
+        host_k, vs_k = build("system")
+        d1 = NetDevice("p1", mac(21))
+        d2 = NetDevice("p2", mac(22))
+        for d in (d1, d2):
+            host_k.kernel.init_ns.register(d)
+            d.set_up()
+        vs_k.add_system_port("br0", d1)
+        vs_k.add_system_port("br0", d2)
+        OpenFlowConnection(vs_k.bridge("br0")).add_flow(
+            0, 10, Match(nw_proto=17, tp_dst=8), [OutputAction("p2")])
+        sent = []
+        d2._transmit = lambda pkt, c: (sent.append(pkt), True)[1]
+        kctx = ExecContext(host_k.cpu, 0, CpuCategory.SOFTIRQ)
+        d1.deliver(pkt.clone(), kctx)
+        assert len(sent) == userspace_delivered == 1

@@ -1,0 +1,23 @@
+import pytest
+
+from repro.net.addresses import MacAddress
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel(8)
+
+
+@pytest.fixture
+def ctx(cpu):
+    return ExecContext(cpu, 0, CpuCategory.SOFTIRQ)
+
+
+@pytest.fixture
+def user_ctx(cpu):
+    return ExecContext(cpu, 1, CpuCategory.USER)
+
+
+def mac(i: int) -> MacAddress:
+    return MacAddress.local(i)

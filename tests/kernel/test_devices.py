@@ -1,0 +1,91 @@
+import pytest
+
+from repro.kernel.tap import TapDevice
+from repro.kernel.veth import VethPair
+from repro.net.builder import make_udp_packet
+from repro.sim.costs import DEFAULT_COSTS
+
+from .conftest import mac
+
+PKT = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2")
+
+
+class TestVeth:
+    def test_pair_linked_and_carrier(self):
+        pair = VethPair("veth0", "veth1")
+        a, b = pair.devices()
+        assert a.peer is b and b.peer is a
+        assert a.carrier and b.carrier
+
+    def test_transmit_crosses_to_peer(self, ctx):
+        pair = VethPair("veth0", "veth1")
+        pair.a.set_up()
+        pair.b.set_up()
+        got = []
+        pair.b.set_rx_handler(lambda pkt, c: got.append(pkt))
+        assert pair.a.transmit(PKT, ctx)
+        assert len(got) == 1
+
+    def test_transmit_charges_veth_cost(self, cpu, ctx):
+        pair = VethPair("veth0", "veth1")
+        pair.a.set_up()
+        pair.b.set_up()
+        pair.b.set_rx_handler(lambda pkt, c: None)
+        pair.a.transmit(PKT, ctx)
+        assert cpu.busy_ns() == pytest.approx(DEFAULT_COSTS.veth_xmit_ns)
+
+    def test_unpaired_end_fails(self, ctx):
+        from repro.kernel.veth import VethDevice
+
+        lonely = VethDevice("veth9", mac(9))
+        lonely.set_up()
+        assert not lonely._transmit(PKT, ctx)
+
+    def test_default_no_zerocopy_afxdp(self):
+        # §3.4: zero-copy AF_XDP for veth was still a pending patch.
+        pair = VethPair("veth0", "veth1")
+        assert not pair.a.afxdp_zerocopy
+
+
+class TestTap:
+    def _tap(self):
+        tap = TapDevice("tap0", mac(3))
+        tap.set_up()
+        return tap
+
+    def test_kernel_tx_queues_for_user(self, ctx):
+        tap = self._tap()
+        assert tap.transmit(PKT, ctx)
+        assert tap.user_pending() == 1
+
+    def test_user_read_returns_frame_and_charges_syscall(self, cpu, user_ctx):
+        tap = self._tap()
+        tap.transmit(PKT, user_ctx)
+        cpu.reset()
+        pkt = tap.user_read(user_ctx)
+        assert pkt is not None
+        from repro.sim.cpu import CpuCategory
+
+        assert cpu.busy_ns(category=CpuCategory.SYSTEM) >= DEFAULT_COSTS.recvfrom_ns
+
+    def test_user_read_empty_returns_none(self, user_ctx):
+        assert self._tap().user_read(user_ctx) is None
+
+    def test_user_write_delivers_to_kernel_face(self, user_ctx, cpu):
+        tap = self._tap()
+        got = []
+        tap.set_rx_handler(lambda pkt, c: got.append(pkt))
+        cpu.reset()
+        tap.user_write(PKT, user_ctx)
+        assert len(got) == 1
+        from repro.sim.cpu import CpuCategory
+
+        # §3.3: the write is the measured-2us sendto.
+        assert cpu.busy_ns(category=CpuCategory.SYSTEM) >= DEFAULT_COSTS.sendto_ns
+
+    def test_queue_limit(self, ctx):
+        tap = TapDevice("tap1", mac(4), queue_len=2)
+        tap.set_up()
+        assert tap.transmit(PKT, ctx)
+        assert tap.transmit(PKT, ctx)
+        assert not tap.transmit(PKT, ctx)

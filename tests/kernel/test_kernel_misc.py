@@ -1,0 +1,145 @@
+"""Kernel plumbing: IRQ affinity, forwarding, namespaces, VM backends."""
+
+import pytest
+
+from repro.hosts.host import Host
+from repro.hosts.vm import QemuTapBackend, VhostNetBackend, VirtualMachine
+from repro.kernel.kernel import Kernel
+from repro.kernel.netdev import NetDevice
+from repro.kernel.nic import PhysicalNic
+from repro.net.addresses import ip_to_int
+from repro.net.builder import make_udp_packet
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+from .conftest import mac
+
+
+class TestKernelPlumbing:
+    def test_irq_affinity_explicit(self):
+        kernel = Kernel(CpuModel(8))
+        nic = PhysicalNic("ens1", mac(1), n_queues=4)
+        kernel.init_ns.register(nic)
+        kernel.set_irq_affinity("ens1", 2, 7)
+        assert kernel.cpu_for_queue(nic, 2) == 7
+        # Unpinned queues spread deterministically within range.
+        assert 0 <= kernel.cpu_for_queue(nic, 3) < 8
+
+    def test_namespace_management(self):
+        kernel = Kernel(CpuModel(1))
+        ns = kernel.add_namespace("blue")
+        assert kernel.namespace("blue") is ns
+        assert ns in kernel.namespaces()
+        with pytest.raises(ValueError):
+            kernel.add_namespace("blue")
+
+    def test_duplicate_datapath_rejected(self):
+        kernel = Kernel(CpuModel(1))
+        kernel.load_ovs_module()
+        kernel.create_datapath("dp0")
+        with pytest.raises(ValueError):
+            kernel.create_datapath("dp0")
+        assert kernel.datapath("dp0") is not None
+
+    def test_softirq_ctx_cached_per_cpu(self):
+        kernel = Kernel(CpuModel(4))
+        assert kernel.softirq_ctx(1) is kernel.softirq_ctx(1)
+        assert kernel.softirq_ctx(1) is not kernel.softirq_ctx(2)
+
+
+class TestIpForwarding:
+    def test_router_forwards_between_subnets(self):
+        host = Host("router", n_cpus=2)
+        left = NetDevice("left0", mac(31))
+        right = NetDevice("right0", mac(32))
+        for d in (left, right):
+            host.kernel.init_ns.register(d)
+            d.set_up()
+        ns = host.kernel.init_ns
+        ns.stack.attach(left)
+        ns.stack.attach(right)
+        ns.add_address("left0", "10.0.1.1", 24)
+        ns.add_address("right0", "10.0.2.1", 24)
+        ns.stack.ip_forwarding = True
+        ns.neighbors.update(ip_to_int("10.0.2.9"), mac(99),
+                            right.ifindex, permanent=True)
+
+        forwarded = []
+        right._transmit = lambda pkt, c: (forwarded.append(pkt), True)[1]
+        ctx = host.user_ctx(0)
+        transit = make_udp_packet(mac(40), left.mac,  # addressed to router
+                                  "10.0.1.9", "10.0.2.9", 7, 7)
+        left.deliver(transit, ctx)
+        assert len(forwarded) == 1
+        out = forwarded[0]
+        assert out.data[0:6] == mac(99).to_bytes()  # next-hop MAC
+        assert out.data[22 + 8 - 8] != 0  # frame intact
+        # TTL decremented.
+        assert out.data[22] == transit.data[22] - 1
+        assert ns.stack.counters.get("IpForwDatagrams") == 1
+
+    def test_ttl_exhaustion_dropped(self):
+        host = Host("router2", n_cpus=2)
+        left = NetDevice("left0", mac(31))
+        host.kernel.init_ns.register(left)
+        left.set_up()
+        ns = host.kernel.init_ns
+        ns.stack.attach(left)
+        ns.add_address("left0", "10.0.1.1", 24)
+        ns.stack.ip_forwarding = True
+        from repro.net.ethernet import EthernetHeader, EtherType
+        from repro.net.ipv4 import IPV4_HLEN, IPProto, Ipv4Header
+        from repro.net.packet import Packet
+
+        ip = Ipv4Header(src=ip_to_int("10.0.1.9"),
+                        dst=ip_to_int("172.16.0.1"),
+                        proto=IPProto.UDP, total_length=IPV4_HLEN + 8,
+                        ttl=1)
+        frame = (EthernetHeader(left.mac, mac(40), EtherType.IPV4).pack()
+                 + ip.pack() + b"\x00" * 26)
+        left.deliver(Packet(frame), host.user_ctx(0))
+        assert ns.stack.counters.get("IpForwTtlErrors") == 1
+
+
+class TestVmBackends:
+    def test_vhost_net_charges_system_no_syscalls(self):
+        host = Host("vh", n_cpus=4)
+        vm = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=2)
+        tap = vm.attach_tap(qemu_core=3, vhost_net=True)
+        assert isinstance(vm.qemu, VhostNetBackend)
+        got = []
+        tap.set_rx_handler(lambda pkt, c: got.append(pkt))
+        # Guest transmits; the vhost worker moves it to the tap's kernel
+        # face without any sendto.
+        pkt = make_udp_packet(vm.nic.mac, mac(9), "10.0.0.5", "10.0.0.9")
+        vm.nic.transmit(pkt, vm.ctx)
+        vm.qemu.pump()
+        assert len(got) == 1
+        assert host.cpu.busy_ns(category=CpuCategory.SYSTEM) > 0
+        # No 2us sendto charge anywhere: cheaper than the QEMU path.
+
+    def test_qemu_legacy_pays_syscalls(self):
+        host_q = Host("q", n_cpus=4)
+        vm_q = VirtualMachine(host_q, "vm1", "10.0.0.5", vcpu_core=2)
+        tap_q = vm_q.attach_tap(qemu_core=3, vhost_net=False)
+        assert isinstance(vm_q.qemu, QemuTapBackend)
+        tap_q.set_rx_handler(lambda pkt, c: None)
+        pkt = make_udp_packet(vm_q.nic.mac, mac(9), "10.0.0.5", "10.0.0.9")
+        vm_q.nic.transmit(pkt, vm_q.ctx)
+        before = host_q.cpu.busy_ns(category=CpuCategory.SYSTEM)
+        vm_q.qemu.pump()
+        from repro.sim.costs import DEFAULT_COSTS
+
+        delta = host_q.cpu.busy_ns(category=CpuCategory.SYSTEM) - before
+        assert delta >= DEFAULT_COSTS.sendto_ns  # tap write syscall
+
+    def test_host_to_guest_via_vhost_net(self):
+        host = Host("vh2", n_cpus=4)
+        vm = VirtualMachine(host, "vm1", "10.0.0.5", vcpu_core=2)
+        tap = vm.attach_tap(qemu_core=3)
+        ctx = host.user_ctx(0)
+        pkt = make_udp_packet(mac(9), vm.nic.mac, "10.0.0.9", "10.0.0.5")
+        tap.transmit(pkt, ctx)  # kernel side sends toward the VM
+        vm.qemu.pump()
+        assert len(vm.nic.rx_queue) == 1
+        vm.pump()
+        assert vm.kernel.init_ns.stack.counters.get("IpInReceives") == 1

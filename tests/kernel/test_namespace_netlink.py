@@ -1,0 +1,123 @@
+import pytest
+
+from repro.kernel.namespace import NetNamespace
+from repro.kernel.netdev import NetDevice
+from repro.kernel.netlink import NetlinkMonitor, RtNetlink
+from repro.net.addresses import ip_to_int
+
+from .conftest import mac
+
+
+@pytest.fixture
+def ns():
+    return NetNamespace("test")
+
+
+class TestNamespace:
+    def test_register_assigns_ifindex(self, ns):
+        a = ns.register(NetDevice("eth0", mac(1)))
+        b = ns.register(NetDevice("eth1", mac(2)))
+        assert a.ifindex == 1
+        assert b.ifindex == 2
+        assert ns.device_by_ifindex(2) is b
+
+    def test_duplicate_name_rejected(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        with pytest.raises(ValueError):
+            ns.register(NetDevice("eth0", mac(2)))
+
+    def test_unregister_hides_device(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        ns.unregister("eth0")
+        assert not ns.has_device("eth0")
+        with pytest.raises(KeyError):
+            ns.device("eth0")
+        with pytest.raises(KeyError):
+            ns.unregister("eth0")
+
+    def test_address_creates_connected_route(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        ns.add_address("eth0", "10.0.0.1", 24)
+        route = ns.routes.lookup(ip_to_int("10.0.0.99"))
+        assert route is not None
+        assert ns.is_local_ip(ip_to_int("10.0.0.1"))
+        assert ns.ip_of("eth0") == ip_to_int("10.0.0.1")
+
+    def test_del_address_removes_route(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        ns.add_address("eth0", "10.0.0.1", 24)
+        ns.del_address("eth0", "10.0.0.1", 24)
+        assert ns.routes.lookup(ip_to_int("10.0.0.99")) is None
+        with pytest.raises(KeyError):
+            ns.del_address("eth0", "10.0.0.1", 24)
+
+    def test_ip_of_requires_address(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        with pytest.raises(KeyError):
+            ns.ip_of("eth0")
+
+
+class TestRtNetlink:
+    def test_get_links(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        rt = RtNetlink(ns)
+        links = rt.get_links()
+        assert len(links) == 1
+        assert links[0].name == "eth0"
+        assert not links[0].up
+
+    def test_get_link_missing(self, ns):
+        with pytest.raises(KeyError, match="does not exist"):
+            RtNetlink(ns).get_link("nope")
+
+    def test_set_link_up(self, ns):
+        dev = ns.register(NetDevice("eth0", mac(1)))
+        RtNetlink(ns).set_link_up("eth0")
+        assert dev.up
+
+    def test_addresses_routes_neighbors(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        rt = RtNetlink(ns)
+        rt.add_address("eth0", "10.0.0.1", 24)
+        rt.add_route(ip_to_int("172.16.0.0"), 12, "eth0",
+                     gateway=ip_to_int("10.0.0.254"))
+        rt.add_neighbor(ip_to_int("10.0.0.254"), mac(9), "eth0")
+        assert rt.get_addresses()[0]["address"] == "10.0.0.1/24"
+        assert len(rt.get_routes()) == 2  # connected + static
+        assert len(rt.get_neighbors()) == 1
+
+    def test_netlink_charges_system_time(self, ns, cpu, user_ctx):
+        ns.register(NetDevice("eth0", mac(1)))
+        RtNetlink(ns).get_links(ctx=user_ctx)
+        from repro.sim.cpu import CpuCategory
+
+        assert cpu.busy_ns(category=CpuCategory.SYSTEM) > 0
+
+
+class TestNetlinkMonitor:
+    def test_replica_tracks_kernel_tables(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        mon = NetlinkMonitor(ns)
+        assert mon.poll()  # initial sync
+        assert not mon.poll()  # nothing changed
+        ns.add_address("eth0", "10.0.0.1", 24)
+        assert mon.poll()
+        assert mon.route_lookup(ip_to_int("10.0.0.5")) is not None
+
+    def test_replica_neighbor_lookup(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        ns.neighbors.update(ip_to_int("10.0.0.2"), mac(2), 1)
+        mon = NetlinkMonitor(ns)
+        mon.poll()
+        assert mon.neighbor_lookup(ip_to_int("10.0.0.2")).mac == mac(2)
+        assert mon.neighbor_lookup(ip_to_int("10.0.0.3")) is None
+
+    def test_replica_lookup_is_lpm(self, ns):
+        ns.register(NetDevice("eth0", mac(1)))
+        ns.register(NetDevice("eth1", mac(2)))
+        ns.add_address("eth0", "10.0.0.1", 8)
+        ns.add_address("eth1", "10.1.0.1", 16)
+        mon = NetlinkMonitor(ns)
+        mon.poll()
+        assert mon.route_lookup(ip_to_int("10.1.2.3")).ifindex == 2
+        assert mon.route_lookup(ip_to_int("10.200.2.3")).ifindex == 1

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.kernel.netdev import NetDevice, Wire
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_udp_packet
+
+from .conftest import mac
+
+PKT = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2")
+
+
+def _dev(name="eth0", i=1):
+    d = NetDevice(name, mac(i))
+    d.set_up()
+    return d
+
+
+def test_bad_name_rejected():
+    with pytest.raises(ValueError):
+        NetDevice("", mac(1))
+    with pytest.raises(ValueError):
+        NetDevice("x" * 16, mac(1))
+
+
+def test_down_device_drops(ctx):
+    d = NetDevice("eth0", mac(1))  # down by default
+    assert not d.transmit(PKT, ctx)
+    assert d.stats.tx_dropped == 1
+    d.deliver(PKT, ctx)
+    assert d.stats.rx_dropped == 1
+
+
+def test_mtu_enforced_on_tx(ctx):
+    d = _dev()
+    big = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2",
+                          payload=b"\x00" * 1600, frame_len=1700)
+    assert not d.transmit(big, ctx)
+    assert d.stats.tx_dropped == 1
+
+
+def test_gso_packets_exceed_mtu(ctx):
+    d = _dev()
+    big = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2",
+                          payload=b"\x00" * 1600, frame_len=1700)
+    big.meta.gso_size = 1448
+    assert d.transmit(big, ctx)
+
+
+def test_stats_count_packets_and_bytes(ctx):
+    d = _dev()
+    d.set_rx_handler(lambda pkt, c: None)
+    d.transmit(PKT, ctx)
+    d.deliver(PKT, ctx)
+    assert d.stats.tx_packets == 1
+    assert d.stats.tx_bytes == len(PKT)
+    assert d.stats.rx_packets == 1
+
+
+def test_rx_without_handler_drops(ctx):
+    d = _dev()
+    d.deliver(PKT, ctx)
+    assert d.stats.rx_dropped == 1
+
+
+def test_rx_handler_receives(ctx):
+    d = _dev()
+    got = []
+    d.set_rx_handler(lambda pkt, c: got.append(pkt))
+    d.deliver(PKT, ctx)
+    assert len(got) == 1
+
+
+def test_taps_see_both_directions(ctx):
+    d = _dev()
+    d.set_rx_handler(lambda pkt, c: None)
+    seen = []
+    d.add_tap(lambda pkt, direction: seen.append(direction))
+    d.transmit(PKT, ctx)
+    d.deliver(PKT, ctx)
+    assert seen == ["tx", "rx"]
+    d.remove_tap(d._taps[0])
+    d.transmit(PKT, ctx)
+    assert len(seen) == 2
+
+
+class TestWire:
+    def test_sets_carrier(self):
+        a, b = _dev("a", 1), _dev("b", 2)
+        Wire(a, b, gbps=10)
+        assert a.carrier and b.carrier
+
+    def test_rejects_double_wiring(self):
+        a, b, c = _dev("a", 1), _dev("b", 2), _dev("c", 3)
+        Wire(a, b)
+        with pytest.raises(ValueError):
+            Wire(a, c)
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            Wire(_dev("a", 1), _dev("b", 2), gbps=0)
+
+    def test_wire_time(self):
+        w = Wire(_dev("a", 1), _dev("b", 2), gbps=10)
+        # 64B frame + 20B overhead = 672 bits at 10 Gbps = 67.2 ns.
+        assert w.wire_time_ns(64) == pytest.approx(67.2)

@@ -1,0 +1,243 @@
+import pytest
+
+from repro.ebpf.programs import (
+    drop_program,
+    parse_swap_tx_program,
+    pass_program,
+    xsk_redirect_program,
+)
+from repro.ebpf.xdp import XdpContext
+from repro.kernel.netdev import NetDevice, Wire
+from repro.kernel.nic import NicFeatures, NtupleRule, PhysicalNic
+from repro.net.builder import make_udp_packet
+from repro.sim.rng import make_rng
+
+from .conftest import mac
+
+
+def _nic(n_queues=1, name="nic0", i=10, **feat):
+    nic = PhysicalNic(name, mac(i), n_queues=n_queues,
+                      features=NicFeatures(**feat))
+    nic.set_up()
+    nic.ifindex = i
+    return nic
+
+
+def _pkt(src="10.0.0.1", dst="10.0.0.2", sport=1, dport=2):
+    return make_udp_packet(mac(1), mac(2), src, dst, sport, dport,
+                           frame_len=64)
+
+
+class TestQueueSelection:
+    def test_single_queue(self):
+        assert _nic(1).select_queue(_pkt()) == 0
+
+    def test_rss_spreads_flows(self):
+        nic = _nic(4)
+        rng = make_rng("nic-test")
+        queues = {
+            nic.select_queue(
+                _pkt(sport=rng.randrange(65535), dport=rng.randrange(65535))
+            )
+            for _ in range(200)
+        }
+        assert queues == {0, 1, 2, 3}
+
+    def test_same_flow_same_queue(self):
+        nic = _nic(4)
+        assert nic.select_queue(_pkt()) == nic.select_queue(_pkt())
+
+    def test_ntuple_overrides_rss(self):
+        nic = _nic(4)
+        nic.add_ntuple_rule(NtupleRule(queue=3, proto=17, dst_port=2))
+        assert nic.select_queue(_pkt()) == 3
+
+    def test_ntuple_queue_range_checked(self):
+        with pytest.raises(ValueError):
+            _nic(2).add_ntuple_rule(NtupleRule(queue=5))
+
+
+class TestReceivePath:
+    def test_host_receive_fills_ring(self):
+        nic = _nic(1)
+        assert nic.host_receive(_pkt())
+        assert nic.pending(0) == 1
+
+    def test_ring_overflow_counts_missed(self):
+        nic = _nic(1)
+        nic.ring_size = 2
+        assert nic.host_receive(_pkt())
+        assert nic.host_receive(_pkt())
+        assert not nic.host_receive(_pkt())
+        assert nic.rx_missed == 1
+
+    def test_down_nic_drops(self):
+        nic = _nic(1)
+        nic.set_up(False)
+        assert not nic.host_receive(_pkt())
+
+    def test_hw_offload_metadata(self):
+        nic = _nic(1)
+        nic.host_receive(_pkt())
+        queued = nic.rx_rings[0][0]
+        assert queued.meta.rxhash is not None
+        assert queued.meta.csum_verified
+
+    def test_no_offload_metadata(self):
+        nic = _nic(1, rx_hash=False, rx_checksum=False)
+        nic.host_receive(_pkt())
+        queued = nic.rx_rings[0][0]
+        assert queued.meta.rxhash is None
+        assert not queued.meta.csum_verified
+
+    def test_service_delivers_to_handler(self, ctx):
+        nic = _nic(1)
+        got = []
+        nic.set_rx_handler(lambda pkt, c: got.append(pkt))
+        nic.host_receive(_pkt())
+        assert nic.service_queue(0, ctx) == 1
+        assert len(got) == 1
+        assert nic.pending() == 0
+
+    def test_service_respects_budget(self, ctx):
+        nic = _nic(1)
+        nic.set_rx_handler(lambda pkt, c: None)
+        for _ in range(100):
+            nic.host_receive(_pkt())
+        assert nic.service_queue(0, ctx, budget=64) == 64
+        assert nic.pending(0) == 36
+
+    def test_service_charges_softirq_time(self, cpu, ctx):
+        nic = _nic(1)
+        nic.set_rx_handler(lambda pkt, c: None)
+        nic.host_receive(_pkt())
+        nic.service_queue(0, ctx)
+        assert cpu.busy_ns() > 0
+
+
+class TestXdp:
+    def test_whole_device_attach(self, ctx):
+        nic = _nic(1)
+        got = []
+        nic.set_rx_handler(lambda pkt, c: got.append(pkt))
+        nic.attach_xdp(XdpContext(drop_program()))
+        nic.host_receive(_pkt())
+        nic.service_queue(0, ctx)
+        assert got == []  # XDP dropped before the stack saw it
+
+    def test_pass_continues_to_stack(self, ctx):
+        nic = _nic(1)
+        got = []
+        nic.set_rx_handler(lambda pkt, c: got.append(pkt))
+        nic.attach_xdp(XdpContext(pass_program()))
+        nic.host_receive(_pkt())
+        nic.service_queue(0, ctx)
+        assert len(got) == 1
+
+    def test_per_queue_attach_needs_hardware_support(self):
+        nic = _nic(2)  # per_queue_xdp defaults False (Intel model, Fig 6a)
+        with pytest.raises(ValueError, match="whole-device"):
+            nic.attach_xdp(XdpContext(drop_program()), queue=1)
+
+    def test_per_queue_attach_mellanox_model(self, ctx):
+        nic = _nic(2, per_queue_xdp=True)
+        got = []
+        nic.set_rx_handler(lambda pkt, c: got.append(pkt))
+        nic.attach_xdp(XdpContext(drop_program()), queue=0)
+        # Steer everything to queue 0 via ntuple, the Figure 6b workflow.
+        nic.add_ntuple_rule(NtupleRule(queue=0, proto=17))
+        nic.host_receive(_pkt())
+        nic.service_queue(0, ctx)
+        assert got == []
+
+    def test_xdp_tx_bounces_out(self, ctx):
+        nic = _nic(1)
+        peer = NetDevice("peer", mac(99))
+        peer.set_up()
+        seen = []
+        peer.set_rx_handler(lambda pkt, c: seen.append(pkt))
+        Wire(nic, peer)
+        nic.attach_xdp(XdpContext(parse_swap_tx_program()))
+        nic.host_receive(_pkt())
+        nic.service_queue(0, ctx)
+        assert len(seen) == 1
+        assert seen[0].data[0:6] == mac(1).to_bytes()  # MACs swapped
+
+    def test_xdp_redirect_to_xsk(self, ctx):
+        nic = _nic(1)
+        prog, xsks = xsk_redirect_program(n_queues=4)
+
+        class FakeXsk:
+            def __init__(self):
+                self.got = []
+
+            def kernel_rx(self, pkt, ctx):
+                self.got.append(pkt)
+
+        sock = FakeXsk()
+        xsks.set_dev(0, 1)
+        nic.bind_xsk(0, sock)
+        nic.attach_xdp(XdpContext(prog))
+        nic.host_receive(_pkt())
+        nic.service_queue(0, ctx)
+        assert len(sock.got) == 1
+
+    def test_xdp_redirect_without_bound_socket_drops(self, ctx):
+        nic = _nic(1)
+        prog, xsks = xsk_redirect_program(n_queues=4)
+        xsks.set_dev(0, 1)  # map slot exists...
+        # ...but no socket bound on the nic side.
+        nic.attach_xdp(XdpContext(prog))
+        got = []
+        nic.set_rx_handler(lambda pkt, c: got.append(pkt))
+        nic.host_receive(_pkt())
+        nic.service_queue(0, ctx)
+        assert got == []
+
+
+class TestTransmit:
+    def test_wire_carries_to_peer_ring(self, ctx):
+        a, b = _nic(1, name="a", i=1), _nic(1, name="b", i=2)
+        Wire(a, b, gbps=25)
+        assert a.transmit(_pkt(), ctx)
+        assert b.pending() == 1
+
+    def test_sw_checksum_charged_without_offload(self, cpu, ctx):
+        nic = _nic(1, tx_checksum=False)
+        pkt = _pkt()
+        pkt.meta.csum_partial = True
+        before = cpu.busy_ns()
+        nic.transmit(pkt, ctx)
+        after = cpu.busy_ns()
+        from repro.sim.costs import DEFAULT_COSTS
+
+        assert after - before >= DEFAULT_COSTS.checksum_cost(len(pkt))
+        assert not pkt.meta.csum_partial
+
+    def test_hw_checksum_free(self, cpu, ctx):
+        nic = _nic(1, tx_checksum=True)
+        pkt = _pkt()
+        pkt.meta.csum_partial = True
+        nic.transmit(pkt, ctx)
+        from repro.sim.costs import DEFAULT_COSTS
+
+        assert cpu.busy_ns() == pytest.approx(DEFAULT_COSTS.nic_tx_ns)
+
+    def test_software_gso_more_expensive_than_tso(self, cpu, ctx):
+        big_payload = b"\x00" * 10_000
+        base = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2",
+                               payload=big_payload, frame_len=10_100)
+
+        tso_nic = _nic(1, name="t", i=1, tso=True)
+        pkt = base.clone()
+        pkt.meta.gso_size = 1448
+        tso_nic.transmit(pkt, ctx)
+        tso_cost = cpu.busy_ns()
+
+        cpu.reset()
+        sw_nic = _nic(1, name="s", i=2, tso=False)
+        pkt = base.clone()
+        pkt.meta.gso_size = 1448
+        sw_nic.transmit(pkt, ctx)
+        sw_cost = cpu.busy_ns()
+        assert sw_cost > 3 * tso_cost

@@ -1,0 +1,176 @@
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.netdev import Wire
+from repro.kernel.nic import PhysicalNic
+from repro.kernel.stack import TcpState
+from repro.net.addresses import ip_to_int
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+from .conftest import mac
+
+
+def _host(name: str, i: int, ip: str):
+    cpu = CpuModel(4)
+    kernel = Kernel(cpu)
+    nic = PhysicalNic(f"eth-{name}", mac(i), n_queues=1)
+    kernel.init_ns.register(nic)
+    nic.set_up()
+    kernel.init_ns.stack.attach(nic)
+    kernel.init_ns.add_address(nic.name, ip, 24)
+    ctx = ExecContext(cpu, 0, CpuCategory.USER)
+    return kernel, nic, ctx
+
+
+@pytest.fixture
+def pair():
+    ka, nic_a, ctx_a = _host("a", 1, "10.0.0.1")
+    kb, nic_b, ctx_b = _host("b", 2, "10.0.0.2")
+    Wire(nic_a, nic_b, gbps=10)
+
+    def pump():
+        for _ in range(50):
+            moved = ka.pump() + kb.pump()
+            if not moved:
+                break
+
+    return ka, kb, ctx_a, ctx_b, pump
+
+
+def test_arp_resolution_round_trip(pair):
+    ka, kb, ctx_a, _ctx_b, pump = pair
+    sock = ka.init_ns.stack.udp_socket(port=5000)
+    ka.init_ns.stack.udp_send(sock, "10.0.0.2", 7, b"hi", ctx_a)
+    pump()
+    # A resolved B and vice versa (B learned from the request).
+    assert ka.init_ns.neighbors.lookup(ip_to_int("10.0.0.2")) is not None
+    assert kb.init_ns.neighbors.lookup(ip_to_int("10.0.0.1")) is not None
+
+
+def test_udp_end_to_end(pair):
+    ka, kb, ctx_a, _ctx_b, pump = pair
+    server = kb.init_ns.stack.udp_socket(ip="10.0.0.2", port=9999)
+    client = ka.init_ns.stack.udp_socket(port=5001)
+    ka.init_ns.stack.udp_send(client, "10.0.0.2", 9999, b"ping!", ctx_a)
+    pump()
+    got = server.recv()
+    assert got is not None
+    payload, src_ip, src_port = got
+    assert payload == b"ping!"
+    assert src_ip == ip_to_int("10.0.0.1")
+    assert src_port == client.port
+
+
+def test_udp_unbound_port_counted(pair):
+    ka, kb, ctx_a, _ctx_b, pump = pair
+    client = ka.init_ns.stack.udp_socket(port=5002)
+    ka.init_ns.stack.udp_send(client, "10.0.0.2", 4242, b"nobody", ctx_a)
+    pump()
+    assert kb.init_ns.stack.counters.get("UdpNoPorts") == 1
+
+
+def test_icmp_echo_reply(pair):
+    ka, kb, ctx_a, _ctx_b, pump = pair
+    from repro.net.builder import make_icmp_echo
+
+    # Inject an echo request addressed to B at B's stack directly.
+    nic_b = kb.init_ns.device("eth-b")
+    echo = make_icmp_echo(mac(1), mac(2), "10.0.0.1", "10.0.0.2",
+                          identifier=7, sequence=1)
+    kb.init_ns.neighbors.update(ip_to_int("10.0.0.1"), mac(1),
+                                nic_b.ifindex)
+    nic_b.host_receive(echo)
+    pump()
+    assert kb.init_ns.stack.counters.get("IcmpOutEchoReps") == 1
+    # The reply made it back onto the wire toward A.
+    nic_a = ka.init_ns.device("eth-a")
+    assert nic_a.stats.rx_packets >= 1
+
+
+def test_tcp_handshake_and_data(pair):
+    ka, kb, ctx_a, ctx_b, pump = pair
+    listener = kb.init_ns.stack.tcp_listen("10.0.0.2", 5001)
+    client = ka.init_ns.stack.tcp_connect("10.0.0.1", "10.0.0.2", 5001, ctx_a)
+    pump()
+    assert client.state is TcpState.ESTABLISHED
+    assert listener.accept_queue
+    server_sock = listener.accept_queue.popleft()
+    assert server_sock.state is TcpState.ESTABLISHED
+
+    ka.init_ns.stack.tcp_send(client, b"x" * 5000, ctx_a)
+    pump()
+    assert server_sock.bytes_received == 5000
+    assert server_sock.take_received() == b"x" * 5000
+
+
+def test_tcp_bidirectional(pair):
+    ka, kb, ctx_a, ctx_b, pump = pair
+    listener = kb.init_ns.stack.tcp_listen("10.0.0.2", 5002)
+    client = ka.init_ns.stack.tcp_connect("10.0.0.1", "10.0.0.2", 5002, ctx_a)
+    pump()
+    server_sock = listener.accept_queue.popleft()
+    ka.init_ns.stack.tcp_send(client, b"request", ctx_a)
+    pump()
+    kb.init_ns.stack.tcp_send(server_sock, b"response", ctx_b)
+    pump()
+    assert server_sock.take_received() == b"request"
+    assert client.take_received() == b"response"
+
+
+def test_tcp_close(pair):
+    ka, kb, ctx_a, ctx_b, pump = pair
+    listener = kb.init_ns.stack.tcp_listen("10.0.0.2", 5003)
+    client = ka.init_ns.stack.tcp_connect("10.0.0.1", "10.0.0.2", 5003, ctx_a)
+    pump()
+    server_sock = listener.accept_queue.popleft()
+    ka.init_ns.stack.tcp_close(client, ctx_a)
+    pump()
+    assert server_sock.state is TcpState.CLOSE_WAIT
+    kb.init_ns.stack.tcp_close(server_sock, ctx_b)
+    pump()
+    assert server_sock.state is TcpState.CLOSED
+
+
+def test_tcp_send_requires_established(pair):
+    ka, _kb, ctx_a, _ctx_b, _pump = pair
+    client = ka.init_ns.stack.tcp_connect("10.0.0.1", "10.0.0.2", 1, ctx_a)
+    with pytest.raises(ValueError, match="not established"):
+        ka.init_ns.stack.tcp_send(client, b"x", ctx_a)
+
+
+def test_tso_emits_super_segments(pair):
+    ka, kb, ctx_a, _ctx_b, pump = pair
+    listener = kb.init_ns.stack.tcp_listen("10.0.0.2", 5004)
+    client = ka.init_ns.stack.tcp_connect("10.0.0.1", "10.0.0.2", 5004, ctx_a)
+    pump()
+    server_sock = listener.accept_queue.popleft()
+    before = ka.init_ns.stack.counters.get("TcpOutSegs", 0)
+    ka.init_ns.stack.tcp_send(client, b"y" * 60_000, ctx_a, tso=True)
+    pump()
+    after = ka.init_ns.stack.counters.get("TcpOutSegs", 0)
+    assert after - before == 1  # one 60 kB super-segment, not 42 MSS pieces
+    assert server_sock.bytes_received == 60_000
+
+
+def test_no_tso_emits_mss_segments(pair):
+    ka, kb, ctx_a, _ctx_b, pump = pair
+    listener = kb.init_ns.stack.tcp_listen("10.0.0.2", 5005)
+    client = ka.init_ns.stack.tcp_connect("10.0.0.1", "10.0.0.2", 5005, ctx_a)
+    pump()
+    listener.accept_queue.popleft()
+    before = ka.init_ns.stack.counters.get("TcpOutSegs", 0)
+    ka.init_ns.stack.tcp_send(client, b"y" * 14_600, ctx_a, tso=False)
+    pump()
+    after = ka.init_ns.stack.counters.get("TcpOutSegs", 0)
+    assert after - before == 10  # 14600 / 1460
+
+
+def test_ip_forwarding_disabled_by_default(pair):
+    ka, kb, _ctx_a, _ctx_b, pump = pair
+    from repro.net.builder import make_udp_packet
+
+    nic_b = kb.init_ns.device("eth-b")
+    transit = make_udp_packet(mac(1), mac(2), "10.0.0.1", "172.16.0.9")
+    nic_b.host_receive(transit)
+    pump()
+    assert kb.init_ns.stack.counters.get("IpInDiscards") == 1

@@ -1,0 +1,180 @@
+import pytest
+
+from repro.kernel.conntrack import (
+    CT_ESTABLISHED,
+    CT_INVALID,
+    CT_NEW,
+    CT_REPLY,
+    ConntrackTable,
+    TcpCtState,
+)
+from repro.kernel.neighbor import NeighborState, NeighborTable
+from repro.kernel.routing import RoutingTable
+from repro.net.addresses import ip_to_int
+from repro.net.flow import FiveTuple
+from repro.net.ipv4 import IPProto
+from repro.net.tcp import TcpFlags
+
+from .conftest import mac
+
+
+class TestRouting:
+    def test_lpm_prefers_longer_prefix(self):
+        t = RoutingTable()
+        t.add(ip_to_int("10.0.0.0"), 8, ifindex=1)
+        t.add(ip_to_int("10.1.0.0"), 16, ifindex=2)
+        assert t.lookup(ip_to_int("10.1.2.3")).ifindex == 2
+        assert t.lookup(ip_to_int("10.2.2.3")).ifindex == 1
+        assert t.lookup(ip_to_int("192.168.0.1")) is None
+
+    def test_default_route(self):
+        t = RoutingTable()
+        t.add(0, 0, ifindex=3, gateway=ip_to_int("10.0.0.1"))
+        r = t.lookup(ip_to_int("8.8.8.8"))
+        assert r.ifindex == 3
+        assert r.gateway == ip_to_int("10.0.0.1")
+
+    def test_metric_breaks_ties(self):
+        t = RoutingTable()
+        t.add(ip_to_int("10.0.0.0"), 8, ifindex=1, metric=10)
+        t.add(ip_to_int("10.0.0.0"), 8, ifindex=2, metric=1)
+        assert t.lookup(ip_to_int("10.1.1.1")).ifindex == 2
+
+    def test_prefix_canonicalised(self):
+        t = RoutingTable()
+        t.add(ip_to_int("10.0.0.77"), 24, ifindex=1)  # host bits ignored
+        assert t.lookup(ip_to_int("10.0.0.200")).ifindex == 1
+
+    def test_remove(self):
+        t = RoutingTable()
+        t.add(ip_to_int("10.0.0.0"), 24, ifindex=1)
+        t.remove(ip_to_int("10.0.0.0"), 24)
+        assert t.lookup(ip_to_int("10.0.0.1")) is None
+        with pytest.raises(KeyError):
+            t.remove(ip_to_int("10.0.0.0"), 24)
+
+    def test_version_bumps(self):
+        t = RoutingTable()
+        v0 = t.version
+        t.add(0, 0, ifindex=1)
+        assert t.version > v0
+
+    def test_render(self):
+        t = RoutingTable()
+        t.add(0, 0, ifindex=1, gateway=ip_to_int("10.0.0.1"))
+        assert "default via 10.0.0.1" in t.routes()[0].render()
+
+
+class TestNeighbors:
+    def test_update_lookup(self):
+        t = NeighborTable()
+        t.update(ip_to_int("10.0.0.2"), mac(2), ifindex=1)
+        n = t.lookup(ip_to_int("10.0.0.2"))
+        assert n.mac == mac(2)
+        assert n.state is NeighborState.REACHABLE
+
+    def test_stale_after_reachable_time(self):
+        t = NeighborTable()
+        t.update(ip_to_int("10.0.0.2"), mac(2), 1, now_ns=0)
+        n = t.lookup(ip_to_int("10.0.0.2"), now_ns=60 * 10**9)
+        assert n.state is NeighborState.STALE
+
+    def test_permanent_entries(self):
+        t = NeighborTable()
+        t.update(ip_to_int("10.0.0.2"), mac(2), 1, permanent=True)
+        n = t.lookup(ip_to_int("10.0.0.2"), now_ns=10**15)
+        assert n.state is NeighborState.PERMANENT
+
+    def test_delete(self):
+        t = NeighborTable()
+        t.update(1, mac(1), 1)
+        t.delete(1)
+        assert t.lookup(1) is None
+        with pytest.raises(KeyError):
+            t.delete(1)
+
+
+UDP_FT = FiveTuple(IPProto.UDP, 1, 2, 100, 200)
+TCP_FT = FiveTuple(IPProto.TCP, 1, 2, 100, 200)
+
+
+class TestConntrack:
+    def test_unknown_tuple_is_new(self):
+        ct = ConntrackTable()
+        r = ct.lookup(UDP_FT, zone=0)
+        assert r.is_new and not r.is_established
+
+    def test_commit_creates_connection(self):
+        ct = ConntrackTable()
+        r = ct.process(UDP_FT, zone=0, commit=True)
+        assert r.is_new
+        assert len(ct) == 1
+        again = ct.process(UDP_FT, zone=0)
+        assert again.is_established
+
+    def test_reply_direction_flagged(self):
+        ct = ConntrackTable()
+        ct.process(UDP_FT, zone=0, commit=True)
+        r = ct.process(UDP_FT.reversed(), zone=0)
+        assert r.is_established and r.is_reply
+
+    def test_zones_are_separate(self):
+        ct = ConntrackTable()
+        ct.process(UDP_FT, zone=1, commit=True)
+        r = ct.lookup(UDP_FT, zone=2)
+        assert r.is_new
+        assert ct.zone_count(1) == 1
+        assert ct.zone_count(2) == 0
+
+    def test_midstream_tcp_invalid(self):
+        ct = ConntrackTable()
+        r = ct.process(TCP_FT, zone=0, tcp_flags=int(TcpFlags.ACK),
+                       commit=True)
+        assert r.is_invalid
+
+    def test_tcp_handshake_states(self):
+        ct = ConntrackTable()
+        r1 = ct.process(TCP_FT, 0, tcp_flags=int(TcpFlags.SYN), commit=True)
+        assert r1.connection.tcp_state is TcpCtState.SYN_SENT
+        r2 = ct.process(TCP_FT.reversed(), 0,
+                        tcp_flags=int(TcpFlags.SYN | TcpFlags.ACK))
+        assert r2.connection.tcp_state is TcpCtState.SYN_RECV
+        r3 = ct.process(TCP_FT, 0, tcp_flags=int(TcpFlags.ACK))
+        assert r3.connection.tcp_state is TcpCtState.ESTABLISHED
+
+    def test_rst_closes(self):
+        ct = ConntrackTable()
+        ct.process(TCP_FT, 0, tcp_flags=int(TcpFlags.SYN), commit=True)
+        r = ct.process(TCP_FT, 0, tcp_flags=int(TcpFlags.RST))
+        assert r.connection.tcp_state is TcpCtState.CLOSED
+
+    def test_zone_limit(self):
+        # The per-zone connection limit of §2.1.1 (nf_conncount backport).
+        ct = ConntrackTable()
+        ct.set_zone_limit(5, 2)
+        ft2 = FiveTuple(IPProto.UDP, 1, 2, 101, 200)
+        ft3 = FiveTuple(IPProto.UDP, 1, 2, 102, 200)
+        assert ct.process(UDP_FT, 5, commit=True).is_new
+        assert ct.process(ft2, 5, commit=True).is_new
+        assert ct.process(ft3, 5, commit=True).is_invalid
+        assert ct.zone_count(5) == 2
+
+    def test_expiry(self):
+        ct = ConntrackTable()
+        ct.process(UDP_FT, 0, commit=True, now_ns=0)
+        assert ct.expire(now_ns=10**9) == 0
+        assert ct.expire(now_ns=200 * 10**9) == 1
+        assert len(ct) == 0
+        assert ct.zone_count(0) == 0
+
+    def test_global_capacity(self):
+        ct = ConntrackTable(max_connections=1)
+        ct.process(UDP_FT, 0, commit=True)
+        ft2 = FiveTuple(IPProto.UDP, 9, 9, 9, 9)
+        assert ct.process(ft2, 0, commit=True).is_invalid
+
+    def test_flush(self):
+        ct = ConntrackTable()
+        ct.process(UDP_FT, 0, commit=True)
+        ct.flush()
+        assert len(ct) == 0

@@ -1,0 +1,114 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    MacAddress,
+    int_to_ip,
+    ip_to_int,
+    prefix_to_mask,
+)
+
+
+class TestMacAddress:
+    def test_from_string_roundtrip(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+        assert mac.value == 0xAABBCCDDEEFF
+
+    def test_from_int_and_bytes(self):
+        assert MacAddress(0x010203040506) == MacAddress(
+            bytes([1, 2, 3, 4, 5, 6])
+        )
+
+    def test_copy_constructor(self):
+        m = MacAddress("02:00:00:00:00:01")
+        assert MacAddress(m) == m
+
+    def test_to_bytes(self):
+        assert MacAddress("01:02:03:04:05:06").to_bytes() == bytes(
+            [1, 2, 3, 4, 5, 6]
+        )
+
+    def test_rejects_bad_syntax(self):
+        for bad in ("nonsense", "aa:bb:cc:dd:ee", "gg:bb:cc:dd:ee:ff", ""):
+            with pytest.raises(ValueError):
+                MacAddress(bad)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MacAddress(2**48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00" * 7)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            MacAddress(1.5)  # type: ignore[arg-type]
+
+    def test_broadcast(self):
+        assert MacAddress.broadcast().is_broadcast
+        assert MacAddress.broadcast().is_multicast
+        assert not MacAddress("02:00:00:00:00:01").is_broadcast
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("02:00:00:00:00:01").is_multicast
+
+    def test_local_factory_unique_and_unicast(self):
+        macs = {MacAddress.local(i) for i in range(100)}
+        assert len(macs) == 100
+        assert not any(m.is_multicast for m in macs)
+
+    def test_local_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MacAddress.local(2**40)
+
+    def test_ordering_and_hash(self):
+        a, b = MacAddress.local(1), MacAddress.local(2)
+        assert a < b
+        assert len({a, MacAddress.local(1)}) == 1
+
+    @given(st.integers(0, 2**48 - 1))
+    def test_string_roundtrip_property(self, value):
+        assert MacAddress(str(MacAddress(value))).value == value
+
+
+class TestIpConversion:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+        assert int_to_ip(0x0A000001) == "10.0.0.1"
+
+    def test_rejects_bad(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefixMask:
+    def test_known_masks(self):
+        assert prefix_to_mask(0) == 0
+        assert prefix_to_mask(8) == 0xFF000000
+        assert prefix_to_mask(24) == 0xFFFFFF00
+        assert prefix_to_mask(32) == 0xFFFFFFFF
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            prefix_to_mask(33)
+        with pytest.raises(ValueError):
+            prefix_to_mask(-1)
+
+    @given(st.integers(1, 32))
+    def test_mask_has_prefix_len_bits(self, n):
+        assert bin(prefix_to_mask(n)).count("1") == n

@@ -1,0 +1,63 @@
+import struct
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import (
+    internet_checksum,
+    l4_checksum_v4,
+    pseudo_header_v4,
+    verify_checksum,
+)
+
+
+def test_known_rfc1071_example():
+    # Classic example from RFC 1071 §3.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert internet_checksum(data) == 0x220D
+
+
+def test_odd_length_padded():
+    assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+
+def test_verify_accepts_valid():
+    data = b"\x45\x00\x00\x28" + b"\x00" * 16
+    csum = internet_checksum(data)
+    stamped = data[:10] + struct.pack("!H", csum) + data[12:]
+    assert verify_checksum(stamped)
+
+
+def test_verify_rejects_corrupted():
+    data = b"\x45\x00\x00\x28" + b"\x01" * 16
+    csum = internet_checksum(data)
+    stamped = data[:10] + struct.pack("!H", csum) + data[12:]
+    corrupted = bytes([stamped[0] ^ 0xFF]) + stamped[1:]
+    assert not verify_checksum(corrupted)
+
+
+@given(st.binary(min_size=0, max_size=256))
+def test_checksum_then_verify_property(payload):
+    # Appending the checksum of data makes the whole verify.
+    csum = internet_checksum(payload)
+    stamped = payload + (b"\x00" if len(payload) % 2 else b"") + struct.pack("!H", csum)
+    assert verify_checksum(stamped)
+
+
+@given(st.binary(min_size=2, max_size=64))
+def test_checksum_in_range(payload):
+    assert 0 <= internet_checksum(payload) <= 0xFFFF
+
+
+def test_pseudo_header_layout():
+    ph = pseudo_header_v4(0x0A000001, 0x0A000002, 17, 100)
+    assert len(ph) == 12
+    assert ph[8] == 0  # zero byte
+    assert ph[9] == 17  # proto
+
+
+def test_l4_checksum_includes_pseudo_header():
+    seg = b"\x12\x34\x56\x78\x00\x08\x00\x00"
+    a = l4_checksum_v4(1, 2, 17, seg)
+    b = l4_checksum_v4(1, 3, 17, seg)
+    assert a != b  # different dst ip changes the checksum

@@ -1,0 +1,150 @@
+import pytest
+
+from repro.net.addresses import MacAddress
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.checksum import verify_checksum
+from repro.net.ethernet import (
+    ETH_HLEN,
+    EthernetHeader,
+    EtherType,
+    VlanTag,
+    pop_vlan,
+    push_vlan,
+)
+from repro.net.icmp import IcmpHeader, IcmpType
+from repro.net.ipv4 import IPProto, Ipv4Header
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.udp import UdpHeader
+
+SRC = MacAddress("02:00:00:00:00:01")
+DST = MacAddress("02:00:00:00:00:02")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        hdr = EthernetHeader(DST, SRC, EtherType.IPV4)
+        packed = hdr.pack()
+        assert len(packed) == ETH_HLEN
+        again = EthernetHeader.unpack(packed)
+        assert again == hdr
+
+    def test_unpack_truncated(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.unpack(b"\x00" * 10)
+
+    def test_unpack_with_offset(self):
+        hdr = EthernetHeader(DST, SRC, EtherType.ARP)
+        data = b"\xff" * 4 + hdr.pack()
+        assert EthernetHeader.unpack(data, 4) == hdr
+
+
+class TestVlan:
+    def test_push_then_pop(self):
+        eth = EthernetHeader(DST, SRC, EtherType.IPV4)
+        frame = eth.pack() + b"payload-bytes!"
+        tagged = push_vlan(frame, VlanTag(vid=100, pcp=3))
+        assert EthernetHeader.unpack(tagged).ethertype == EtherType.VLAN
+        assert len(tagged) == len(frame) + 4
+        untagged, tag = pop_vlan(tagged)
+        assert untagged == frame
+        assert tag.vid == 100
+        assert tag.pcp == 3
+
+    def test_pop_untagged_raises(self):
+        frame = EthernetHeader(DST, SRC, EtherType.IPV4).pack() + b"x" * 50
+        with pytest.raises(ValueError):
+            pop_vlan(frame)
+
+    def test_tag_validation(self):
+        with pytest.raises(ValueError):
+            VlanTag(vid=4096)
+        with pytest.raises(ValueError):
+            VlanTag(vid=1, pcp=8)
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        hdr = Ipv4Header(src=0x0A000001, dst=0x0A000002, proto=IPProto.UDP,
+                         total_length=60, ttl=17, dscp=10, ecn=1)
+        again = Ipv4Header.unpack(hdr.pack())
+        assert (again.src, again.dst, again.proto) == (hdr.src, hdr.dst, hdr.proto)
+        assert again.ttl == 17
+        assert again.dscp == 10
+        assert again.ecn == 1
+
+    def test_checksum_valid(self):
+        packed = Ipv4Header(src=1, dst=2, proto=6, total_length=40).pack()
+        assert verify_checksum(packed)
+
+    def test_rejects_non_ipv4(self):
+        packed = bytearray(Ipv4Header(src=1, dst=2, proto=6).pack())
+        packed[0] = (6 << 4) | 5  # version 6
+        with pytest.raises(ValueError):
+            Ipv4Header.unpack(bytes(packed))
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            Ipv4Header.unpack(b"\x45\x00")
+
+    def test_decrement_ttl(self):
+        hdr = Ipv4Header(src=1, dst=2, proto=6, ttl=2)
+        assert hdr.decrement_ttl().ttl == 1
+        with pytest.raises(ValueError):
+            Ipv4Header(src=1, dst=2, proto=6, ttl=0).decrement_ttl()
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        hdr = UdpHeader(1234, 5678, 20, 0xBEEF)
+        assert UdpHeader.unpack(hdr.pack()) == hdr
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            UdpHeader.unpack(b"\x00" * 4)
+
+
+class TestTcp:
+    def test_roundtrip(self):
+        hdr = TcpHeader(80, 443, seq=12345, ack=999,
+                        flags=int(TcpFlags.SYN | TcpFlags.ACK), window=1024)
+        again = TcpHeader.unpack(hdr.pack())
+        assert again == hdr
+        assert again.has(TcpFlags.SYN)
+        assert again.has(TcpFlags.ACK)
+        assert not again.has(TcpFlags.FIN)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            TcpHeader.unpack(b"\x00" * 10)
+
+
+class TestArp:
+    def test_roundtrip(self):
+        pkt = ArpPacket(ArpOp.REQUEST, SRC, 0x0A000001, MacAddress(0), 0x0A000002)
+        again = ArpPacket.unpack(pkt.pack())
+        assert again.op == ArpOp.REQUEST
+        assert again.sender_mac == SRC
+        assert again.target_ip == 0x0A000002
+
+    def test_rejects_non_ethernet_ipv4(self):
+        raw = bytearray(
+            ArpPacket(ArpOp.REPLY, SRC, 1, DST, 2).pack()
+        )
+        raw[1] = 9  # weird hardware type
+        with pytest.raises(ValueError):
+            ArpPacket.unpack(bytes(raw))
+
+
+class TestIcmp:
+    def test_roundtrip_with_checksum(self):
+        hdr = IcmpHeader(IcmpType.ECHO_REQUEST, identifier=7, sequence=3)
+        packed = hdr.pack(b"ping-payload")
+        assert verify_checksum(packed)
+        again = IcmpHeader.unpack(packed)
+        assert again.icmp_type == IcmpType.ECHO_REQUEST
+        assert again.identifier == 7
+        assert again.sequence == 3
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            IcmpHeader.unpack(b"\x08\x00")

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.net.addresses import MacAddress
+from repro.net.builder import (
+    MIN_FRAME,
+    make_arp_reply,
+    make_arp_request,
+    make_icmp_echo,
+    make_tcp_packet,
+    make_udp_packet,
+)
+from repro.net.checksum import l4_checksum_v4, verify_checksum
+from repro.net.ipv4 import IPProto, Ipv4Header
+from repro.net.packet import Packet, PacketMeta
+from repro.net.tcp import TcpHeader
+from repro.net.udp import UdpHeader
+
+SRC = MacAddress("02:00:00:00:00:01")
+DST = MacAddress("02:00:00:00:00:02")
+
+
+class TestPacket:
+    def test_minimum_frame_enforced(self):
+        with pytest.raises(ValueError):
+            Packet(b"\x00" * 10)
+
+    def test_clone_is_deep_for_meta(self):
+        pkt = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2")
+        pkt.meta.in_port = 5
+        pkt.meta.tunnel.vni = 9
+        dup = pkt.clone()
+        dup.meta.in_port = 6
+        dup.meta.tunnel.vni = 10
+        assert pkt.meta.in_port == 5
+        assert pkt.meta.tunnel.vni == 9
+
+    def test_with_data_shares_meta(self):
+        pkt = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2")
+        pkt.meta.in_port = 4
+        rewritten = pkt.with_data(pkt.data[:-1] + b"\xff")
+        assert rewritten.meta is pkt.meta
+        assert rewritten.data != pkt.data
+
+    def test_default_meta(self):
+        meta = PacketMeta()
+        assert meta.recirc_id == 0
+        assert meta.rxhash is None
+        assert not meta.csum_verified
+
+
+class TestUdpBuilder:
+    def test_frame_len_convention(self):
+        # "64-byte packets" on the wire -> a 60-byte frame in memory.
+        pkt = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", frame_len=64)
+        assert len(pkt) == 60
+
+    def test_min_padding(self):
+        pkt = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2")
+        assert len(pkt) == MIN_FRAME
+
+    def test_payload_too_big_for_frame_rejected(self):
+        with pytest.raises(ValueError):
+            make_udp_packet(
+                SRC, DST, "10.0.0.1", "10.0.0.2",
+                payload=b"\x00" * 200, frame_len=64,
+            )
+
+    def test_1518_byte_frame(self):
+        pkt = make_udp_packet(
+            SRC, DST, "10.0.0.1", "10.0.0.2",
+            payload=b"\xaa" * 1472, frame_len=1518,
+        )
+        assert len(pkt) == 1514
+
+    def test_headers_parse_back(self):
+        pkt = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", 7, 8,
+                              payload=b"hello")
+        ip = Ipv4Header.unpack(pkt.data, 14)
+        assert ip.proto == IPProto.UDP
+        assert verify_checksum(pkt.data[14:34])
+        udp = UdpHeader.unpack(pkt.data, 34)
+        assert (udp.src_port, udp.dst_port) == (7, 8)
+        assert udp.length == 8 + 5
+
+    def test_udp_checksum_valid(self):
+        pkt = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2",
+                              payload=b"data")
+        ip = Ipv4Header.unpack(pkt.data, 14)
+        seg = pkt.data[34 : 34 + ip.total_length - 20]
+        assert l4_checksum_v4(ip.src, ip.dst, IPProto.UDP, seg) == 0
+
+
+class TestTcpBuilder:
+    def test_tcp_checksum_valid(self):
+        pkt = make_tcp_packet(SRC, DST, "10.0.0.1", "10.0.0.2",
+                              payload=b"GET / HTTP/1.0\r\n")
+        ip = Ipv4Header.unpack(pkt.data, 14)
+        seg = pkt.data[34 : 34 + ip.total_length - 20]
+        assert l4_checksum_v4(ip.src, ip.dst, IPProto.TCP, seg) == 0
+
+    def test_csum_partial_flag_when_offloaded(self):
+        pkt = make_tcp_packet(SRC, DST, "10.0.0.1", "10.0.0.2",
+                              fill_checksum=False)
+        assert pkt.meta.csum_partial
+
+    def test_seq_ack_roundtrip(self):
+        pkt = make_tcp_packet(SRC, DST, "10.0.0.1", "10.0.0.2",
+                              seq=100, ack=200)
+        tcp = TcpHeader.unpack(pkt.data, 34)
+        assert (tcp.seq, tcp.ack) == (100, 200)
+
+
+class TestArpIcmpBuilders:
+    def test_arp_request_is_broadcast(self):
+        pkt = make_arp_request(SRC, "10.0.0.1", "10.0.0.2")
+        assert pkt.data[:6] == b"\xff" * 6
+
+    def test_arp_reply_is_unicast(self):
+        pkt = make_arp_reply(SRC, "10.0.0.1", DST, "10.0.0.2")
+        assert pkt.data[:6] == DST.to_bytes()
+
+    def test_icmp_echo_request_and_reply(self):
+        req = make_icmp_echo(SRC, DST, "10.0.0.1", "10.0.0.2")
+        rep = make_icmp_echo(DST, SRC, "10.0.0.2", "10.0.0.1", reply=True)
+        assert req.data[34] == 8  # echo request type
+        assert rep.data[34] == 0  # echo reply type

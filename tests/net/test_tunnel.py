@@ -1,0 +1,147 @@
+import pytest
+
+from repro.net.addresses import MacAddress, ip_to_int
+from repro.net.builder import make_udp_packet
+from repro.net.ethernet import EtherType
+from repro.net.tunnel import (
+    GENEVE_PORT,
+    TunnelConfig,
+    decapsulate,
+    encapsulate,
+    erspan2_header,
+    geneve_header,
+    gre_header,
+    parse_erspan2,
+    parse_geneve,
+    parse_gre,
+    parse_vxlan,
+    vxlan_header,
+)
+
+SRC = MacAddress("02:00:00:00:00:01")
+DST = MacAddress("02:00:00:00:00:02")
+LOCAL = MacAddress("02:00:00:00:00:aa")
+REMOTE = MacAddress("02:00:00:00:00:bb")
+
+
+def _cfg(tunnel_type: str, vni: int = 7) -> TunnelConfig:
+    return TunnelConfig(
+        tunnel_type=tunnel_type,
+        local_ip=ip_to_int("192.168.1.1"),
+        remote_ip=ip_to_int("192.168.1.2"),
+        vni=vni,
+        local_mac=LOCAL,
+        remote_mac=REMOTE,
+    )
+
+
+INNER = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", frame_len=100).data
+
+
+@pytest.mark.parametrize("ttype", ["geneve", "vxlan", "gre", "erspan"])
+def test_encap_decap_roundtrip(ttype):
+    cfg = _cfg(ttype, vni=123)
+    outer = encapsulate(cfg, INNER)
+    found_type, vni, src, dst, inner = decapsulate(outer)
+    assert found_type == ttype
+    assert vni == 123
+    assert src == cfg.local_ip
+    assert dst == cfg.remote_ip
+    assert inner == INNER
+
+
+def test_unknown_tunnel_type_rejected():
+    with pytest.raises(ValueError):
+        encapsulate(_cfg("stt"), INNER)  # STT: rejected upstream, §2.1 :-)
+
+
+def test_geneve_header_fields():
+    hdr = geneve_header(vni=0xABCDEF)
+    vni, options, off = parse_geneve(hdr, 0)
+    assert vni == 0xABCDEF
+    assert options == b""
+    assert off == 8
+
+
+def test_geneve_with_options():
+    opts = b"\x01\x02\x03\x04\x05\x06\x07\x08"
+    hdr = geneve_header(vni=9, options=opts)
+    vni, options, off = parse_geneve(hdr, 0)
+    assert options == opts
+    assert off == 8 + len(opts)
+
+
+def test_geneve_rejects_unaligned_options():
+    with pytest.raises(ValueError):
+        geneve_header(1, options=b"\x01\x02\x03")
+
+
+def test_geneve_entropy_source_port_varies_by_inner_flow():
+    cfg = _cfg("geneve")
+    a = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", 1, 1).data
+    b = make_udp_packet(SRC, DST, "10.0.0.3", "10.0.0.4", 9, 9).data
+    import struct
+
+    pa = struct.unpack_from("!H", encapsulate(cfg, a), 34)[0]
+    pb = struct.unpack_from("!H", encapsulate(cfg, b), 34)[0]
+    assert pa != pb  # underlay ECMP sees different flows
+
+
+def test_vxlan_roundtrip():
+    hdr = vxlan_header(vni=42)
+    vni, off = parse_vxlan(hdr, 0)
+    assert vni == 42
+    assert off == 8
+
+
+def test_vxlan_rejects_missing_i_flag():
+    with pytest.raises(ValueError):
+        parse_vxlan(b"\x00" * 8, 0)
+
+
+def test_gre_with_key():
+    hdr = gre_header(key=77)
+    key, proto, off = parse_gre(hdr, 0)
+    assert key == 77
+    assert proto == EtherType.TEB
+    assert off == 8
+
+
+def test_gre_without_key():
+    hdr = gre_header()
+    key, proto, off = parse_gre(hdr, 0)
+    assert key is None
+    assert off == 4
+
+
+def test_erspan_session_id():
+    hdr = erspan2_header(session_id=1000, index=5)
+    session, off = parse_erspan2(hdr, 0)
+    assert session == 1000
+    assert off == 8
+
+
+def test_erspan_rejects_wide_session():
+    with pytest.raises(ValueError):
+        erspan2_header(session_id=1024)
+
+
+def test_decap_rejects_plain_udp():
+    plain = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", 53, 53).data
+    with pytest.raises(ValueError):
+        decapsulate(plain)
+
+
+def test_decap_rejects_non_ip():
+    from repro.net.builder import make_arp_request
+
+    with pytest.raises(ValueError):
+        decapsulate(make_arp_request(SRC, "1.2.3.4", "1.2.3.5").data)
+
+
+def test_geneve_outer_dst_port():
+    import struct
+
+    outer = encapsulate(_cfg("geneve"), INNER)
+    dst_port = struct.unpack_from("!H", outer, 36)[0]
+    assert dst_port == GENEVE_PORT

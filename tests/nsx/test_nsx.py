@@ -1,0 +1,183 @@
+import pytest
+
+from repro.hosts.host import Host
+from repro.net.addresses import int_to_ip, ip_to_int
+from repro.nsx.agent import NsxAgent
+from repro.nsx.ruleset import TARGET_RULES, collect_stats
+from repro.nsx.topology import build_topology
+from repro.ovs.emc import ExactMatchCache
+from repro.sim.cpu import CpuCategory, ExecContext
+
+
+class TestTopology:
+    def test_table3_scale(self):
+        topo = build_topology()
+        assert topo.n_vms == 15
+        assert len(topo.vifs) == 30  # two interfaces per VM
+        assert len(topo.vteps) == 291
+
+    def test_deterministic(self):
+        a, b = build_topology(), build_topology()
+        assert a.vifs == b.vifs
+        assert a.vteps == b.vteps
+        assert a.remote_macs == b.remote_macs
+
+    def test_vif_ips_in_switch_subnet(self):
+        topo = build_topology()
+        for vif in topo.vifs:
+            subnet = topo.subnets[vif.logical_switch]
+            assert vif.ip & 0xFFFFFF00 == subnet
+
+    def test_vtep_ips_unique(self):
+        topo = build_topology()
+        ips = [v.ip for v in topo.vteps]
+        assert len(set(ips)) == len(ips)
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    """A full NSX deployment on the userspace datapath (scaled rule count
+    for test speed; the benchmark uses the full 103,302)."""
+    host = Host("hv1", n_cpus=16)
+    host.kernel.init_ns  # touch
+    nic = host.add_nic("ens1")
+    host.kernel.init_ns.add_address("ens1", "192.168.1.1", 16)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge(NsxAgent.INTEGRATION_BRIDGE)
+    uplink, uplink_adapter = vs.add_sim_port(NsxAgent.INTEGRATION_BRIDGE, "up0")
+    vs.dpif_netdev.ports[uplink.dp_port_no].device = nic
+    agent = NsxAgent(vs)
+    vif_ports = {}
+    adapters = {}
+    for vif in agent.topo.vifs[:4]:
+        port, adapter = vs.add_sim_port(
+            NsxAgent.INTEGRATION_BRIDGE, f"vif{vif.vif_id}")
+        vif_ports[vif.vif_id] = port
+        adapters[vif.vif_id] = adapter
+    stats = agent.deploy(uplink, vif_ports, target_rules=9_000)
+    return host, vs, agent, uplink_adapter, adapters, stats
+
+
+class TestDeployment:
+    def test_tunnel_count(self, deployed):
+        _host, vs, agent, _up, _ad, stats = deployed
+        assert stats.n_tunnels == 291
+        bridge = vs.bridge("br-int")
+        assert sum(1 for p in bridge.ports.values()
+                   if p.kind == "tunnel") == 291
+
+    def test_table_count_is_40(self, deployed):
+        _host, _vs, _agent, _up, _ad, stats = deployed
+        assert stats.n_tables == 40
+
+    def test_match_fields_is_31(self, deployed):
+        _host, _vs, _agent, _up, _ad, stats = deployed
+        assert stats.n_match_fields == 31
+
+    def test_rule_count_exact(self, deployed):
+        _host, _vs, _agent, _up, _ad, stats = deployed
+        assert stats.n_rules == 9_000
+
+    def test_full_scale_constant(self):
+        assert TARGET_RULES == 103_302
+
+
+class TestDataplaneThroughNsxPipeline:
+    def _vif(self, agent, vif_id):
+        return next(v for v in agent.topo.vifs if v.vif_id == vif_id)
+
+    def test_vif_to_vif_same_switch(self, deployed):
+        host, vs, agent, _up, adapters, _stats = deployed
+        # Find two deployed VIFs on the same logical switch.
+        vifs = [self._vif(agent, vid) for vid in adapters]
+        pairs = [
+            (a, b) for a in vifs for b in vifs
+            if a is not b and a.logical_switch == b.logical_switch
+        ]
+        src, dst = pairs[0]
+        from repro.net.builder import make_udp_packet
+
+        pkt = make_udp_packet(src.mac, dst.mac, src.ip, dst.ip, 1000, 2000)
+        ctx = ExecContext(host.cpu, 1, CpuCategory.USER)
+        emc = ExactMatchCache()
+        port_no = vs.dpif_netdev.port_no(f"vif{src.vif_id}")
+        vs.dpif_netdev.process_batch([pkt], port_no, ctx, emc)
+        out = adapters[dst.vif_id].take_transmitted()
+        assert len(out) == 1
+        # The DFW committed a connection in the switch's zone.
+        zones = {c.zone for c in vs.dpif_netdev.conntrack.connections()}
+        assert (100 + src.logical_switch) in zones
+        # Two datapath passes: before and after conntrack (§5.1).
+        assert vs.dpif_netdev.stats.passes >= 2
+
+    def test_vif_to_remote_mac_encapsulates(self, deployed):
+        host, vs, agent, uplink_adapter, adapters, _stats = deployed
+        vif_id = next(iter(adapters))
+        src = self._vif(agent, vif_id)
+        remote = next(rm for rm in agent.topo.remote_macs
+                      if rm.logical_switch == src.logical_switch)
+        from repro.net.builder import make_udp_packet
+        from repro.net.tunnel import decapsulate
+
+        pkt = make_udp_packet(src.mac, remote.mac, src.ip,
+                              src.ip + 100, 1000, 2000)
+        ctx = ExecContext(host.cpu, 2, CpuCategory.USER)
+        emc = ExactMatchCache()
+        port_no = vs.dpif_netdev.port_no(f"vif{src.vif_id}")
+        uplink_adapter.take_transmitted()
+        vs.dpif_netdev.process_batch([pkt], port_no, ctx, emc)
+        out = uplink_adapter.take_transmitted()
+        assert len(out) == 1
+        ttype, vni, outer_src, outer_dst, inner = decapsulate(out[0].data)
+        assert ttype == "geneve"
+        vtep = agent.topo.vteps[remote.vtep_index]
+        assert outer_dst == vtep.ip
+        assert vni == vtep.vni
+        assert inner == pkt.data
+
+    def test_spoofed_source_dropped(self, deployed):
+        host, vs, agent, _up, adapters, _stats = deployed
+        vif_id = next(iter(adapters))
+        src = self._vif(agent, vif_id)
+        from repro.net.builder import make_udp_packet
+        from repro.net.addresses import MacAddress
+
+        spoofed = make_udp_packet(MacAddress.local(0xBAD), src.mac,
+                                  "1.2.3.4", int_to_ip(src.ip))
+        ctx = ExecContext(host.cpu, 3, CpuCategory.USER)
+        emc = ExactMatchCache()
+        port_no = vs.dpif_netdev.port_no(f"vif{src.vif_id}")
+        dropped_before = vs.dpif_netdev.stats.dropped
+        vs.dpif_netdev.process_batch([spoofed], port_no, ctx, emc)
+        assert vs.dpif_netdev.stats.dropped == dropped_before + 1
+
+    def test_inbound_tunnel_to_vif(self, deployed):
+        host, vs, agent, _up, adapters, _stats = deployed
+        vif_id = next(iter(adapters))
+        dst = self._vif(agent, vif_id)
+        vtep = agent.topo.vteps[0]
+        from repro.net.addresses import MacAddress
+        from repro.net.builder import make_udp_packet
+        from repro.net.tunnel import TunnelConfig, encapsulate
+        from repro.net.packet import Packet
+
+        inner = make_udp_packet(MacAddress.local(0x77), dst.mac,
+                                int_to_ip(dst.ip ^ 0x40), int_to_ip(dst.ip),
+                                53, 53)
+        cfg = TunnelConfig(
+            tunnel_type="geneve",
+            local_ip=vtep.ip,
+            remote_ip=ip_to_int("192.168.1.1"),
+            vni=5000 + dst.logical_switch,
+            local_mac=MacAddress.local(0x88),
+            remote_mac=host.nics["ens1"].mac,
+        )
+        outer = Packet(encapsulate(cfg, inner.data))
+        ctx = ExecContext(host.cpu, 4, CpuCategory.USER)
+        emc = ExactMatchCache()
+        uplink_no = vs.dpif_netdev.port_no("up0")
+        adapters[vif_id].take_transmitted()
+        vs.dpif_netdev.process_batch([outer], uplink_no, ctx, emc)
+        out = adapters[vif_id].take_transmitted()
+        assert len(out) == 1
+        assert out[0].data == inner.data

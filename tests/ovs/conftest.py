@@ -1,0 +1,31 @@
+import pytest
+
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_tcp_packet, make_udp_packet
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+
+def mac(i: int) -> MacAddress:
+    return MacAddress.local(i)
+
+
+def udp_pkt(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=2000,
+            frame_len=64):
+    return make_udp_packet(mac(1), mac(2), src, dst, sport, dport,
+                           frame_len=frame_len)
+
+
+def tcp_pkt(src="10.0.0.1", dst="10.0.0.2", sport=1000, dport=2000,
+            flags=0x10):
+    return make_tcp_packet(mac(1), mac(2), src, dst, sport, dport,
+                           flags=flags)
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel(8)
+
+
+@pytest.fixture
+def ctx(cpu):
+    return ExecContext(cpu, 0, CpuCategory.USER)

@@ -1,0 +1,134 @@
+import pytest
+
+from repro.net.flow import extract_flow, mask_from_fields
+from repro.ovs.emc import ExactMatchCache
+from repro.ovs.megaflow import MegaflowCache, union_masks
+
+from .conftest import udp_pkt
+
+
+def key(pkt=None, **kwargs):
+    return extract_flow((pkt or udp_pkt()).data, **kwargs)
+
+
+class TestEmc:
+    def test_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            ExactMatchCache(1000)
+
+    def test_miss_then_hit(self):
+        emc = ExactMatchCache()
+        k = key()
+        assert emc.lookup(k) is None
+        emc.insert(k, "actions")
+        assert emc.lookup(k) == "actions"
+        assert emc.hits == 1
+        assert emc.misses == 1
+
+    def test_recirc_id_separates_entries(self):
+        emc = ExactMatchCache()
+        emc.insert(key(recirc_id=0), "pass1")
+        emc.insert(key(recirc_id=1), "pass2")
+        assert emc.lookup(key(recirc_id=0)) == "pass1"
+        assert emc.lookup(key(recirc_id=1)) == "pass2"
+
+    def test_eviction_on_collision_pressure(self):
+        emc = ExactMatchCache(n_entries=8)
+        keys = [key(udp_pkt(sport=i + 1)) for i in range(100)]
+        for k in keys:
+            emc.insert(k, "a")
+        hits = sum(1 for k in keys if emc.lookup(k) is not None)
+        assert hits < 100  # small cache cannot hold them all
+
+    def test_evict_and_flush(self):
+        emc = ExactMatchCache()
+        k = key()
+        emc.insert(k, "x")
+        emc.evict(k)
+        assert emc.lookup(k) is None
+        emc.insert(k, "x")
+        emc.flush()
+        assert emc.lookup(k) is None
+
+    def test_hit_rate(self):
+        emc = ExactMatchCache()
+        k = key()
+        emc.insert(k, "x")
+        emc.lookup(k)
+        emc.lookup(key(udp_pkt(sport=42)))
+        assert emc.hit_rate == pytest.approx(0.5)
+
+    def test_charges_lookup_cost(self, ctx, cpu):
+        from repro.sim.costs import DEFAULT_COSTS
+
+        emc = ExactMatchCache()
+        emc.lookup(key(), ctx)
+        assert cpu.busy_ns() == pytest.approx(DEFAULT_COSTS.emc_hit_ns)
+
+
+class TestMegaflow:
+    MASK = mask_from_fields(nw_dst=-1, eth_type=-1)
+
+    def test_wildcard_hit(self):
+        mf = MegaflowCache()
+        mf.insert(key(), self.MASK, ("fwd",))
+        # Same dst, different sport: same megaflow.
+        other = key(udp_pkt(sport=9999))
+        assert mf.lookup(other) == ("fwd",)
+
+    def test_masked_miss(self):
+        mf = MegaflowCache()
+        mf.insert(key(), self.MASK, ("fwd",))
+        assert mf.lookup(key(udp_pkt(dst="10.0.0.99"))) is None
+
+    def test_cost_scales_with_masks(self, ctx, cpu):
+        from repro.sim.costs import DEFAULT_COSTS
+
+        mf = MegaflowCache()
+        for i in range(5):
+            m = mask_from_fields(tp_src=-1, nw_dst=(1 << i))
+            mf.insert(key(), m, (f"v{i}",))
+        cpu.reset()
+        mf.lookup(key(udp_pkt(dst="1.2.3.4", sport=7)), ctx)
+        assert cpu.busy_ns() >= 5 * DEFAULT_COSTS.megaflow_subtable_ns
+
+    def test_capacity(self):
+        mf = MegaflowCache(max_flows=1)
+        assert mf.insert(key(), self.MASK, ("a",))
+        assert not mf.insert(key(udp_pkt(dst="9.9.9.9")), self.MASK, ("b",))
+
+    def test_remove(self):
+        mf = MegaflowCache()
+        k = key()
+        mf.insert(k, self.MASK, ("a",))
+        assert mf.remove(k, self.MASK)
+        assert not mf.remove(k, self.MASK)
+        assert mf.lookup(k) is None
+        assert mf.n_masks == 0
+
+    def test_flush_and_hit_rate(self):
+        mf = MegaflowCache()
+        mf.insert(key(), self.MASK, ("a",))
+        mf.lookup(key())
+        mf.lookup(key(udp_pkt(dst="4.4.4.4")))
+        assert mf.hit_rate == pytest.approx(0.5)
+        mf.flush()
+        assert len(mf) == 0
+
+
+class TestUnionMasks:
+    def test_union(self):
+        a = mask_from_fields(nw_dst=0xFF000000)
+        b = mask_from_fields(nw_dst=0x000000FF, tp_dst=-1)
+        u = union_masks([a, b])
+        from repro.net.flow import FlowKey
+
+        idx_dst = FlowKey._fields.index("nw_dst")
+        idx_tp = FlowKey._fields.index("tp_dst")
+        assert u[idx_dst] == 0xFF0000FF
+        assert u[idx_tp] == -1
+
+    def test_empty(self):
+        from repro.net.flow import N_FLOW_FIELDS
+
+        assert union_masks([]) == tuple([0] * N_FLOW_FIELDS)

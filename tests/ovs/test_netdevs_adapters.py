@@ -1,0 +1,152 @@
+"""The port adapters that plug I/O mechanisms into dpif-netdev."""
+
+import pytest
+
+from repro.afxdp.driver import AfxdpDriver
+from repro.dpdk.ethdev import bind_device
+from repro.hosts.host import Host
+from repro.kernel.netdev import NetDevice, Wire
+from repro.kernel.tap import TapDevice
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_udp_packet
+from repro.ovs.netdevs import (
+    AfxdpAdapter,
+    DpdkAdapter,
+    InternalTapAdapter,
+    SimAdapter,
+    TapAdapter,
+    VhostAdapter,
+)
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+from repro.vhost.vhostuser import VhostUserPort
+from repro.vhost.virtio import VirtioNic
+
+
+def mac(i):
+    return MacAddress.local(i)
+
+
+PKT = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2")
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel(4)
+
+
+@pytest.fixture
+def ctx(cpu):
+    return ExecContext(cpu, 0, CpuCategory.USER)
+
+
+@pytest.fixture
+def softirq(cpu):
+    return ExecContext(cpu, 1, CpuCategory.SOFTIRQ)
+
+
+def _wired_nic(host, name="ens1", n_queues=2):
+    nic = host.add_nic(name, n_queues=n_queues)
+    peer = NetDevice(f"peer-{name}", mac(90))
+    peer.set_up()
+    peer.set_rx_handler(lambda pkt, ctx: None)
+    Wire(nic, peer)
+    return nic
+
+
+class TestAfxdpAdapter:
+    def test_rx_tx_round_trip(self, ctx, softirq):
+        host = Host("a", n_cpus=4)
+        nic = _wired_nic(host)
+        driver = AfxdpDriver(nic)
+        driver.setup()
+        adapter = AfxdpAdapter(driver)
+        assert adapter.n_rxq == 2
+        nic.host_receive(PKT)
+        queue = nic.select_queue(PKT)
+        host.kernel.service_nic(nic)
+        pkts = adapter.rx_burst(ctx, queue=queue)
+        assert len(pkts) == 1
+        assert adapter.tx_burst(pkts, ctx, queue=queue) == 1
+
+
+class TestDpdkAdapter:
+    def test_rx_tx(self, ctx):
+        host = Host("d", n_cpus=4)
+        nic = _wired_nic(host)
+        eth = bind_device(host.kernel.init_ns, "ens1")
+        adapter = DpdkAdapter(eth)
+        assert adapter.n_rxq == 2
+        nic.host_receive(PKT)
+        queue = nic.select_queue(PKT)
+        pkts = adapter.rx_burst(ctx, queue=queue)
+        assert len(pkts) == 1
+        assert adapter.tx_burst(pkts, ctx) == 1
+
+
+class TestVhostAdapter:
+    def test_rx_tx(self, ctx):
+        guest = VirtioNic("eth0", mac(5))
+        guest.set_up()
+        port = VhostUserPort("vhost-vm", guest)
+        adapter = VhostAdapter(port)
+        guest_ctx = ExecContext(CpuModel(1), 0, CpuCategory.GUEST)
+        guest.transmit(PKT.clone(), guest_ctx)
+        pkts = adapter.rx_burst(ctx)
+        assert len(pkts) == 1
+        assert adapter.tx_burst(pkts, ctx) == 1
+        assert len(guest.rx_queue) == 1
+
+
+class TestTapAdapter:
+    def test_tx_into_kernel_face(self, ctx):
+        host = Host("t", n_cpus=2)
+        dev = NetDevice("veth0", mac(7))
+        host.kernel.init_ns.register(dev)
+        dev.set_up()
+        adapter = TapAdapter(dev)
+        sent = []
+        dev._transmit = lambda pkt, c: (sent.append(pkt), True)[1]
+        assert adapter.tx_burst([PKT], ctx) == 1
+        assert len(sent) == 1
+
+    def test_rx_from_kernel_face(self, ctx):
+        dev = NetDevice("veth0", mac(7))
+        dev.set_up()
+        adapter = TapAdapter(dev)
+        dev.deliver(PKT, ctx)
+        assert adapter.pending() == 1
+        assert len(adapter.rx_burst(ctx)) == 1
+
+
+class TestInternalTapAdapter:
+    def test_bidirectional(self, ctx):
+        tap = TapDevice("br0", mac(8))
+        tap.set_up()
+        adapter = InternalTapAdapter(tap)
+        # Kernel stack sends out br0 -> OVS reads it.
+        tap.transmit(PKT, ctx)
+        assert adapter.pending() == 1
+        pkts = adapter.rx_burst(ctx)
+        assert len(pkts) == 1
+        # OVS outputs to the internal port -> the kernel face receives.
+        got = []
+        tap.set_rx_handler(lambda pkt, c: got.append(pkt))
+        adapter.tx_burst(pkts, ctx)
+        assert len(got) == 1
+
+    def test_rx_burst_stops_at_empty(self, ctx):
+        tap = TapDevice("br0", mac(8))
+        tap.set_up()
+        adapter = InternalTapAdapter(tap)
+        assert adapter.rx_burst(ctx, batch=4) == []
+
+
+class TestSimAdapter:
+    def test_inject_and_collect(self, ctx):
+        adapter = SimAdapter()
+        adapter.inject([PKT, PKT])
+        assert len(adapter.rx_burst(ctx, batch=1)) == 1
+        assert len(adapter.rx_burst(ctx)) == 1
+        adapter.tx_burst([PKT], ctx)
+        assert len(adapter.take_transmitted()) == 1
+        assert adapter.take_transmitted() == []

@@ -1,0 +1,142 @@
+import pytest
+
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.ofproto import Bridge
+from repro.ovs.openflow import FlowMod, FlowModCommand, OpenFlowConnection
+from repro.ovs.ovsdb import OvsdbError, OvsdbServer
+
+
+class TestOvsdb:
+    def test_insert_and_find(self):
+        db = OvsdbServer()
+        txn = db.transact()
+        txn.insert("Bridge", name="br0")
+        txn.commit()
+        [row] = db.find("Bridge", name="br0")
+        assert row["datapath_type"] == "system"  # default
+
+    def test_temp_uuid_resolution(self):
+        db = OvsdbServer()
+        txn = db.transact()
+        iface = txn.insert("Interface", name="eth0")
+        port = txn.insert("Port", name="eth0", interfaces=[iface])
+        mapping = txn.commit()
+        [port_row] = db.find("Port", name="eth0")
+        assert port_row["interfaces"] == [mapping[iface]]
+        assert db.get(mapping[iface])["name"] == "eth0"
+
+    def test_transaction_atomicity(self):
+        db = OvsdbServer()
+        txn = db.transact()
+        txn.insert("Bridge", name="br0")
+        txn.insert("NoSuchTable", name="x")
+        with pytest.raises(OvsdbError):
+            txn.commit()
+        assert db.find("Bridge", name="br0") == []  # nothing applied
+
+    def test_duplicate_name_rejected(self):
+        db = OvsdbServer()
+        t1 = db.transact()
+        t1.insert("Bridge", name="br0")
+        t1.commit()
+        t2 = db.transact()
+        t2.insert("Bridge", name="br0")
+        with pytest.raises(OvsdbError, match="already exists"):
+            t2.commit()
+
+    def test_type_validation(self):
+        db = OvsdbServer()
+        txn = db.transact()
+        txn.insert("Interface", name="eth0", ofport="not-an-int")
+        with pytest.raises(OvsdbError):
+            txn.commit()
+
+    def test_update_and_delete(self):
+        db = OvsdbServer()
+        txn = db.transact()
+        u = txn.insert("Interface", name="eth0")
+        mapping = txn.commit()
+        real = mapping[u]
+        txn2 = db.transact()
+        txn2.update(real, type="afxdp")
+        txn2.commit()
+        assert db.get(real)["type"] == "afxdp"
+        txn3 = db.transact()
+        txn3.delete(real)
+        txn3.commit()
+        with pytest.raises(OvsdbError):
+            db.get(real)
+
+    def test_double_commit_rejected(self):
+        db = OvsdbServer()
+        txn = db.transact()
+        txn.insert("Bridge", name="br0")
+        txn.commit()
+        with pytest.raises(OvsdbError):
+            txn.commit()
+
+    def test_watchers_notified(self):
+        db = OvsdbServer()
+        events = []
+        db.watch(lambda: events.append(1))
+        txn = db.transact()
+        txn.insert("Bridge", name="br0")
+        txn.commit()
+        assert events == [1]
+
+
+class TestOpenFlow:
+    def _bridge(self):
+        b = Bridge("br0")
+        b.add_port("p1", 1)
+        b.add_port("p2", 2)
+        return b
+
+    def test_add_and_dump(self):
+        of = OpenFlowConnection(self._bridge())
+        of.add_flow(0, 10, Match(nw_proto=17), [OutputAction("p2")])
+        of.add_flow(1, 5, Match(), [OutputAction("p1")])
+        assert of.flow_count() == 2
+        assert len(of.dump_flows(0)) == 1
+        assert len(of.dump_flows()) == 2
+
+    def test_strict_delete(self):
+        of = OpenFlowConnection(self._bridge())
+        of.add_flow(0, 10, Match(nw_proto=17), [OutputAction("p2")])
+        of.add_flow(0, 20, Match(nw_proto=17), [OutputAction("p1")])
+        of.flow_mod(FlowMod(FlowModCommand.DELETE_STRICT, table_id=0,
+                            priority=10, match=Match(nw_proto=17)))
+        remaining = of.dump_flows(0)
+        assert len(remaining) == 1
+        assert remaining[0].priority == 20
+
+    def test_loose_delete_subsumption(self):
+        of = OpenFlowConnection(self._bridge())
+        of.add_flow(0, 10, Match(nw_proto=17, tp_dst=53), [OutputAction("p2")])
+        of.add_flow(0, 10, Match(nw_proto=6, tp_dst=80), [OutputAction("p2")])
+        of.flow_mod(FlowMod(FlowModCommand.DELETE, table_id=0,
+                            match=Match(nw_proto=17)))
+        remaining = of.dump_flows(0)
+        assert len(remaining) == 1
+        assert remaining[0].match.fields()["nw_proto"][0] == 6
+
+    def test_loose_delete_catchall_clears_table(self):
+        of = OpenFlowConnection(self._bridge())
+        of.add_flow(0, 10, Match(nw_proto=17), [OutputAction("p2")])
+        of.add_flow(0, 20, Match(tp_dst=80), [OutputAction("p1")])
+        of.flow_mod(FlowMod(FlowModCommand.DELETE, table_id=0, match=Match()))
+        assert of.dump_flows(0) == []
+
+    def test_delete_by_cookie(self):
+        of = OpenFlowConnection(self._bridge())
+        of.add_flow(0, 10, Match(nw_proto=17), [OutputAction("p2")], cookie=7)
+        of.add_flow(0, 10, Match(nw_proto=6), [OutputAction("p2")], cookie=8)
+        assert of.delete_flows(cookie=7) == 1
+        assert of.flow_count() == 1
+
+    def test_flow_mod_counter(self):
+        of = OpenFlowConnection(self._bridge())
+        of.add_flow(0, 1, Match(), [])
+        of.delete_flows()
+        assert of.n_flow_mods == 2

@@ -1,0 +1,113 @@
+"""The revalidator: megaflow aging and re-translation on rule changes."""
+
+import pytest
+
+from repro.hosts.host import Host
+from repro.net.addresses import ip_to_int
+from repro.ovs.emc import ExactMatchCache
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.sim.clock import SEC
+from repro.sim.cpu import CpuCategory, ExecContext
+
+from .conftest import udp_pkt
+
+
+@pytest.fixture
+def world():
+    host = Host("reval", n_cpus=2)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    p1, a1 = vs.add_sim_port("br0", "p1")
+    p2, a2 = vs.add_sim_port("br0", "p2")
+    p3, a3 = vs.add_sim_port("br0", "p3")
+    of = OpenFlowConnection(vs.bridge("br0"))
+    ctx = ExecContext(host.cpu, 0, CpuCategory.USER)
+    emc = ExactMatchCache()
+    return host, vs, of, (p1, a1), (p2, a2), (p3, a3), ctx, emc
+
+
+def test_idle_flows_expire(world):
+    host, vs, of, (p1, a1), (p2, a2), _p3, ctx, emc = world
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p2")])
+    vs.dpif_netdev.process_batch([udp_pkt()], p1.dp_port_no, ctx, emc)
+    assert len(vs.dpif_netdev.megaflows) == 1
+    host.clock.advance(20 * SEC)
+    stats = vs.dpif_netdev.revalidate(max_idle_ns=10 * SEC)
+    assert stats["removed_idle"] == 1
+    assert len(vs.dpif_netdev.megaflows) == 0
+
+
+def test_active_flows_survive(world):
+    host, vs, of, (p1, a1), (p2, a2), _p3, ctx, emc = world
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p2")])
+    vs.dpif_netdev.process_batch([udp_pkt()], p1.dp_port_no, ctx, emc)
+    host.clock.advance(9 * SEC)
+    vs.dpif_netdev.process_batch([udp_pkt()], p1.dp_port_no, ctx, emc)
+    host.clock.advance(5 * SEC)  # 14s since install, 5s since last use
+    stats = vs.dpif_netdev.revalidate(max_idle_ns=10 * SEC)
+    assert stats["removed_idle"] == 0
+    assert stats["kept"] == 1
+
+
+def test_rule_change_drops_stale_megaflow(world):
+    """An OpenFlow rule change must not leave old decisions cached."""
+    host, vs, of, (p1, a1), (p2, a2), (p3, a3), ctx, emc = world
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p2")])
+    pkt = udp_pkt()
+    vs.dpif_netdev.process_batch([pkt.clone()], p1.dp_port_no, ctx, emc)
+    assert len(a2.take_transmitted()) == 1
+
+    # The controller repoints the traffic at p3.
+    of.delete_flows(table_id=0)
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p3")])
+    stats = vs.dpif_netdev.revalidate(emcs=[emc])
+    assert stats["removed_changed"] == 1
+
+    vs.dpif_netdev.process_batch([pkt.clone()], p1.dp_port_no, ctx, emc)
+    assert len(a3.take_transmitted()) == 1
+    assert a2.take_transmitted() == []
+
+
+def test_without_revalidation_stale_decision_persists(world):
+    """The negative control: this is exactly why revalidators exist."""
+    host, vs, of, (p1, a1), (p2, a2), (p3, a3), ctx, emc = world
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p2")])
+    pkt = udp_pkt()
+    vs.dpif_netdev.process_batch([pkt.clone()], p1.dp_port_no, ctx, emc)
+    a2.take_transmitted()
+    of.delete_flows(table_id=0)
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p3")])
+    # No revalidate: the EMC still holds the old verdict.
+    vs.dpif_netdev.process_batch([pkt.clone()], p1.dp_port_no, ctx, emc)
+    assert len(a2.take_transmitted()) == 1  # stale!
+    assert a3.take_transmitted() == []
+
+
+def test_rule_deletion_drops_flow(world):
+    host, vs, of, (p1, a1), (p2, a2), _p3, ctx, emc = world
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p2")])
+    vs.dpif_netdev.process_batch([udp_pkt()], p1.dp_port_no, ctx, emc)
+    of.delete_flows(table_id=0)
+    stats = vs.dpif_netdev.revalidate(emcs=[emc])
+    # Translation now yields drop (empty actions) != cached output.
+    assert stats["removed_changed"] == 1
+    # Subsequent packets are dropped cleanly.
+    dropped_before = vs.dpif_netdev.stats.dropped
+    vs.dpif_netdev.process_batch([udp_pkt()], p1.dp_port_no, ctx, emc)
+    assert vs.dpif_netdev.stats.dropped == dropped_before + 1
+
+
+def test_megaflow_stats_accumulate(world):
+    host, vs, of, (p1, a1), (p2, a2), _p3, ctx, emc = world
+    of.add_flow(0, 10, Match(in_port=p1.ofport), [OutputAction("p2")])
+    tiny_emc = ExactMatchCache(n_entries=2)
+    # Distinct 5-tuples share the megaflow but thrash the tiny EMC, so
+    # the megaflow's own counters see the traffic.
+    for i in range(20):
+        vs.dpif_netdev.process_batch([udp_pkt(sport=i + 1)],
+                                     p1.dp_port_no, ctx, tiny_emc)
+    [entry] = vs.dpif_netdev.megaflows.entries()
+    assert entry.n_packets >= 10
+    assert entry.n_bytes >= 10 * 60

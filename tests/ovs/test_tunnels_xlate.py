@@ -1,0 +1,107 @@
+"""Tunnel translation: the §4 route/neighbor-replica resolution path."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.netdev import NetDevice, Wire
+from repro.kernel.nic import PhysicalNic
+from repro.net.addresses import ip_to_int
+from repro.net.flow import extract_flow
+from repro.net.tunnel import decapsulate
+from repro.ovs import odp
+from repro.ovs.emc import ExactMatchCache
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction, PopTunnel
+from repro.ovs.openflow import OpenFlowConnection
+from repro.ovs.vswitchd import VSwitchd
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+from .conftest import mac, udp_pkt
+
+
+@pytest.fixture
+def world():
+    cpu = CpuModel(8)
+    kernel = Kernel(cpu)
+    vs = VSwitchd(kernel, datapath_type="netdev")
+    vs.add_bridge("br-int")
+    # Underlay uplink: a kernel-visible NIC carried as a sim port so we
+    # can capture what goes out.
+    uplink = PhysicalNic("uplink0", mac(30))
+    kernel.init_ns.register(uplink)
+    uplink.set_up()
+    kernel.init_ns.add_address("uplink0", "192.168.1.1", 24)
+    kernel.init_ns.neighbors.update(
+        ip_to_int("192.168.1.2"), mac(99), uplink.ifindex, permanent=True
+    )
+    up_port, up_adapter = vs.add_sim_port("br-int", "up0")
+    # Point the sim port at the uplink device for route resolution.
+    vs.dpif_netdev.ports[up_port.dp_port_no].device = uplink
+    tun = vs.add_tunnel_port("br-int", "geneve0", "geneve",
+                             "192.168.1.2", key=77)
+    vm_port, vm_adapter = vs.add_sim_port("br-int", "vm1")
+    ctx = ExecContext(cpu, 1, CpuCategory.USER)
+    emc = ExactMatchCache()
+    of = OpenFlowConnection(vs.bridge("br-int"))
+    return vs, of, (vm_port, vm_adapter), (up_port, up_adapter), tun, ctx, emc
+
+
+def test_output_to_tunnel_encapsulates(world):
+    vs, of, (vm_port, vm_a), (up_port, up_a), tun, ctx, emc = world
+    of.add_flow(0, 10, Match(in_port=vm_port.ofport),
+                [OutputAction("geneve0")])
+    inner = udp_pkt()
+    vs.dpif_netdev.process_batch([inner], vm_port.dp_port_no, ctx, emc)
+    assert len(up_a.transmitted) == 1
+    outer = up_a.transmitted[0]
+    ttype, vni, src, dst, inner_bytes = decapsulate(outer.data)
+    assert ttype == "geneve"
+    assert vni == 77
+    assert src == ip_to_int("192.168.1.1")
+    assert dst == ip_to_int("192.168.1.2")
+    assert inner_bytes == inner.data
+    # Outer MACs came from the neighbor replica.
+    assert outer.data[0:6] == mac(99).to_bytes()
+
+
+def test_tunnel_without_route_drops(world):
+    vs, of, (vm_port, vm_a), (up_port, up_a), tun, ctx, emc = world
+    vs.add_tunnel_port("br-int", "geneve1", "geneve", "203.0.113.9", key=1)
+    of.add_flow(0, 10, Match(in_port=vm_port.ofport),
+                [OutputAction("geneve1")])
+    vs.dpif_netdev.process_batch([udp_pkt()], vm_port.dp_port_no, ctx, emc)
+    assert up_a.transmitted == []
+    assert vs.dpif_netdev.stats.dropped == 1
+
+
+def test_pop_tunnel_reenters_pipeline_with_tun_metadata(world):
+    vs, of, (vm_port, vm_a), (up_port, up_a), tun, ctx, emc = world
+    # Outbound to build the encapsulated frame.
+    of.add_flow(0, 10, Match(in_port=vm_port.ofport),
+                [OutputAction("geneve0")])
+    vs.dpif_netdev.process_batch([udp_pkt()], vm_port.dp_port_no, ctx, emc)
+    outer = up_a.transmitted[0]
+
+    # Inbound: uplink sees Geneve -> pop -> match tun_id -> to the VM.
+    of.add_flow(0, 20, Match(in_port=up_port.ofport, nw_proto=17,
+                             tp_dst=6081),
+                [PopTunnel("geneve0")])
+    of.add_flow(0, 5, Match(in_port=up_port.ofport), [])
+    of.add_flow(0, 30, Match(in_port=tun.ofport, tun_id=77),
+                [OutputAction("vm1")])
+    # Swap outer IPs/MACs as the remote host would have sent it.
+    vs.dpif_netdev.process_batch([outer], up_port.dp_port_no, ctx, emc)
+    assert len(vm_a.transmitted) == 1
+    assert vm_a.transmitted[0].data == udp_pkt().data
+
+
+def test_translation_emits_tunnel_push_action(world):
+    vs, of, (vm_port, vm_a), (up_port, up_a), tun, ctx, emc = world
+    of.add_flow(0, 10, Match(), [OutputAction("geneve0")])
+    key = extract_flow(udp_pkt().data, in_port=vm_port.dp_port_no)
+    result = vs.ofproto.translate(key)
+    assert len(result.actions) == 1
+    act = result.actions[0]
+    assert isinstance(act, odp.TunnelPush)
+    assert act.out_port == up_port.dp_port_no
+    assert act.config.vni == 77

@@ -1,0 +1,115 @@
+"""End-to-end tests of the kernel datapath under vswitchd (Figure 7a)."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.netdev import NetDevice
+from repro.net.addresses import ip_to_int
+from repro.ovs.match import Match
+from repro.ovs.ofactions import CtAction, GotoTable, OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.ovs.vswitchd import VSwitchd
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+from .conftest import mac, tcp_pkt, udp_pkt
+
+
+@pytest.fixture
+def world():
+    cpu = CpuModel(8)
+    kernel = Kernel(cpu)
+    vs = VSwitchd(kernel, datapath_type="system")
+    vs.add_bridge("br0")
+    p1 = NetDevice("p1", mac(21))
+    p2 = NetDevice("p2", mac(22))
+    for d in (p1, p2):
+        kernel.init_ns.register(d)
+        d.set_up()
+    vs.add_system_port("br0", p1)
+    vs.add_system_port("br0", p2)
+    sent = []
+    p2._transmit = lambda pkt, c: (sent.append(pkt), True)[1]
+    ctx = ExecContext(cpu, 0, CpuCategory.SOFTIRQ)
+    of = OpenFlowConnection(vs.bridge("br0"))
+    return vs, of, p1, sent, ctx, cpu
+
+
+def test_first_packet_upcalls_then_kernel_handles(world):
+    vs, of, p1, sent, ctx, cpu = world
+    of.add_flow(0, 10, Match(nw_dst=ip_to_int("10.0.0.2")),
+                [OutputAction("p2")])
+    p1.deliver(udp_pkt(), ctx)
+    assert len(sent) == 1
+    assert vs.dpif_netlink.dp.n_upcalls == 1
+    assert vs.dpif_netlink.n_installed_flows == 1
+    # Second packet: pure kernel fast path, no new upcall.
+    p1.deliver(udp_pkt(), ctx)
+    assert len(sent) == 2
+    assert vs.dpif_netlink.dp.n_upcalls == 1
+
+
+def test_kernel_upcall_cost_dwarfs_fast_path(world):
+    vs, of, p1, sent, ctx, cpu = world
+    of.add_flow(0, 10, Match(), [OutputAction("p2")])
+    cpu.reset()
+    p1.deliver(udp_pkt(), ctx)
+    first_cost = cpu.busy_ns()
+    cpu.reset()
+    p1.deliver(udp_pkt(), ctx)
+    second_cost = cpu.busy_ns()
+    assert first_cost > second_cost + DEFAULT_COSTS.upcall_ns * 0.9
+
+
+def test_wildcarded_kernel_flow_covers_microflows(world):
+    vs, of, p1, sent, ctx, cpu = world
+    of.add_flow(0, 10, Match(nw_dst=ip_to_int("10.0.0.2")),
+                [OutputAction("p2")])
+    p1.deliver(udp_pkt(sport=1), ctx)
+    p1.deliver(udp_pkt(sport=2), ctx)  # same megaflow, no second upcall
+    assert vs.dpif_netlink.dp.n_upcalls == 1
+    assert len(sent) == 2
+
+
+def test_multi_table_and_ct_through_kernel(world):
+    vs, of, p1, sent, ctx, cpu = world
+    from repro.kernel.conntrack import CT_NEW
+
+    of.add_flow(0, 10, Match(nw_proto=6), [GotoTable(1)])
+    of.add_flow(1, 10, Match(), [CtAction(zone=3, commit=True, table=2)])
+    of.add_flow(2, 10, Match(ct_state=(CT_NEW, CT_NEW)),
+                [OutputAction("p2")])
+    p1.deliver(tcp_pkt(flags=0x02), ctx)
+    assert len(sent) == 1
+    # conntrack state lives in the *kernel* namespace table.
+    assert len(vs.kernel.init_ns.conntrack) == 1
+
+
+def test_vswitchd_restart_preserves_kernel_conntrack(world):
+    vs, of, p1, sent, ctx, cpu = world
+    of.add_flow(0, 10, Match(), [CtAction(zone=1, commit=True, table=2)])
+    of.add_flow(2, 1, Match(), [OutputAction("p2")])
+    p1.deliver(tcp_pkt(flags=0x02), ctx)
+    assert len(vs.kernel.init_ns.conntrack) == 1
+    vs.restart()
+    # Kernel conntrack survives an ovs-vswitchd restart; datapath flows
+    # do not (they are re-populated by upcalls).
+    assert len(vs.kernel.init_ns.conntrack) == 1
+    assert len(vs.dpif_netlink.dp.flows) == 0
+
+
+def test_requires_module_for_system_type():
+    kernel = Kernel(CpuModel(1))
+    vs = VSwitchd(kernel, datapath_type="system")
+    assert kernel.module_loaded  # vswitchd modprobed it
+
+
+def test_netdev_type_never_loads_module():
+    kernel = Kernel(CpuModel(1))
+    VSwitchd(kernel, datapath_type="netdev")
+    assert not kernel.module_loaded  # the AF_XDP deployment story
+
+
+def test_unknown_datapath_type():
+    with pytest.raises(ValueError):
+        VSwitchd(Kernel(CpuModel(1)), datapath_type="exotic")

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.sim.clock import Clock, MSEC, NSEC, SEC, USEC
+
+
+def test_starts_at_zero_by_default():
+    assert Clock().now == 0
+
+
+def test_starts_at_given_time():
+    assert Clock(42).now == 42
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        Clock(-1)
+
+
+def test_advance_moves_forward():
+    c = Clock()
+    assert c.advance(100) == 100
+    assert c.advance(50) == 150
+    assert c.now == 150
+
+
+def test_advance_zero_is_noop():
+    c = Clock(7)
+    c.advance(0)
+    assert c.now == 7
+
+
+def test_advance_rejects_negative():
+    c = Clock()
+    with pytest.raises(ValueError):
+        c.advance(-5)
+
+
+def test_advance_to_future():
+    c = Clock()
+    c.advance_to(1000)
+    assert c.now == 1000
+
+
+def test_advance_to_past_is_noop():
+    c = Clock(500)
+    c.advance_to(100)
+    assert c.now == 500
+
+
+def test_unit_constants():
+    assert USEC == 1_000 * NSEC
+    assert MSEC == 1_000 * USEC
+    assert SEC == 1_000 * MSEC

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+
+
+def test_default_model_is_frozen():
+    import dataclasses
+
+    assert dataclasses.is_dataclass(DEFAULT_COSTS)
+    try:
+        DEFAULT_COSTS.sendto_ns = 0  # type: ignore[misc]
+        raised = False
+    except dataclasses.FrozenInstanceError:
+        raised = True
+    assert raised
+
+
+def test_sendto_matches_paper_measurement():
+    # §3.3: "We measured the cost of this system call as 2 us on average."
+    assert DEFAULT_COSTS.sendto_ns == 2_000
+
+
+def test_spinlock_cheaper_than_mutex():
+    # §3.2 O2's whole point.
+    assert DEFAULT_COSTS.spinlock_ns < DEFAULT_COSTS.mutex_ns
+
+
+def test_ebpf_slower_than_native():
+    # §2.2.2: sandboxed bytecode runs slower than comparable C.
+    assert DEFAULT_COSTS.ebpf_insn_ns > DEFAULT_COSTS.native_op_ns
+
+
+def test_scaled_returns_modified_copy():
+    tweaked = DEFAULT_COSTS.scaled(sendto_ns=123.0)
+    assert tweaked.sendto_ns == 123.0
+    assert DEFAULT_COSTS.sendto_ns == 2_000
+    assert isinstance(tweaked, CostModel)
+
+
+def test_copy_cost_scales_linearly():
+    assert DEFAULT_COSTS.copy_cost(2000) == 2 * DEFAULT_COSTS.copy_cost(1000)
+    assert DEFAULT_COSTS.copy_cost(0) == 0
+
+
+def test_checksum_cost_grows_linearly_with_size():
+    # §3.2 O5: "the checksum's cost is proportional to the packet's payload"
+    # (plus a small fixed setup cost).
+    small = DEFAULT_COSTS.checksum_cost(64)
+    big = DEFAULT_COSTS.checksum_cost(1518)
+    assert big - small == pytest.approx(
+        (1518 - 64) * DEFAULT_COSTS.checksum_per_byte_ns)
+    assert big > 10 * small / 2
+
+
+def test_upcall_dwarfs_fast_path():
+    # A kernel-datapath miss crosses into userspace and back; it must be
+    # orders of magnitude above a cache hit for the 1000-flow experiments
+    # to show the caching cliff.
+    assert DEFAULT_COSTS.upcall_ns > 100 * DEFAULT_COSTS.emc_hit_ns

@@ -1,0 +1,101 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    Histogram,
+    RateEstimator,
+    effective_parallel_rate,
+    line_rate_mpps,
+    percentile,
+)
+
+
+def test_percentile_simple():
+    data = list(range(1, 101))  # 1..100
+    assert percentile(data, 50) == 50
+    assert percentile(data, 99) == 99
+    assert percentile(data, 100) == 100
+    assert percentile(data, 1) == 1
+
+
+def test_percentile_rejects_empty_and_bad_p():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 0)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+@given(st.lists(st.floats(0, 1e9), min_size=1, max_size=200))
+def test_percentile_bounds(samples):
+    assert percentile(samples, 100) == max(samples)
+    assert min(samples) <= percentile(samples, 50) <= max(samples)
+
+
+@given(
+    st.lists(st.floats(0, 1e6), min_size=1, max_size=100),
+    st.floats(0.1, 100),
+)
+def test_percentile_monotone_in_p(samples, p):
+    lower = percentile(samples, max(p / 2, 0.01))
+    assert lower <= percentile(samples, p)
+
+
+def test_histogram_summary():
+    h = Histogram()
+    h.extend([1.0, 2.0, 3.0, 4.0])
+    assert len(h) == 4
+    assert h.mean() == 2.5
+    assert h.min() == 1.0
+    assert h.max() == 4.0
+    assert h.percentiles((50, 100)) == {50: 2.0, 100: 4.0}
+
+
+def test_histogram_empty_mean_raises():
+    with pytest.raises(ValueError):
+        Histogram().mean()
+
+
+def test_rate_estimator_mpps():
+    # 1000 packets in 100,000 ns -> 10 Mpps.
+    r = RateEstimator(packets=1000, busy_ns=100_000)
+    assert r.mpps == pytest.approx(10.0)
+    assert r.ns_per_packet == pytest.approx(100.0)
+
+
+def test_rate_estimator_gbps():
+    # 125 bytes/ns = 1000 Gbit/s sanity scaling.
+    r = RateEstimator(packets=1, busy_ns=1_000, bytes_total=125_000)
+    assert r.gbps == pytest.approx(1_000.0)
+
+
+def test_rate_estimator_zero_work():
+    assert RateEstimator(0, 0).mpps == math.inf
+    assert RateEstimator(0, 100).ns_per_packet == math.inf
+
+
+def test_line_rate_matches_paper_25g_numbers():
+    # §5.5: 25 Gbps line rate is 33 Mpps at 64 B and 2.1 Mpps at 1518 B.
+    assert line_rate_mpps(25, 64) == pytest.approx(37.2, abs=0.1)
+    # (37.2 is the theoretical 64B line rate; TRex reported ~33 Mpps as its
+    # achieved load.)  1518B:
+    assert line_rate_mpps(25, 1518) == pytest.approx(2.03, abs=0.05)
+
+
+def test_line_rate_10g_64b():
+    # The classic 14.88 Mpps figure, quoted in §5.4 ("14 Mpps line rate").
+    assert line_rate_mpps(10, 64) == pytest.approx(14.88, abs=0.01)
+
+
+def test_line_rate_rejects_tiny_frames():
+    with pytest.raises(ValueError):
+        line_rate_mpps(10, 32)
+
+
+def test_effective_parallel_rate_caps_at_line():
+    assert effective_parallel_rate([5.0, 5.0], line_mpps=7.0) == 7.0
+    assert effective_parallel_rate([2.0, 3.0], line_mpps=7.0) == 5.0

@@ -1,0 +1,71 @@
+import struct
+
+import pytest
+
+from repro.hosts.host import Host
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_tcp_packet, make_udp_packet
+from repro.tools.pcap import PCAP_MAGIC, pcap_bytes, read_pcap, write_pcap
+from repro.tools.tcpdump import Tcpdump
+
+
+def mac(i):
+    return MacAddress.local(i)
+
+
+PKTS = [
+    make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2", 53, 53),
+    make_tcp_packet(mac(2), mac(1), "10.0.0.2", "10.0.0.1", 80, 4000),
+]
+
+
+def test_roundtrip(tmp_path):
+    path = str(tmp_path / "capture.pcap")
+    assert write_pcap(path, PKTS, timestamps_us=[1_500_000, 2_250_000]) == 2
+    frames = read_pcap(path)
+    assert [f[1] for f in frames] == [p.data for p in PKTS]
+    assert frames[0][0] == 1_500_000
+    assert frames[1][0] == 2_250_000
+
+
+def test_global_header_magic():
+    blob = pcap_bytes(PKTS)
+    (magic,) = struct.unpack_from("<I", blob, 0)
+    assert magic == PCAP_MAGIC
+
+
+def test_snaplen_truncates():
+    blob = pcap_bytes(PKTS, snaplen=20)
+    # record header reports captured=20, original=len
+    incl, orig = struct.unpack_from("<II", blob, 24 + 8)
+    assert incl == 20
+    assert orig == len(PKTS[0])
+
+
+def test_read_rejects_garbage(tmp_path):
+    path = str(tmp_path / "bad.pcap")
+    with open(path, "wb") as f:
+        f.write(b"\x00" * 30)
+    with pytest.raises(ValueError, match="magic"):
+        read_pcap(path)
+    with open(path, "wb") as f:
+        f.write(b"\x01")
+    with pytest.raises(ValueError, match="truncated"):
+        read_pcap(path)
+
+
+def test_tcpdump_save(tmp_path):
+    host = Host("cap", n_cpus=2)
+    from repro.kernel.netdev import NetDevice
+
+    dev = NetDevice("eth0", mac(5))
+    host.kernel.init_ns.register(dev)
+    dev.set_up()
+    dev.set_rx_handler(lambda pkt, ctx: None)
+    ctx = host.user_ctx(0)
+    with Tcpdump(host.kernel.init_ns, "eth0") as dump:
+        for pkt in PKTS:
+            dev.deliver(pkt, ctx)
+    path = str(tmp_path / "eth0.pcap")
+    assert dump.save(path) == 2
+    assert len(read_pcap(path)) == 2

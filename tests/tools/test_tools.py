@@ -1,0 +1,180 @@
+"""Table 1 in executable form: the tools work on kernel-managed devices
+(including AF_XDP-fed ones) and fail on DPDK-bound devices."""
+
+import pytest
+
+from repro.dpdk.ethdev import bind_device
+from repro.hosts.testbed import Testbed
+from repro.kernel.nic import PhysicalNic
+from repro.net.addresses import ip_to_int
+from repro.tools.ethtool import Ethtool
+from repro.tools.iproute import IpCommand, ToolError
+from repro.tools.nstat import nstat, nstat_dict
+from repro.tools.ping import arping, ping
+from repro.tools.tcpdump import Tcpdump
+
+
+@pytest.fixture
+def tb():
+    tb = Testbed(link_gbps=10)
+    nic_a = tb.a.nics["ens1"]
+    nic_b = tb.b.nics["ens1"]
+    tb.a.kernel.init_ns.stack.attach(nic_a)
+    tb.b.kernel.init_ns.stack.attach(nic_b)
+    tb.configure_underlay()
+    return tb
+
+
+class TestIpCommands:
+    def test_link_show(self, tb):
+        out = IpCommand(tb.a.kernel.init_ns).link_show()
+        assert "ens1" in out
+        assert "UP" in out
+
+    def test_link_show_specific_missing(self, tb):
+        with pytest.raises(ToolError, match="does not exist"):
+            IpCommand(tb.a.kernel.init_ns).link_show("eth42")
+
+    def test_address_show(self, tb):
+        out = IpCommand(tb.a.kernel.init_ns).address_show("ens1")
+        assert "192.168.1.1/24" in out
+
+    def test_address_add(self, tb):
+        ip = IpCommand(tb.a.kernel.init_ns)
+        ip.address_add("ens1", "172.16.0.1/24")
+        assert "172.16.0.1/24" in ip.address_show("ens1")
+
+    def test_route_show(self, tb):
+        out = IpCommand(tb.a.kernel.init_ns).route_show()
+        assert "192.168.1.0/24" in out
+
+    def test_neigh_show(self, tb):
+        out = IpCommand(tb.a.kernel.init_ns).neigh_show()
+        assert "192.168.1.2" in out
+        assert "PERMANENT" in out
+
+    def test_link_set(self, tb):
+        ip = IpCommand(tb.a.kernel.init_ns)
+        ip.link_set("ens1", up=False)
+        assert "DOWN" in ip.link_show("ens1")
+
+
+class TestPing:
+    def test_ping_success(self, tb):
+        ctx = tb.a.user_ctx(0)
+        result = ping(tb.a.kernel.init_ns, "192.168.1.2", ctx, tb.pump,
+                      count=3)
+        assert result.transmitted == 3
+        assert result.received == 3
+        assert result.loss_pct == 0
+
+    def test_ping_unreachable_network(self, tb):
+        ctx = tb.a.user_ctx(0)
+        with pytest.raises(ToolError, match="unreachable"):
+            ping(tb.a.kernel.init_ns, "203.0.113.1", ctx, tb.pump)
+
+    def test_ping_silent_host_loses_packets(self, tb):
+        ctx = tb.a.user_ctx(0)
+        result = ping(tb.a.kernel.init_ns, "192.168.1.77", ctx, tb.pump,
+                      count=2)
+        assert result.received == 0
+        assert result.loss_pct == 100
+
+    def test_arping(self, tb):
+        # Clear the static neighbor so arping does real resolution.
+        tb.a.kernel.init_ns.neighbors.delete(ip_to_int("192.168.1.2"))
+        ctx = tb.a.user_ctx(0)
+        result = arping(tb.a.kernel.init_ns, "ens1", "192.168.1.2",
+                        ctx, tb.pump)
+        assert result.received == 1
+
+    def test_arping_bad_device(self, tb):
+        with pytest.raises(ToolError, match="not found"):
+            arping(tb.a.kernel.init_ns, "eth9", "192.168.1.2",
+                   tb.a.user_ctx(0), tb.pump)
+
+
+class TestNstat:
+    def test_counters_render(self, tb):
+        ctx = tb.a.user_ctx(0)
+        ping(tb.a.kernel.init_ns, "192.168.1.2", ctx, tb.pump, count=1)
+        out = nstat(tb.a.kernel.init_ns)
+        assert "IcmpEchoRepliesReceived" in out
+        stats = nstat_dict(tb.b.kernel.init_ns)
+        assert stats.get("IcmpOutEchoReps", 0) >= 1
+
+
+class TestTcpdump:
+    def test_capture_and_render(self, tb):
+        ctx = tb.a.user_ctx(0)
+        with Tcpdump(tb.a.kernel.init_ns, "ens1") as dump:
+            ping(tb.a.kernel.init_ns, "192.168.1.2", ctx, tb.pump, count=1)
+        lines = dump.stop()
+        assert any("ICMP" in line for line in lines)
+        assert any("[tx]" in line for line in lines)
+        assert any("[rx]" in line for line in lines)
+
+    def test_missing_device(self, tb):
+        with pytest.raises(ToolError, match="No such device"):
+            Tcpdump(tb.a.kernel.init_ns, "eth9")
+
+    def test_renders_udp_and_arp(self, tb):
+        from repro.net.builder import make_arp_request, make_udp_packet
+        from repro.tools.tcpdump import render_packet
+
+        udp = make_udp_packet(tb.a.nics["ens1"].mac, tb.b.nics["ens1"].mac,
+                              "10.0.0.1", "10.0.0.2", 53, 53)
+        assert "UDP" in render_packet(udp)
+        arp = make_arp_request(tb.a.nics["ens1"].mac, "10.0.0.1", "10.0.0.2")
+        assert "who-has" in render_packet(arp)
+
+
+class TestEthtool:
+    def test_features_and_channels(self, tb):
+        et = Ethtool(tb.a.kernel.init_ns, "ens1")
+        assert "rx-checksumming: on" in et.show_features()
+        assert "Combined: 1" in et.show_channels()
+
+    def test_ntuple_config(self, tb):
+        et = Ethtool(tb.a.kernel.init_ns, "ens1")
+        out = et.config_ntuple(queue=0, proto=17, dst_port=4789)
+        assert "Added rule" in out
+        assert "queue 0" in et.show_ntuple()
+
+    def test_ntuple_bad_queue(self, tb):
+        et = Ethtool(tb.a.kernel.init_ns, "ens1")
+        with pytest.raises(ToolError):
+            et.config_ntuple(queue=99)
+
+
+class TestDpdkBreaksTheTools:
+    """§2.2.1: 'well-known tools ... do not work with NICs in use by
+    DPDK' — every command in Table 1 fails once the NIC is bound."""
+
+    def test_all_tools_fail_after_bind(self, tb):
+        ns = tb.a.kernel.init_ns
+        bind_device(ns, "ens1")
+        with pytest.raises(ToolError):
+            IpCommand(ns).link_show("ens1")
+        with pytest.raises(ToolError):
+            IpCommand(ns).address_add("ens1", "10.0.0.1/24")
+        with pytest.raises(ToolError):
+            Tcpdump(ns, "ens1")
+        with pytest.raises(ToolError):
+            Ethtool(ns, "ens1")
+        with pytest.raises(ToolError):
+            arping(ns, "ens1", "192.168.1.2", tb.a.user_ctx(0), tb.pump)
+        # ping fails too: binding removed the connected route.
+        with pytest.raises(ToolError):
+            ping(ns, "192.168.1.2", tb.a.user_ctx(0), tb.pump)
+
+    def test_tools_work_on_afxdp_fed_nic(self, tb):
+        """The flip side (§2.2.3): with AF_XDP the NIC stays visible."""
+        from repro.afxdp.driver import AfxdpDriver
+
+        ns = tb.a.kernel.init_ns
+        driver = AfxdpDriver(tb.a.nics["ens1"])
+        driver.setup()
+        assert "ens1" in IpCommand(ns).link_show("ens1")
+        Ethtool(ns, "ens1")  # does not raise
+        Tcpdump(ns, "ens1").stop()

@@ -1,0 +1,157 @@
+import pytest
+
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_tcp_packet, make_udp_packet
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext, LatencyTrace
+from repro.vhost.vhostuser import VhostUserPort
+from repro.vhost.virtio import VirtioNic, Virtqueue
+
+
+def mac(i):
+    return MacAddress.local(i)
+
+
+PKT = make_udp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2", frame_len=64)
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel(4)
+
+
+@pytest.fixture
+def guest(cpu):
+    return ExecContext(cpu, 0, CpuCategory.GUEST)
+
+
+@pytest.fixture
+def pmd(cpu):
+    return ExecContext(cpu, 1, CpuCategory.USER)
+
+
+class TestVirtqueue:
+    def test_fifo_and_capacity(self):
+        q = Virtqueue(size=2)
+        assert q.push(PKT)
+        assert q.push(PKT)
+        assert not q.push(PKT)
+        assert q.drops_full == 1
+        assert len(q.pop_batch(10)) == 2
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            Virtqueue(0)
+
+
+class TestVirtioNic:
+    def _nic(self, **kwargs):
+        nic = VirtioNic("eth0", mac(5), **kwargs)
+        nic.set_up()
+        return nic
+
+    def test_transmit_lands_in_tx_queue(self, guest):
+        nic = self._nic()
+        assert nic.transmit(PKT.clone(), guest)
+        assert len(nic.tx_queue) == 1
+
+    def test_kick_skipped_when_backend_polls(self, cpu, guest):
+        nic = self._nic()
+        nic.backend_polls = True
+        nic.transmit(PKT.clone(), guest)
+        polling_cost = cpu.busy_ns()
+        assert nic.tx_queue.kicks == 0
+
+        cpu2 = CpuModel(1)
+        guest2 = ExecContext(cpu2, 0, CpuCategory.GUEST)
+        nic2 = self._nic()
+        nic2.backend_polls = False
+        nic2.transmit(PKT.clone(), guest2)
+        assert nic2.tx_queue.kicks == 1
+        assert cpu2.busy_ns() > polling_cost + DEFAULT_COSTS.vmexit_ns
+
+    def test_no_csum_offload_charges_guest(self, cpu, guest):
+        nic = self._nic(csum_offload=False)
+        pkt = PKT.clone()
+        pkt.meta.csum_partial = True
+        nic.backend_polls = True
+        nic.transmit(pkt, guest)
+        assert not pkt.meta.csum_partial
+        assert cpu.busy_ns(category=CpuCategory.GUEST) >= DEFAULT_COSTS.checksum_cost(len(pkt))
+
+    def test_no_tso_segments_in_guest(self, cpu, guest):
+        nic = self._nic(tso=False)
+        nic.backend_polls = True
+        big = make_tcp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2",
+                              payload=b"\x00" * 8000, frame_len=8100)
+        big.meta.gso_size = 1448
+        nic.transmit(big, guest)
+        assert big.meta.gso_size == 0
+        assert cpu.busy_ns() > 5 * DEFAULT_COSTS.software_gso_per_segment_ns
+
+    def test_tso_keeps_super_segment(self, guest):
+        nic = self._nic(tso=True)
+        nic.backend_polls = True
+        big = make_tcp_packet(mac(1), mac(2), "10.0.0.1", "10.0.0.2",
+                              payload=b"\x00" * 8000, frame_len=8100)
+        big.meta.gso_size = 1448
+        nic.transmit(big, guest)
+        assert nic.tx_queue.pop_batch(1)[0].meta.gso_size == 1448
+
+    def test_guest_service_rx_delivers(self, guest):
+        nic = self._nic()
+        got = []
+        nic.set_rx_handler(lambda pkt, c: got.append(pkt))
+        nic.rx_queue.push(PKT)
+        assert nic.guest_service_rx(guest) == 1
+        assert len(got) == 1
+
+
+class TestVhostUserPort:
+    def test_guest_to_ovs(self, guest, pmd):
+        nic = VirtioNic("eth0", mac(5))
+        nic.set_up()
+        port = VhostUserPort("vhost0", nic)
+        nic.transmit(PKT.clone(), guest)
+        pkts = port.rx_burst(pmd)
+        assert len(pkts) == 1
+        assert port.rx_packets == 1
+
+    def test_ovs_to_guest(self, pmd):
+        nic = VirtioNic("eth0", mac(5))
+        port = VhostUserPort("vhost0", nic)
+        assert port.tx_burst([PKT, PKT], pmd) == 2
+        assert len(nic.rx_queue) == 2
+
+    def test_no_syscall_on_either_side(self, cpu, guest, pmd):
+        """The whole point of vhostuser: no SYSTEM time anywhere."""
+        nic = VirtioNic("eth0", mac(5))
+        nic.set_up()
+        port = VhostUserPort("vhost0", nic)
+        nic.transmit(PKT.clone(), guest)
+        port.rx_burst(pmd)
+        port.tx_burst([PKT.clone()], pmd)
+        assert cpu.busy_ns(category=CpuCategory.SYSTEM) == 0
+
+    def test_vhost_cheaper_than_tap(self, pmd):
+        """Figure 8/9: vhostuser beats tap because tap pays sendto."""
+        from repro.kernel.tap import TapDevice
+
+        cpu_tap = CpuModel(1)
+        ctx_tap = ExecContext(cpu_tap, 0, CpuCategory.USER)
+        tap = TapDevice("tap0", mac(7))
+        tap.set_up()
+        tap.set_rx_handler(lambda pkt, c: None)
+        tap.user_write(PKT.clone(), ctx_tap)
+
+        cpu_vh = CpuModel(1)
+        ctx_vh = ExecContext(cpu_vh, 0, CpuCategory.USER)
+        port = VhostUserPort("vhost0", VirtioNic("eth0", mac(5)))
+        port.tx_burst([PKT.clone()], ctx_vh)
+        assert cpu_tap.busy_ns() > 1.5 * cpu_vh.busy_ns()
+
+    def test_tx_drops_when_guest_queue_full(self, pmd):
+        nic = VirtioNic("eth0", mac(5), queue_size=1)
+        port = VhostUserPort("vhost0", nic)
+        assert port.tx_burst([PKT, PKT], pmd) == 1
+        assert port.tx_dropped == 1
