@@ -2,10 +2,13 @@
 
     python -m repro                 # every table and figure
     python -m repro fig2 table5     # a subset
+    python -m repro --trace fig2    # + per-stage virtual-time profile
     python -m repro --list
 
 Each experiment prints the same rows/series the paper reports; expect a
-few minutes for the full set (fig8/fig9 dominate).
+few minutes for the full set (fig8/fig9 dominate).  ``--trace`` attaches
+a :class:`~repro.sim.trace.TraceRecorder` per experiment and prints the
+profile (see :mod:`repro.tools.perf_report`).
 """
 
 from __future__ import annotations
@@ -37,11 +40,41 @@ EXPERIMENTS = {
 }
 
 
+USAGE = """\
+usage: python -m repro [--list] [--trace] [experiment ...]
+
+Reproduce the paper's tables and figures.  With no arguments, runs
+every experiment.
+
+options:
+  -h, --help   show this message and exit
+  -l, --list   list the available experiments
+  -t, --trace  run each experiment under a TraceRecorder and print the
+               per-stage virtual-time profile afterwards
+"""
+
+
 def main(argv: "list[str]") -> int:
+    if "--help" in argv or "-h" in argv:
+        print(USAGE)
+        for key, (title, _module) in EXPERIMENTS.items():
+            print(f"  {key:8s} {title}")
+        return 0
     if "--list" in argv or "-l" in argv:
         for key, (title, _module) in EXPERIMENTS.items():
             print(f"  {key:8s} {title}")
         return 0
+    with_trace = "--trace" in argv or "-t" in argv
+    flags = [a for a in argv if a.startswith("-")]
+    unknown_flags = [
+        f for f in flags if f not in ("--trace", "-t", "--list", "-l",
+                                      "--help", "-h")
+    ]
+    if unknown_flags:
+        print(f"unknown option(s): {', '.join(unknown_flags)}",
+              file=sys.stderr)
+        print(USAGE, file=sys.stderr)
+        return 2
     chosen = [a for a in argv if not a.startswith("-")]
     unknown = [a for a in chosen if a not in EXPERIMENTS]
     if unknown:
@@ -59,7 +92,17 @@ def main(argv: "list[str]") -> int:
         print("=" * 72)
         started = time.time()
         module = importlib.import_module(module_name)
-        module.main()
+        if with_trace:
+            from repro.sim import trace
+            from repro.tools.perf_report import format_report
+
+            with trace.recording() as rec:
+                module.main()
+            print()
+            print(format_report(
+                rec, title=f"virtual-time profile: {key}"))
+        else:
+            module.main()
         print(f"[{key} done in {time.time() - started:.1f}s]\n")
     return 0
 

@@ -30,6 +30,7 @@ from repro.ebpf.xdp import XdpContext
 from repro.kernel.nic import PhysicalNic
 from repro.net.flow import extract_flow, rss_hash
 from repro.net.packet import Packet
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
 
@@ -131,6 +132,7 @@ class AfxdpDriver:
                 ctx.charge(costs.poll_ns, label="poll")
             if len(sock.rx_ring):
                 ctx.charge(costs.context_switch_ns, label="irq_resched")
+                trace.count("kernel.ctx_switches")
                 ctx.wait(costs.irq_entry_ns + costs.thread_wakeup_ns,
                          label="irq_wakeup")
         pkts = sock.user_rx_batch(ctx, batch=opts.batch_size)

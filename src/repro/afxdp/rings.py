@@ -18,6 +18,15 @@ class RingFullError(Exception):
 
 
 class DescRing:
+    """SPSC descriptor ring with stall accounting.
+
+    ``full_events``/``empty_events`` count the occasions a producer found
+    no space or a consumer found nothing queued — the back-pressure
+    signals a real AF_XDP deployment watches (``xsk_ring_prod__reserve``
+    failures and empty polls) and the numbers ``pmd-perf-show`` style
+    tooling reports.
+    """
+
     def __init__(self, size: int) -> None:
         if size <= 0 or size & (size - 1):
             raise ValueError(f"ring size must be a power of two, got {size}")
@@ -25,6 +34,8 @@ class DescRing:
         self._slots: List[Optional[Desc]] = [None] * size
         self._prod = 0
         self._cons = 0
+        self.full_events = 0
+        self.empty_events = 0
 
     def __len__(self) -> int:
         return self._prod - self._cons
@@ -35,6 +46,7 @@ class DescRing:
 
     def produce(self, desc: Desc) -> None:
         if len(self) >= self.size:
+            self.full_events += 1
             raise RingFullError("ring full")
         self._slots[self._prod & (self.size - 1)] = desc
         self._prod += 1
@@ -42,6 +54,8 @@ class DescRing:
     def produce_batch(self, descs: Sequence[Desc]) -> int:
         """Enqueue as many as fit; returns how many were enqueued."""
         n = min(len(descs), self.free_space)
+        if n < len(descs):
+            self.full_events += 1
         for desc in descs[:n]:
             self._slots[self._prod & (self.size - 1)] = desc
             self._prod += 1
@@ -49,6 +63,7 @@ class DescRing:
 
     def consume(self) -> Optional[Desc]:
         if self._cons == self._prod:
+            self.empty_events += 1
             return None
         desc = self._slots[self._cons & (self.size - 1)]
         self._cons += 1
@@ -56,6 +71,9 @@ class DescRing:
 
     def consume_batch(self, max_n: int) -> List[Desc]:
         n = min(max_n, len(self))
+        if n == 0:
+            self.empty_events += 1
+            return []
         out = []
         for _ in range(n):
             out.append(self._slots[self._cons & (self.size - 1)])

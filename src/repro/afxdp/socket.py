@@ -21,6 +21,7 @@ from repro.afxdp.rings import DescRing
 from repro.afxdp.umem import Umem
 from repro.afxdp.umempool import UmemPool
 from repro.net.packet import Packet
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
 
@@ -57,10 +58,13 @@ class XskSocket:
         Figure 4): take a fill-ring frame, place the packet, publish on
         the rx ring."""
         costs = DEFAULT_COSTS
+        rec = trace.ACTIVE
         desc = self.umem.fill_ring.consume()
         ctx.charge(costs.ring_op_ns, label="fill_pop")
         if desc is None:
             self.rx_dropped_no_fill += 1
+            if rec is not None:
+                rec.count("afxdp.rx_dropped_no_fill")
             return False
         addr, _ = desc
         if self.bind_mode is BindMode.COPY:
@@ -69,6 +73,9 @@ class XskSocket:
                 costs.afxdp_copy_mode_ns + costs.copy_cost(len(pkt)),
                 label="afxdp_copy",
             )
+            if rec is not None:
+                rec.count("afxdp.copies")
+                rec.count("afxdp.copy_bytes", len(pkt))
         self.umem.write_frame(addr, pkt)
         self.rx_ring.produce((addr, len(pkt)))
         ctx.charge(costs.ring_op_ns, label="rx_push")
@@ -85,6 +92,7 @@ class XskSocket:
         ctx.charge(costs.ring_batch_ns, label="rx_batch")
         descs = self.rx_ring.consume_batch(batch)
         if not descs:
+            trace.count("afxdp.rx_ring_empty")
             return []
         ctx.charge(len(descs) * costs.ring_op_ns, label="rx_pop")
         pkts = []
@@ -106,6 +114,7 @@ class XskSocket:
         ctx.charge(costs.ring_batch_ns + produced * costs.ring_op_ns,
                    label="fill_push")
         if produced < len(addrs):
+            trace.count("afxdp.fill_ring_full")
             self.pool.free(addrs[produced:], ctx)
         return produced
 
@@ -119,15 +128,21 @@ class XskSocket:
         if not pkts:
             return 0
         costs = DEFAULT_COSTS
+        rec = trace.ACTIVE
         addrs = self.pool.alloc(len(pkts), ctx, batched=True)
         n = len(addrs)
         for addr, pkt in zip(addrs, pkts[:n]):
             if self.bind_mode is BindMode.COPY:
                 ctx.charge(costs.copy_cost(len(pkt)), label="tx_copy")
+                if rec is not None:
+                    rec.count("afxdp.copies")
+                    rec.count("afxdp.copy_bytes", len(pkt))
             self.umem.write_frame(addr, pkt)
         produced = self.tx_ring.produce_batch(
             [(addr, len(pkt)) for addr, pkt in zip(addrs, pkts[:n])]
         )
+        if produced < n and rec is not None:
+            rec.count("afxdp.tx_ring_full")
         ctx.charge(costs.ring_batch_ns + produced * costs.ring_op_ns,
                    label="tx_push")
         self._kick_tx(ctx)
@@ -138,6 +153,7 @@ class XskSocket:
         and reports them on the completion ring."""
         costs = DEFAULT_COSTS
         device = self.bound_device
+        trace.count("afxdp.tx_kick_syscalls")
         with ctx.as_category(CpuCategory.SYSTEM):
             ctx.charge(costs.syscall_base_ns, label="tx_kick")
             descs = self.tx_ring.consume_batch(self.tx_ring.size)

@@ -22,6 +22,7 @@ import enum
 from typing import List, Optional
 
 from repro.afxdp.umem import Umem
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
 from repro.sim.rng import make_rng
@@ -68,6 +69,7 @@ class UmemPool:
         if self.lock_acquisitions % MUTEX_FUTEX_PERIOD == 0:
             # Futex slow path: syscall + possible context switch.
             self.futex_slow_paths += 1
+            trace.count("kernel.ctx_switches")
             with ctx.as_category(CpuCategory.SYSTEM):
                 ctx.charge(costs.syscall_base_ns, label="futex")
             ctx.charge(costs.context_switch_ns, label="futex_switch")

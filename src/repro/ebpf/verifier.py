@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.ebpf.helpers import HELPER_IDS
 from repro.ebpf.isa import ALL_OPS, LDX_OPS, ST_OPS, STX_OPS, Insn, Reg
 from repro.ebpf.program import Program
+from repro.sim import trace
 
 #: Instruction-count cap.  4096 was the classic limit (the one in force for
 #: unprivileged programs and the era the eBPF datapath prototype fought).
@@ -52,6 +53,8 @@ def verify(program: Program) -> Program:
     if insns[-1].op not in ("exit", "ja"):
         raise VerifierError("control can fall off the end of the program")
     program.verified = True
+    trace.count("ebpf.programs_verified")
+    trace.count("ebpf.insns_verified", len(insns))
     return program
 
 

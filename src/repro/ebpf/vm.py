@@ -21,6 +21,7 @@ from repro.ebpf.isa import MEM_WIDTHS, Insn, to_s64, to_u64
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import Program
 from repro.ebpf.verifier import STACK_SIZE
+from repro.sim import trace as _trace
 from repro.sim.cpu import ExecContext
 from repro.sim.rng import make_rng
 
@@ -175,6 +176,7 @@ class EbpfVm:
         insns = self.program.insns
         pc = 0
         executed = 0
+        helpers_before = self.helper_calls
         helper_cost = 0.0
         n = len(insns)
         while pc < n:
@@ -201,6 +203,13 @@ class EbpfVm:
             self.exec_ctx.charge(
                 executed * costs.ebpf_insn_ns + helper_cost, label="ebpf"
             )
+        rec = _trace.ACTIVE
+        if rec is not None:
+            rec.count("ebpf.insns_retired", executed)
+            if self.helper_calls > helpers_before:
+                rec.count("ebpf.helper_calls",
+                          self.helper_calls - helpers_before)
+            rec.count("ebpf.runs")
         self._flush_map_values()
         verdict = self._regs[0]
         if isinstance(verdict, Pointer):

@@ -15,6 +15,7 @@ from repro.kernel.namespace import NetNamespace
 from repro.kernel.netlink import RtNetlink
 from repro.kernel.nic import PhysicalNic
 from repro.kernel.ovs_module import KernelDatapath
+from repro.sim import trace
 from repro.sim.clock import Clock
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
@@ -90,7 +91,9 @@ class Kernel:
             ctx = self.softirq_ctx(self.cpu_for_queue(nic, queue))
             if interrupt_mode:
                 ctx.charge(costs.irq_entry_ns, label="irq")
+                trace.count("kernel.irqs")
             ctx.charge(costs.napi_poll_ns, label="napi")
+            trace.count("kernel.napi_polls")
             total += nic.service_queue(queue, ctx, budget=budget)
         return total
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.net.packet import Packet
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
@@ -42,9 +43,11 @@ def alloc_skb(pkt: Packet, ctx: ExecContext, dev_ifindex: int = 0,
     which is where the kernel datapath's Table 4 CPU numbers come from.
     """
     ctx.charge(DEFAULT_COSTS.skb_alloc_ns, label="skb_alloc")
+    trace.count("kernel.skb_alloc")
     return SkBuff(pkt=pkt, dev_ifindex=dev_ifindex, rx_queue=rx_queue)
 
 
 def free_skb(skb: SkBuff, ctx: ExecContext) -> None:
     """Return the buffer to the slab."""
     ctx.charge(DEFAULT_COSTS.skb_free_ns, label="skb_free")
+    trace.count("kernel.skb_free")

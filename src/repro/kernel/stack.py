@@ -29,6 +29,7 @@ from repro.net.ipv4 import IPV4_HLEN, IPProto, Ipv4Header
 from repro.net.packet import Packet
 from repro.net.tcp import TCP_HLEN, TcpFlags, TcpHeader
 from repro.net.udp import UDP_HLEN, UdpHeader
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 from repro.kernel.netdev import NetDevice
@@ -104,6 +105,19 @@ class IpStack:
 
     def _count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
+        # Mirror nstat counters into any attached trace ledger so one
+        # coverage/show dump spans user and kernel space.
+        rec = trace.ACTIVE
+        if rec is not None:
+            rec.count(f"kernel.{name}", n)
+
+    @staticmethod
+    def _count_copy(nbytes: int) -> None:
+        """Tally a user<->kernel socket copy in the trace ledger."""
+        rec = trace.ACTIVE
+        if rec is not None:
+            rec.count("kernel.sock_copies")
+            rec.count("kernel.sock_copy_bytes", nbytes)
 
     # ------------------------------------------------------------------
     # Receive path.
@@ -208,6 +222,7 @@ class IpStack:
             return
         payload = pkt.data[l4 + UDP_HLEN : l4 + udp.length]
         ctx.charge(DEFAULT_COSTS.copy_cost(len(payload)), label="sock_copy")
+        self._count_copy(len(payload))
         if sock.on_receive is not None:
             sock.on_receive(payload, ip.src, udp.src_port)
         else:
@@ -312,6 +327,7 @@ class IpStack:
         self, sock: TcpSocket, payload: bytes, ctx: ExecContext
     ) -> None:
         ctx.charge(DEFAULT_COSTS.copy_cost(len(payload)), label="sock_copy")
+        self._count_copy(len(payload))
         sock.bytes_received += len(payload)
         if sock.on_receive is not None:
             sock.on_receive(payload)
@@ -369,6 +385,7 @@ class IpStack:
         costs = DEFAULT_COSTS
         ctx.charge(costs.udp_datagram_ns, label="udp_tx")
         ctx.charge(costs.copy_cost(len(payload)), label="sock_copy")
+        self._count_copy(len(payload))
         udp = UdpHeader(sock.port, dst_port, UDP_HLEN + len(payload))
         self._count("UdpOutDatagrams")
         return self.ip_output(
@@ -421,6 +438,7 @@ class IpStack:
             raise ValueError(f"socket not established (state {sock.state})")
         costs = DEFAULT_COSTS
         ctx.charge(costs.copy_cost(len(payload)), label="sock_copy")
+        self._count_copy(len(payload))
         chunk = min(65536 - 54, len(payload)) if tso else mss
         sent = 0
         while sent < len(payload):

@@ -7,18 +7,27 @@ operator actually runs:
 * ``dpctl/show`` — datapath ports and totals,
 * ``dpctl/dump-flows`` — the installed megaflows with stats,
 * ``dpif-netdev/pmd-stats-show`` — per-PMD cache hit rates,
+* ``dpif-netdev/pmd-perf-show`` — per-stage virtual-time breakdown,
+* ``coverage/show`` — rare-event counters from the trace ledger,
 * ``dpctl/dump-conntrack`` — the connection table,
 * ``fdb/stats`` equivalents come from the bridges' OpenFlow dumps.
+
+``pmd-perf-show`` and ``coverage/show`` read the active
+:class:`~repro.sim.trace.TraceRecorder` (or one passed explicitly), so
+they show real data only when a run executed under
+``trace.recording()``.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.net.addresses import int_to_ip
 from repro.net.flow import FlowKey
 from repro.ovs.pmd import PmdThread
 from repro.ovs.vswitchd import VSwitchd
+from repro.sim import trace
+from repro.sim.trace import TraceRecorder
 
 
 class OvsAppctl:
@@ -71,18 +80,81 @@ class OvsAppctl:
 
     # ------------------------------------------------------------------
     def pmd_stats_show(self, pmds: Sequence[PmdThread]) -> str:
+        """Mirror ``ovs-appctl dpif-netdev/pmd-stats-show``.
+
+        Per-core cache outcomes come from each PMD's own
+        :class:`~repro.ovs.dpif_netdev.PipelineStats`; cycles are the
+        thread's consumed virtual time.
+        """
         lines = []
         for pmd in pmds:
+            s = pmd.stats
             emc = pmd.emc
             total = emc.hits + emc.misses
             rate = f"{emc.hit_rate * 100:.1f}%" if total else "n/a"
+            ok_upcalls = s.upcalls - s.failed_upcalls
+            passes_per_pkt = (s.passes / s.packets) if s.packets else 0.0
+            cycles = pmd.cycles_ns
+            per_pkt = (cycles / s.packets) if s.packets else 0.0
             lines.append(
                 f"pmd thread on core {pmd.ctx.cpu}:\n"
                 f"  packets processed: {pmd.packets_processed}\n"
+                f"  packet recirculations: {max(s.passes - s.packets, 0)}\n"
+                f"  avg. datapath passes per packet: {passes_per_pkt:.2f}\n"
+                f"  emc hits: {emc.hits} ({rate} hit rate)\n"
+                f"  megaflow hits: {s.megaflow_hits}\n"
+                f"  miss with success upcall: {ok_upcalls}\n"
+                f"  miss with failed upcall: {s.failed_upcalls}\n"
                 f"  iterations: {pmd.iterations} "
                 f"(empty: {pmd.empty_polls})\n"
-                f"  emc hits: {emc.hits} ({rate} hit rate)"
+                f"  processing cycles: {cycles:.0f} ns "
+                f"({per_pkt:.0f} ns/pkt)"
             )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def pmd_perf_show(self, pmds: Sequence[PmdThread],
+                      recorder: Optional[TraceRecorder] = None) -> str:
+        """Mirror ``ovs-appctl dpif-netdev/pmd-perf-show``: iteration
+        stats per PMD plus the per-stage virtual-time breakdown from the
+        trace ledger."""
+        rec = recorder if recorder is not None else trace.ACTIVE
+        lines = []
+        for pmd in pmds:
+            busy = pmd.iterations - pmd.empty_polls
+            lines.append(f"pmd thread on core {pmd.ctx.cpu}:")
+            lines.append(f"  iterations: {pmd.iterations} "
+                         f"(busy: {busy}, empty: {pmd.empty_polls})")
+            lines.append(f"  packets processed: {pmd.packets_processed}")
+            lines.append(f"  processing cycles: {pmd.cycles_ns:.0f} ns")
+        if rec is None:
+            lines.append("(no trace recorder attached; "
+                         "run under trace.recording() for stage detail)")
+            return "\n".join(lines)
+        total = rec.total_ns or 1.0
+        lines.append("per-stage breakdown (all threads):")
+        for stage, (count, ns) in sorted(
+            rec.spans.items(), key=lambda kv: -kv[1][1]
+        ):
+            lines.append(
+                f"  {stage:24s} {ns:>16.0f} ns "
+                f"{100.0 * ns / total:5.1f}%  (x{count})"
+            )
+        lines.append(f"  {'total':24s} {rec.total_ns:>16.0f} ns")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def coverage_show(self,
+                      recorder: Optional[TraceRecorder] = None) -> str:
+        """Mirror ``ovs-appctl coverage/show``: event counters collected
+        by the trace layer (EMC/dpcls outcomes, upcalls, ring stalls,
+        syscalls, copies...)."""
+        rec = recorder if recorder is not None else trace.ACTIVE
+        if rec is None or not rec.counters:
+            return "(no events recorded)"
+        lines = []
+        for name, count in sorted(rec.counters.items()):
+            lines.append(f"{name:32s} {count:>12d}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.ovs.emc import ExactMatchCache
 from repro.ovs.megaflow import MegaflowCache
 from repro.ovs.meter import MeterTable
 from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
@@ -63,11 +64,21 @@ class DpPort:
 
 @dataclass
 class PipelineStats:
+    """Pipeline outcome counters.
+
+    One instance aggregates datapath-wide on :class:`DpifNetdev`; each
+    PMD thread keeps its own (threaded through ``process_batch``) so
+    ``dpif-netdev/pmd-stats-show`` can attribute hits per core, like
+    the real command.
+    """
+
     emc_hits: int = 0
     megaflow_hits: int = 0
     upcalls: int = 0
+    failed_upcalls: int = 0
     passes: int = 0
     dropped: int = 0
+    packets: int = 0
 
 
 class DpifNetdev:
@@ -163,23 +174,33 @@ class DpifNetdev:
         ctx: ExecContext,
         emc: ExactMatchCache,
         tx_queue: int = 0,
+        stats: Optional[PipelineStats] = None,
     ) -> Dict[int, List[Packet]]:
         """Run one received burst through the pipeline.
 
         ``tx_queue`` is the hardware tx queue used when flushing (a PMD
-        transmits on its own queue).  Returns the per-port transmit
-        batches (after flushing), mainly for tests.
+        transmits on its own queue).  ``stats``, when given, is a
+        second counter set (the calling PMD's) bumped alongside the
+        datapath-wide one.  Returns the per-port transmit batches
+        (after flushing), mainly for tests.
         """
         tx_batches: Dict[int, List[Packet]] = {}
         port = self.ports.get(in_port)
         if port is not None:
             port.rx_packets += len(pkts)
+        statses = ((self.stats,) if stats is None
+                   else (self.stats, stats))
+        for s in statses:
+            s.packets += len(pkts)
+        rec = trace.ACTIVE
+        if rec is not None:
+            rec.count("dp.rx_packets", len(pkts))
         for pkt in pkts:
             pkt.meta.in_port = in_port
             pkt.meta.recirc_id = 0
             pkt.meta.ct_state = 0
             pkt.meta.ct_zone = 0
-            self._process_one(pkt, ctx, emc, tx_batches, depth=0)
+            self._process_one(pkt, ctx, emc, tx_batches, 0, statses)
         self._flush_tx(tx_batches, ctx, tx_queue)
         return tx_batches
 
@@ -190,12 +211,15 @@ class DpifNetdev:
         emc: ExactMatchCache,
         tx_batches: Dict[int, List[Packet]],
         depth: int,
+        statses: Tuple[PipelineStats, ...],
     ) -> None:
         costs = DEFAULT_COSTS
         if depth > MAX_RECIRC_PASSES:
-            self.stats.dropped += 1
+            for s in statses:
+                s.dropped += 1
             return
-        self.stats.passes += 1
+        for s in statses:
+            s.passes += 1
         ctx.charge(costs.flow_extract_ns, label="flow_extract")
         key = extract_flow(
             pkt.data,
@@ -213,33 +237,47 @@ class DpifNetdev:
         # fresh for the revalidator.
         entry = emc.lookup(key, ctx)
         if entry is not None:
-            self.stats.emc_hits += 1
+            for s in statses:
+                s.emc_hits += 1
             entry.touch(self.now_ns_fn(), len(pkt))
         else:
             entry = self.megaflows.lookup_entry(key, ctx,
                                                 now_ns=self.now_ns_fn(),
                                                 nbytes=len(pkt))
             if entry is not None:
-                self.stats.megaflow_hits += 1
+                for s in statses:
+                    s.megaflow_hits += 1
                 emc.insert(key, entry, ctx)
             else:
-                entry = self._upcall(key, ctx)
+                entry = self._upcall(key, ctx, statses)
                 if entry is None:
-                    self.stats.dropped += 1
+                    for s in statses:
+                        s.dropped += 1
                     return
                 emc.insert(key, entry, ctx)
-        self._execute(pkt, entry.actions, ctx, emc, tx_batches, depth)
+        self._execute(pkt, entry.actions, ctx, emc, tx_batches, depth,
+                      statses)
 
-    def _upcall(self, key: FlowKey, ctx: ExecContext):
+    def _upcall(self, key: FlowKey, ctx: ExecContext,
+                statses: Tuple[PipelineStats, ...]):
         costs = DEFAULT_COSTS
-        self.stats.upcalls += 1
+        for s in statses:
+            s.upcalls += 1
+        trace.count("dp.upcall")
         if self.upcall_fn is None:
+            for s in statses:
+                s.failed_upcalls += 1
             return None
         # Unlike the kernel datapath's netlink round trip, this is a
-        # function call within ovs-vswitchd.
-        ctx.charge(costs.userspace_slowpath_ns, label="upcall")
-        result = self.upcall_fn(key, ctx)
+        # function call within ovs-vswitchd.  The nested span groups the
+        # slow-path charges (classifier walks, translation) under one
+        # inclusive "upcall" total in the trace ledger.
+        with trace.span("upcall"):
+            ctx.charge(costs.userspace_slowpath_ns, label="upcall")
+            result = self.upcall_fn(key, ctx)
         if result is None:
+            for s in statses:
+                s.failed_upcalls += 1
             return None
         actions, mask = result
         entry = self.megaflows.insert(key, mask, tuple(actions), ctx,
@@ -263,11 +301,13 @@ class DpifNetdev:
         emc: ExactMatchCache,
         tx_batches: Dict[int, List[Packet]],
         depth: int,
+        statses: Tuple[PipelineStats, ...],
     ) -> None:
         costs = DEFAULT_COSTS
         data = pkt.data
         if not actions:
-            self.stats.dropped += 1
+            for s in statses:
+                s.dropped += 1
             return
         for act in actions:
             ctx.charge(costs.action_ns, label="odp_action")
@@ -286,7 +326,8 @@ class DpifNetdev:
                 out = pkt.with_data(data)
                 out.meta.recirc_id = act.recirc_id
                 ctx.charge(costs.recirculate_ns, label="recirc")
-                self._process_one(out, ctx, emc, tx_batches, depth + 1)
+                self._process_one(out, ctx, emc, tx_batches, depth + 1,
+                                  statses)
                 return
             elif isinstance(act, odp.TunnelPush):
                 ctx.charge(costs.tunnel_encap_ns, label="tunnel_push")
@@ -299,7 +340,8 @@ class DpifNetdev:
                 try:
                     ttype, vni, src, dst, inner = decapsulate(data)
                 except ValueError:
-                    self.stats.dropped += 1
+                    for s in statses:
+                        s.dropped += 1
                     return
                 out = Packet(inner)
                 out.meta.in_port = act.vport
@@ -307,12 +349,14 @@ class DpifNetdev:
                 out.meta.tunnel.vni = vni
                 out.meta.tunnel.remote_ip = src
                 out.meta.tunnel.local_ip = dst
-                self._process_one(out, ctx, emc, tx_batches, depth + 1)
+                self._process_one(out, ctx, emc, tx_batches, depth + 1,
+                                  statses)
                 return
             elif isinstance(act, odp.Meter):
                 if not self.meters.admit(act.meter_id, len(data),
                                          self.now_ns_fn()):
-                    self.stats.dropped += 1
+                    for s in statses:
+                        s.dropped += 1
                     return
             elif isinstance(act, odp.Userspace):
                 ctx.charge(costs.userspace_slowpath_ns, label="userspace")

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.net.flow import FlowKey
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
@@ -45,18 +46,24 @@ class ExactMatchCache:
                 pressure = min(1.0, self.occupancy / 2048.0)
                 ctx.charge(DEFAULT_COSTS.cache_miss_ns * pressure,
                            label="emc_pressure")
+        rec = trace.ACTIVE
         for pos in self._positions(key):
             entry = self._slots[pos]
             if entry is not None and entry[0] == key:
                 self.hits += 1
+                if rec is not None:
+                    rec.count("emc.hit")
                 return entry[1]
         self.misses += 1
+        if rec is not None:
+            rec.count("emc.miss")
         return None
 
     def insert(self, key: FlowKey, value: object,
                ctx: Optional[ExecContext] = None) -> None:
         if ctx is not None:
             ctx.charge(DEFAULT_COSTS.emc_insert_ns, label="emc_insert")
+        trace.count("emc.insert")
         p1, p2 = self._positions(key)
         # Prefer an empty way; otherwise evict the second way.
         if self._slots[p1] is None or self._slots[p1][0] == key:

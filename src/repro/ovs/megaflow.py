@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.flow import FlowKey, FlowMask, N_FLOW_FIELDS, apply_mask
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
@@ -68,10 +69,17 @@ class MegaflowCache:
         if ctx is not None and probes:
             ctx.charge(probes * DEFAULT_COSTS.megaflow_subtable_ns,
                        label="dpcls")
+        rec = trace.ACTIVE
+        if rec is not None and probes:
+            rec.count("dpcls.subtable_probes", probes)
         if found is None:
             self.misses += 1
+            if rec is not None:
+                rec.count("dpcls.miss")
             return None
         self.hits += 1
+        if rec is not None:
+            rec.count("dpcls.hit")
         found.touch(now_ns, nbytes)
         return found
 
@@ -83,6 +91,7 @@ class MegaflowCache:
             return None
         if ctx is not None:
             ctx.charge(DEFAULT_COSTS.megaflow_insert_ns, label="dpcls_insert")
+        trace.count("dpcls.insert")
         table = self._tables.get(mask)
         if table is None:
             table = {}

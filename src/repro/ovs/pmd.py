@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.ovs.dpif_netdev import DpifNetdev, DpPort
+from repro.ovs.dpif_netdev import DpifNetdev, DpPort, PipelineStats
 from repro.ovs.emc import ExactMatchCache
+from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
 
@@ -50,9 +51,17 @@ class PmdThread:
         self.packets_processed = 0
         self.iterations = 0
         self.empty_polls = 0
+        #: Per-core pipeline outcomes, fed to pmd-stats-show.
+        self.stats = PipelineStats()
 
     def add_rxq(self, port: DpPort, queue: int = 0) -> None:
         self.rxqs.append(RxqAssignment(port, queue))
+
+    @property
+    def cycles_ns(self) -> float:
+        """Virtual time this thread has consumed (busy + modelled waits);
+        the 'processing cycles' line of pmd-stats-show."""
+        return self.ctx.local_time_ns
 
     def run_iteration(self) -> int:
         """One trip around the poll loop; returns packets processed."""
@@ -68,6 +77,7 @@ class PmdThread:
                 with self.ctx.as_category(CpuCategory.SYSTEM):
                     self.ctx.charge(costs.poll_ns, label="poll")
                 self.ctx.charge(costs.context_switch_ns, label="resched")
+                trace.count("kernel.ctx_switches")
             pkts = rxq.port.adapter.rx_burst(
                 self.ctx, batch=self.batch_size, queue=rxq.queue
             )
@@ -76,7 +86,7 @@ class PmdThread:
                 continue
             self.dpif.process_batch(
                 pkts, rxq.port.port_no, self.ctx, self.emc,
-                tx_queue=rxq.queue,
+                tx_queue=rxq.queue, stats=self.stats,
             )
             processed += len(pkts)
         self.packets_processed += processed

@@ -13,6 +13,7 @@ from repro.sim.clock import Clock
 from repro.sim.costs import CostModel, DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
 from repro.sim.stats import Histogram, RateEstimator, percentile
+from repro.sim.trace import TraceRecorder, recording
 
 __all__ = [
     "Clock",
@@ -24,4 +25,6 @@ __all__ = [
     "Histogram",
     "RateEstimator",
     "percentile",
+    "TraceRecorder",
+    "recording",
 ]

@@ -235,12 +235,17 @@ def overridden(**overrides: float):
 
     The previous values are restored on exit, even on error.
     """
+    from repro.sim import trace
+
     saved = {}
     for name, value in overrides.items():
         if not hasattr(DEFAULT_COSTS, name):
             raise AttributeError(f"no cost constant named {name!r}")
         saved[name] = getattr(DEFAULT_COSTS, name)
         object.__setattr__(DEFAULT_COSTS, name, value)
+        # Sensitivity overrides must show up in any attached trace ledger:
+        # a perf report over doctored constants should say so.
+        trace.count(f"costs.overridden.{name}")
     try:
         yield DEFAULT_COSTS
     finally:

@@ -15,6 +15,16 @@ For latency experiments a :class:`LatencyTrace` can be attached to a context
 (usually with batch size 1); every charge is then also added to the trace,
 with a component label, so we can report where each microsecond of a netperf
 TCP_RR round trip went.
+
+Trace ledger
+============
+
+When a :class:`~repro.sim.trace.TraceRecorder` is attached (see
+:mod:`repro.sim.trace`), every charge is additionally recorded as a
+per-stage span and every :meth:`CpuModel.charge` is tallied on the
+CPU side, so the two ledgers can be audited against each other
+(the cost-conservation invariant).  With no recorder attached the
+hooks are a single ``is None`` check.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ import enum
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from repro.sim import trace as _trace
 from repro.sim.clock import Clock
 
 
@@ -75,6 +86,9 @@ class CpuModel:
             raise ValueError(f"negative charge: {ns}")
         bucket = self._busy[cpu]
         bucket[category] = bucket.get(category, 0.0) + ns
+        rec = _trace.ACTIVE
+        if rec is not None:
+            rec.note_cpu(ns)
 
     def busy_ns(
         self,
@@ -166,6 +180,9 @@ class ExecContext:
         self.local_time_ns += ns
         if self.trace is not None:
             self.trace.add(ns, label)
+        rec = _trace.ACTIVE
+        if rec is not None:
+            rec.record(label, ns)
 
     def wait(self, ns: float, label: str = "wait") -> None:
         """Pass ``ns`` of wall time without consuming CPU (sleep/block).
@@ -178,6 +195,9 @@ class ExecContext:
         self.local_time_ns += ns
         if self.trace is not None:
             self.trace.add(ns, label)
+        rec = _trace.ACTIVE
+        if rec is not None:
+            rec.record_wait(label, ns)
 
     @contextmanager
     def tracing(self, trace: LatencyTrace) -> Iterator[LatencyTrace]:

@@ -1,0 +1,87 @@
+"""perf report for virtual time: render a trace ledger as a profile.
+
+``ovs-appctl dpif-netdev/pmd-perf-show`` answers "where do the cycles
+go" on a live vswitchd; this is the offline equivalent for the
+simulator.  Feed it a :class:`~repro.sim.trace.TraceRecorder` and it
+prints the per-stage breakdown, wait time, nested (inclusive) spans,
+event counters and the conservation audit.
+
+As a CLI it runs one experiment under a fresh recorder::
+
+    PYTHONPATH=src python -m repro.tools.perf_report fig2
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.sim import trace
+from repro.sim.trace import TraceRecorder
+
+
+def format_report(rec: TraceRecorder,
+                  title: str = "virtual-time profile") -> str:
+    """The full profile: stages, waits, nested spans, counters, audit."""
+    lines: List[str] = [rec.render(title)]
+    if rec.waits:
+        lines.append("")
+        lines.append("waits (wall time, no CPU):")
+        for stage, (count, ns) in sorted(
+            rec.waits.items(), key=lambda kv: -kv[1][1]
+        ):
+            lines.append(f"  {stage:24s} {ns:>14.0f} ns  (x{int(count)})")
+    if rec.span_totals:
+        lines.append("")
+        lines.append("nested spans (inclusive):")
+        for path, (count, ns) in sorted(rec.span_totals.items()):
+            lines.append(f"  {path:24s} {ns:>14.0f} ns  (x{int(count)})")
+    if rec.counters:
+        lines.append("")
+        lines.append("event counters:")
+        for name, count in sorted(rec.counters.items()):
+            lines.append(f"  {name:32s} {count:>12d}")
+    lines.append("")
+    status = "OK" if rec.conserved() else "VIOLATED"
+    lines.append(
+        f"conservation: spans {rec.total_ns:.0f} ns vs "
+        f"cpu {rec.cpu_charged_ns:.0f} ns -> {status}"
+    )
+    return "\n".join(lines)
+
+
+def profile_experiment(name: str) -> TraceRecorder:
+    """Run one ``python -m repro`` experiment under a fresh recorder."""
+    import importlib
+
+    from repro.__main__ import EXPERIMENTS
+
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    _title, module_name = EXPERIMENTS[name]
+    module = importlib.import_module(module_name)
+    with trace.recording() as rec:
+        module.main()
+    return rec
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--help" in argv or "-h" in argv:
+        print(__doc__)
+        return 0
+    name = argv[0] if argv else "fig2"
+    try:
+        rec = profile_experiment(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print()
+    print(format_report(rec, title=f"virtual-time profile: {name}"))
+    return 0 if rec.conserved() else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

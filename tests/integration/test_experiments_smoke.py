@@ -1,5 +1,13 @@
 """Smoke tests: every experiment module runs end to end at tiny scale
-and returns a structurally complete result."""
+and returns a structurally complete result.
+
+``TINY`` is the shared tiny-duration configuration: every smoke test
+draws its scale knob from here so the whole battery stays fast and the
+knobs live in one place.
+"""
+
+import importlib
+import pkgutil
 
 import pytest
 
@@ -8,6 +16,36 @@ from repro.experiments.fig2_single_flow import run_fig2
 from repro.experiments.table2_optimizations import LADDER, run_table2
 from repro.experiments.table3_ruleset import run_table3
 from repro.experiments.table5_xdp_cost import run_table5
+
+#: Shared tiny-duration scales (packets / transactions / bytes / rules).
+TINY = {
+    "packets": 400,
+    "packets_per_queue": 200,
+    "fig9_packets": 300,
+    "transactions": 40,
+    "tcp_bytes": 100_000,
+    "rules": 6_000,
+}
+
+
+def test_every_experiment_module_is_smoke_covered():
+    """Each runnable experiments/ module must have a smoke entry here.
+
+    Guards against a new experiment landing without smoke coverage:
+    enumerate the package and check this file mentions each module.
+    """
+    import repro.experiments as pkg
+
+    with open(__file__) as f:
+        source = f.read()
+    for info in pkgutil.iter_modules(pkg.__path__):
+        module = importlib.import_module(f"repro.experiments.{info.name}")
+        assert module is not None
+        if info.name == "common":
+            continue  # shared harness, exercised by every other test
+        assert info.name in source, (
+            f"experiments/{info.name}.py has no smoke test"
+        )
 
 
 def test_fig1_smoke():
@@ -18,21 +56,21 @@ def test_fig1_smoke():
 
 
 def test_fig2_smoke():
-    result = run_fig2(packets=400)
+    result = run_fig2(packets=TINY["packets"])
     assert set(result.mpps) == {"kernel", "ebpf", "dpdk"}
     assert all(v > 0 for v in result.mpps.values())
     assert "Mpps" in result.render()
 
 
 def test_table2_smoke():
-    result = run_table2(packets=400)
+    result = run_table2(packets=TINY["packets"])
     assert len(result.mpps) == len(LADDER)
     assert "Table 2" in result.render()
 
 
 def test_table3_smoke_scaled():
-    result = run_table3(target_rules=6_000)
-    assert result.stats.n_rules == 6_000
+    result = run_table3(target_rules=TINY["rules"])
+    assert result.stats.n_rules == TINY["rules"]
     assert result.stats.n_tables == 40
     assert result.stats.n_match_fields == 31
     assert result.pipeline_passes >= 2
@@ -40,7 +78,7 @@ def test_table3_smoke_scaled():
 
 
 def test_table5_smoke():
-    result = run_table5(packets=400)
+    result = run_table5(packets=TINY["packets"])
     assert set(result.mpps) == set("ABCD")
     assert result.mpps["A"] >= result.mpps["D"]
     assert "Table 5" in result.render()
@@ -49,7 +87,7 @@ def test_table5_smoke():
 def test_fig10_smoke():
     from repro.experiments.fig10_latency import run_fig10
 
-    result = run_fig10(n_transactions=40)
+    result = run_fig10(n_transactions=TINY["transactions"])
     assert set(result.results) == {"kernel", "afxdp", "dpdk"}
     for r in result.results.values():
         assert r.p50_us <= r.p90_us <= r.p99_us
@@ -59,7 +97,7 @@ def test_fig10_smoke():
 def test_fig11_smoke():
     from repro.experiments.fig11_container_latency import run_fig11
 
-    result = run_fig11(n_transactions=40)
+    result = run_fig11(n_transactions=TINY["transactions"])
     assert result.results["dpdk"].p50_us > result.results["kernel"].p50_us
     assert "Figure 11" in result.render()
 
@@ -67,7 +105,7 @@ def test_fig11_smoke():
 def test_fig12_smoke_one_point():
     from repro.experiments.fig12_multiqueue import Fig12Result, run_fig12
 
-    result = run_fig12(packets_per_queue=200)
+    result = run_fig12(packets_per_queue=TINY["packets_per_queue"])
     assert isinstance(result, Fig12Result)
     assert result.mpps("dpdk", 64, 1) > 0
     assert "Figure 12" in result.render()
@@ -76,7 +114,7 @@ def test_fig12_smoke_one_point():
 def test_fig9_smoke_p2p_only():
     from repro.experiments.fig9_forwarding import run_fig9
 
-    result = run_fig9(packets=300, scenarios=("P2P",))
+    result = run_fig9(packets=TINY["fig9_packets"], scenarios=("P2P",))
     assert result.mpps("P2P", "dpdk", 1) > result.mpps("P2P", "afxdp", 1)
     assert "Figure 9" in result.render_rates()
     assert "Table 4" in result.render_table4()
@@ -85,6 +123,37 @@ def test_fig9_smoke_p2p_only():
 def test_fig8_smoke_panel_b():
     from repro.experiments.fig8_tcp_throughput import run_fig8
 
-    result = run_fig8(panels=("b",), total_bytes=100_000)
+    result = run_fig8(panels=("b",), total_bytes=TINY["tcp_bytes"])
     assert result.gbps[("b", "afxdp+vhost+csum+tso")] > 0
     assert "Figure 8b" in result.render("b")
+
+
+def test_p2p_benches_smoke():
+    """The p2p bench module directly: every datapath flavour forwards."""
+    from repro.experiments.p2p import (afxdp_p2p, dpdk_p2p, ebpf_p2p,
+                                       kernel_p2p)
+    from repro.traffic.trex import FlowSpec, TrexStream
+
+    for factory in (kernel_p2p, ebpf_p2p):
+        bench = factory()
+        m = bench.drive(TrexStream(FlowSpec(1)), TINY["packets"])
+        assert m.mpps > 0
+    for factory in (afxdp_p2p, dpdk_p2p):
+        bench = factory()
+        m = bench.drive(TrexStream(FlowSpec(1)), TINY["packets"])
+        assert m.mpps > 0
+
+
+def test_pvp_pcp_benches_smoke():
+    """The pvp_pcp loopback benches: VM and container paths forward."""
+    from repro.experiments.pvp_pcp import afxdp_pvp, kernel_pcp
+    from repro.traffic.trex import FlowSpec, TrexStream
+
+    pvp = afxdp_pvp()
+    m = pvp.drive(TrexStream(FlowSpec(1)), TINY["packets"] // 2)
+    assert m.mpps > 0
+    pcp = kernel_pcp()
+    m = pcp.drive(
+        TrexStream(FlowSpec(1, vary_dst=False)), TINY["packets"] // 2
+    )
+    assert m.mpps > 0

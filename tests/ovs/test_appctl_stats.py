@@ -1,0 +1,108 @@
+"""pmd-stats-show / pmd-perf-show / coverage-show populated by real runs."""
+
+import pytest
+
+from repro.hosts.host import Host
+from repro.ovs.appctl import OvsAppctl
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.ovs.pmd import PmdThread
+from repro.sim import trace
+
+from .conftest import udp_pkt
+
+
+@pytest.fixture
+def world():
+    host = Host("stats", n_cpus=4)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    p1, a1 = vs.add_sim_port("br0", "p1")
+    p2, a2 = vs.add_sim_port("br0", "p2")
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(), [OutputAction("p2")])
+    return host, vs, (p1, a1), (p2, a2)
+
+
+def test_pmd_stats_show_attributes_per_core(world):
+    host, vs, (p1, a1), _p2 = world
+    pmd1 = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    pmd1.add_rxq(vs.dpif_netdev.ports[p1.dp_port_no], 0)
+    pmd2 = PmdThread(vs.dpif_netdev, host.cpu, core=2)
+    pmd2.add_rxq(vs.dpif_netdev.ports[p1.dp_port_no], 0)
+
+    # pmd1 takes the cold start: 1 upcall, then 31 EMC hits.
+    a1.inject([udp_pkt() for _ in range(32)])
+    pmd1.run_until_idle()
+    # pmd2's private EMC is cold, but the shared megaflow cache is warm:
+    # its first packet is a megaflow hit, never an upcall.
+    a1.inject([udp_pkt() for _ in range(8)])
+    pmd2.run_until_idle()
+
+    assert pmd1.stats.upcalls == 1 and pmd1.stats.emc_hits == 31
+    assert pmd2.stats.upcalls == 0 and pmd2.stats.megaflow_hits == 1
+    assert pmd2.stats.emc_hits == 7
+
+    out = OvsAppctl(vs).pmd_stats_show([pmd1, pmd2])
+    section1, section2 = out.split("pmd thread on core 2:")
+    assert "core 1" in section1
+    assert "packets processed: 32" in section1
+    assert "emc hits: 31" in section1
+    assert "miss with success upcall: 1" in section1
+    assert "miss with failed upcall: 0" in section1
+    assert "packets processed: 8" in section2
+    assert "megaflow hits: 1" in section2
+    assert "miss with success upcall: 0" in section2
+    # Cycles come from consumed virtual time and must be populated.
+    assert pmd1.cycles_ns > 0
+    assert "processing cycles: 0 ns" not in section1
+
+
+def test_pmd_stats_show_counts_failed_upcalls(world):
+    host, vs, (p1, a1), _p2 = world
+    vs.dpif_netdev.upcall_fn = None  # no slow path wired
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    pmd.add_rxq(vs.dpif_netdev.ports[p1.dp_port_no], 0)
+    a1.inject([udp_pkt()])
+    pmd.run_until_idle()
+    out = OvsAppctl(vs).pmd_stats_show([pmd])
+    assert "miss with failed upcall: 1" in out
+
+
+def test_pmd_perf_show_reads_the_trace_ledger(world):
+    host, vs, (p1, a1), _p2 = world
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    pmd.add_rxq(vs.dpif_netdev.ports[p1.dp_port_no], 0)
+    appctl = OvsAppctl(vs)
+    with trace.recording() as rec:
+        a1.inject([udp_pkt() for _ in range(16)])
+        pmd.run_until_idle()
+        out = appctl.pmd_perf_show([pmd])
+    assert "core 1" in out
+    assert "flow_extract" in out and "emc" in out
+    assert "total" in out
+    # Explicit recorder works identically outside the context.
+    assert appctl.pmd_perf_show([pmd], recorder=rec) == out
+
+
+def test_pmd_perf_show_without_recorder_says_so(world):
+    host, vs, (p1, _a1), _p2 = world
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    out = OvsAppctl(vs).pmd_perf_show([pmd])
+    assert "no trace recorder" in out
+
+
+def test_coverage_show_lists_event_counters(world):
+    host, vs, (p1, a1), _p2 = world
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    pmd.add_rxq(vs.dpif_netdev.ports[p1.dp_port_no], 0)
+    appctl = OvsAppctl(vs)
+    assert appctl.coverage_show() == "(no events recorded)"
+    with trace.recording() as rec:
+        a1.inject([udp_pkt() for _ in range(4)])
+        pmd.run_until_idle()
+    out = appctl.coverage_show(recorder=rec)
+    assert "emc.hit" in out
+    assert "dp.upcall" in out
+    assert "dp.rx_packets" in out
