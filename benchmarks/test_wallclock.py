@@ -1,0 +1,47 @@
+"""Wall-clock regression gate for the burst-classified datapath.
+
+Not part of the tier-1 suite (``testpaths`` excludes ``benchmarks/``):
+wall-clock timing is machine-dependent, so this runs as a separate CI
+job.  Invoke with::
+
+    PYTHONPATH=src python -m pytest benchmarks/ -q
+
+It drives ``repro.tools.bench_report`` over the fig9 P2P configurations
+and fails unless the batched hot path is at least ``TARGET_SPEEDUP``
+(2x) faster in aggregate than the per-packet reference path *while
+producing byte-identical virtual-time results*.  The JSON report lands
+at the repo root as ``BENCH_pr2.json`` (override with ``BENCH_OUT``).
+"""
+
+import json
+import os
+import pathlib
+
+from repro.tools import bench_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_fig9_batched_wallclock_speedup():
+    out = os.environ.get("BENCH_OUT", str(REPO_ROOT / "BENCH_pr2.json"))
+    reps = int(os.environ.get("BENCH_REPS", "3"))
+    # Raises AssertionError itself if any virtual observable diverges
+    # between the batched and reference modes.
+    bench_report.main(["--workload", "fig9", "--out", out,
+                       "--reps", str(reps)])
+
+    report = json.loads(pathlib.Path(out).read_text())
+    assert report["workload"] == "fig9"
+    assert len(report["configs"]) == 4
+    for name, cfg in report["configs"].items():
+        assert cfg["virtual_identical"], name
+        assert cfg["speedup"] > 1.0, (
+            f"{name}: batching made the simulator slower "
+            f"({cfg['speedup']:.2f}x)"
+        )
+    agg = report["aggregate"]
+    assert agg["speedup"] >= report["target_speedup"], (
+        f"aggregate wall-clock speedup {agg['speedup']:.2f}x is below "
+        f"the {report['target_speedup']:.1f}x bar"
+    )
+    assert report["meets_target"]

@@ -28,9 +28,9 @@ from repro.afxdp.umempool import LockStrategy, UmemPool
 from repro.ebpf.programs import steering_program, xsk_redirect_program
 from repro.ebpf.xdp import XdpContext
 from repro.kernel.nic import PhysicalNic
-from repro.net.flow import extract_flow, rss_hash
+from repro.net.flow import extract_flow, rss_hash, rxhash_of
 from repro.net.packet import Packet
-from repro.sim import trace
+from repro.sim import fastpath, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
 
@@ -164,7 +164,10 @@ class AfxdpDriver:
         # estimate is on, in which case receive "assumes the checksum is
         # correct" (§3.2).
         ctx.charge(costs.software_rxhash_ns, label="sw_rxhash")
-        pkt.meta.rxhash = rss_hash(extract_flow(pkt.data).five_tuple())
+        if fastpath.ENABLED:
+            pkt.meta.rxhash = rxhash_of(pkt.data)
+        else:
+            pkt.meta.rxhash = rss_hash(extract_flow(pkt.data).five_tuple())
         pkt.meta.csum_verified = not opts.sw_checksum_on_tx
 
     def tx_burst(self, queue: int, pkts: List[Packet], ctx: ExecContext) -> int:

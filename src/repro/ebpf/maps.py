@@ -26,6 +26,10 @@ class BpfMap:
         self.key_size = key_size
         self.value_size = value_size
         self.max_entries = max_entries
+        #: Bumped by every successful mutation.  The XDP layer uses it to
+        #: detect that a program run left its maps untouched (a run that
+        #: wrote a map is never memoized).
+        self.version = 0
 
     def _check_key(self, key: bytes) -> None:
         if len(key) != self.key_size:
@@ -68,12 +72,14 @@ class HashMap(BpfMap):
         if key not in self._table and len(self._table) >= self.max_entries:
             raise MapError("hash map full (E2BIG)")
         self._table[key] = bytes(value)
+        self.version += 1
 
     def delete(self, key: bytes) -> None:
         self._check_key(key)
         if key not in self._table:
             raise MapError("no such key (ENOENT)")
         del self._table[key]
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._table)
@@ -107,6 +113,7 @@ class ArrayMap(BpfMap):
         if idx >= self.max_entries:
             raise MapError("array index out of range (E2BIG)")
         self._slots[idx] = bytes(value)
+        self.version += 1
 
     def delete(self, key: bytes) -> None:
         raise MapError("array map entries cannot be deleted (EINVAL)")
@@ -146,6 +153,7 @@ class LpmTrieMap(BpfMap):
         if entry not in self._entries and len(self._entries) >= self.max_entries:
             raise MapError("LPM trie full (E2BIG)")
         self._entries[entry] = bytes(value)
+        self.version += 1
 
     def lookup(self, key: bytes) -> Optional[bytes]:
         """Longest-prefix match: the key's prefixlen is the upper bound."""
@@ -163,6 +171,7 @@ class LpmTrieMap(BpfMap):
         if entry not in self._entries:
             raise MapError("no such key (ENOENT)")
         del self._entries[entry]
+        self.version += 1
 
 
 class DevMap(BpfMap):
@@ -178,6 +187,7 @@ class DevMap(BpfMap):
         if slot >= self.max_entries:
             raise MapError("devmap slot out of range")
         self._slots[slot] = ifindex
+        self.version += 1
 
     def lookup(self, key: bytes) -> Optional[bytes]:
         self._check_key(key)
@@ -203,6 +213,7 @@ class DevMap(BpfMap):
         if slot not in self._slots:
             raise MapError("no such key (ENOENT)")
         del self._slots[slot]
+        self.version += 1
 
 
 class XskMap(DevMap):

@@ -69,12 +69,17 @@ class EbpfVm:
         self.insns_executed = 0
         self.helper_calls = 0
         self.touched_pkt_data = False
+        #: Outcome of the most recent :meth:`run`, exposed so the XDP
+        #: layer can memoize and later re-charge an identical run.
+        self.last_executed = 0
+        self.last_helper_calls = 0
+        self.last_charge_ns = 0.0
         self._regs: List[object] = [0] * 11
         self._regions: Dict[str, bytearray] = {
             STACK_REGION: bytearray(STACK_SIZE)
         }
         self._pkt: bytearray = bytearray()
-        self._map_values: List[Tuple[BpfMap, bytes, str]] = []
+        self._map_values: List[Tuple[BpfMap, bytes, str, bytes]] = []
         self._headroom = 0
 
     # ------------------------------------------------------------------
@@ -134,7 +139,7 @@ class EbpfVm:
         """Give the program a writable view of a map value."""
         name = f"mapval{len(self._map_values)}"
         self._regions[name] = bytearray(value)
-        self._map_values.append((bpf_map, key, name))
+        self._map_values.append((bpf_map, key, name, bytes(value)))
         return Pointer(name, 0)
 
     def adjust_pkt_head(self, delta: int) -> bool:
@@ -199,16 +204,16 @@ class EbpfVm:
             pc = self._step(insn, pc)
 
         self.insns_executed += executed
+        self.last_executed = executed
+        self.last_helper_calls = self.helper_calls - helpers_before
+        self.last_charge_ns = executed * costs.ebpf_insn_ns + helper_cost
         if self.exec_ctx is not None:
-            self.exec_ctx.charge(
-                executed * costs.ebpf_insn_ns + helper_cost, label="ebpf"
-            )
+            self.exec_ctx.charge(self.last_charge_ns, label="ebpf")
         rec = _trace.ACTIVE
         if rec is not None:
             rec.count("ebpf.insns_retired", executed)
-            if self.helper_calls > helpers_before:
-                rec.count("ebpf.helper_calls",
-                          self.helper_calls - helpers_before)
+            if self.last_helper_calls:
+                rec.count("ebpf.helper_calls", self.last_helper_calls)
             rec.count("ebpf.runs")
         self._flush_map_values()
         verdict = self._regs[0]
@@ -221,9 +226,12 @@ class EbpfVm:
         return bytes(self._pkt)
 
     def _flush_map_values(self) -> None:
-        for bpf_map, key, region in self._map_values:
+        for bpf_map, key, region, original in self._map_values:
             buf = self._regions.pop(region, None)
-            if buf is not None:
+            # Only write back values the program actually modified: the
+            # write-back of an untouched view is a no-op, and skipping it
+            # keeps read-only lookups from bumping the map version.
+            if buf is not None and bytes(buf) != original:
                 bpf_map.update(key, bytes(buf))
         self._map_values.clear()
 

@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.ebpf.program import Program
 from repro.ebpf.vm import EbpfVm, VmFault
+from repro.sim import costs as _costs
+from repro.sim import fastpath
+from repro.sim import trace as _trace
 from repro.sim.cpu import ExecContext
 
 
@@ -45,7 +48,22 @@ class XdpVerdict:
 
 
 class XdpContext:
-    """A program attached at a driver hook, ready to run per packet."""
+    """A program attached at a driver hook, ready to run per packet.
+
+    Interpreting the program is by far the slowest part of the simulated
+    driver, so identical runs are memoized: a run over the same frame and
+    context metadata, with every program map at the same version and the
+    same cost table, must produce the same verdict and the same charges.
+    A replay re-issues exactly the charge sequence a live run would have
+    made (setup, first-touch, aggregate insn+helper cost) and the same
+    trace counters — observables stay byte-identical.  Runs that fault,
+    return unknown verdicts, or mutate a map are never memoized; the
+    prandom helper is deterministic per run (the VM seeds a fresh RNG
+    from the program name), so it needs no special casing.
+    """
+
+    #: Memo entries kept per attached program before a full clear.
+    MEMO_MAX = 8192
 
     def __init__(self, program: Program) -> None:
         if not program.verified:
@@ -53,6 +71,16 @@ class XdpContext:
                 f"refusing to attach unverified program {program.name!r}"
             )
         self.program = program
+        #: (data, ifindex, rx_queue, ktime) -> (tag, verdict,
+        #: helper_calls, charge_ns).  The verdict object itself is
+        #: shared across replays; consumers treat verdicts as read-only.
+        self._memo: Dict[Tuple, Tuple] = {}
+
+    def _maps_tag(self) -> Tuple:
+        return (
+            tuple(m.version for m in self.program.maps.values()),
+            _costs.VERSION,
+        )
 
     def run(
         self,
@@ -63,10 +91,31 @@ class XdpContext:
         ktime_ns: int = 0,
     ) -> XdpVerdict:
         """Run the program over one frame; never raises for program bugs."""
-        from repro.sim.costs import DEFAULT_COSTS
+        costs = _costs.DEFAULT_COSTS
+
+        memo_key = tag = None
+        if fastpath.ENABLED:
+            memo_key = (data, ingress_ifindex, rx_queue_index, ktime_ns)
+            tag = self._maps_tag()
+            hit = self._memo.get(memo_key)
+            if hit is not None and hit[0] == tag:
+                _, verdict, helper_calls, charge_ns = hit
+                if exec_ctx is not None:
+                    exec_ctx.charge(costs.xdp_ctx_setup_ns, label="xdp_setup")
+                    if verdict.touched_data:
+                        exec_ctx.charge(costs.dma_first_touch_ns,
+                                        label="dma_first_touch")
+                    exec_ctx.charge(charge_ns, label="ebpf")
+                rec = _trace.ACTIVE
+                if rec is not None:
+                    rec.count("ebpf.insns_retired", verdict.insns_executed)
+                    if helper_calls:
+                        rec.count("ebpf.helper_calls", helper_calls)
+                    rec.count("ebpf.runs")
+                return verdict
 
         if exec_ctx is not None:
-            exec_ctx.charge(DEFAULT_COSTS.xdp_ctx_setup_ns, label="xdp_setup")
+            exec_ctx.charge(costs.xdp_ctx_setup_ns, label="xdp_setup")
         vm = EbpfVm(self.program, exec_ctx=exec_ctx, ktime_ns=ktime_ns)
         try:
             verdict = vm.run(
@@ -81,10 +130,19 @@ class XdpContext:
         except ValueError:
             # Unknown verdicts are treated as ABORTED by drivers.
             return XdpVerdict(XdpAction.ABORTED, data)
-        return XdpVerdict(
+        result = XdpVerdict(
             action,
             vm.pkt_bytes(),
             redirect=vm.redirect_target,
             insns_executed=vm.insns_executed,
             touched_data=vm.touched_pkt_data,
         )
+        if memo_key is not None and self._maps_tag() == tag:
+            # The run left its maps untouched, so it is a pure function
+            # of the memo key and may be replayed.
+            if len(self._memo) >= self.MEMO_MAX:
+                self._memo.clear()
+            self._memo[memo_key] = (
+                tag, result, vm.last_helper_calls, vm.last_charge_ns,
+            )
+        return result

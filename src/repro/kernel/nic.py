@@ -16,8 +16,9 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from repro.ebpf.xdp import XdpAction, XdpContext
 from repro.net.addresses import MacAddress
-from repro.net.flow import extract_flow, rss_hash
+from repro.net.flow import extract_flow, rss_hash, rxhash_of
 from repro.net.packet import Packet
+from repro.sim import fastpath
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 from repro.kernel.netdev import NetDevice
@@ -129,6 +130,12 @@ class PhysicalNic(NetDevice):
     # Hardware receive: steer + DMA into the queue ring.
     # ------------------------------------------------------------------
     def select_queue(self, pkt: Packet) -> int:
+        if fastpath.ENABLED and not self.ntuple_rules:
+            # No steering rules: a single-queue NIC always picks queue 0
+            # and a multi-queue one is pure RSS, so skip the flow walk.
+            if self.n_queues == 1:
+                return 0
+            return rxhash_of(pkt.data) % self.n_queues
         key = extract_flow(pkt.data)
         for rule in self.ntuple_rules:
             if rule.matches(key):
@@ -155,7 +162,10 @@ class PhysicalNic(NetDevice):
         pkt = pkt.clone()
         pkt.meta.in_port = self.ifindex
         if self.features.rx_hash:
-            pkt.meta.rxhash = rss_hash(extract_flow(pkt.data).five_tuple())
+            if fastpath.ENABLED:
+                pkt.meta.rxhash = rxhash_of(pkt.data)
+            else:
+                pkt.meta.rxhash = rss_hash(extract_flow(pkt.data).five_tuple())
         if self.features.rx_checksum:
             pkt.meta.csum_verified = True
         ring.append(pkt)

@@ -108,6 +108,38 @@ def apply_mask(key: FlowKey, mask: FlowMask) -> Tuple[int, ...]:
     return tuple(k & m for k, m in zip(key, mask))
 
 
+class MaskSpec:
+    """A precompiled mask: the hashable masked-key fast path.
+
+    ``apply_mask`` builds (and hashes) a full 31-field tuple even though
+    most megaflow masks are exact on only a handful of fields — every
+    wildcarded field contributes a constant ``0``.  A :class:`MaskSpec`
+    precompiles the non-zero ``(index, bits)`` pairs once per mask, so
+    :meth:`project` yields a short tuple that induces exactly the same
+    equivalence classes over keys: two keys collide under ``project``
+    iff they collide under ``apply_mask`` with the same mask.  Subtable
+    dictionaries keyed by projections therefore behave identically to
+    ones keyed by full masked tuples, at a fraction of the per-lookup
+    hashing cost.
+    """
+
+    __slots__ = ("mask", "fields")
+
+    def __init__(self, mask: FlowMask) -> None:
+        self.mask = tuple(mask)
+        self.fields: Tuple[Tuple[int, int], ...] = tuple(
+            (i, bits) for i, bits in enumerate(self.mask) if bits
+        )
+
+    def project(self, key: FlowKey) -> Tuple[int, ...]:
+        """The masked key with wildcarded (constant-zero) fields elided."""
+        return tuple(key[i] & bits for i, bits in self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(FlowKey._fields[i] for i, _ in self.fields)
+        return f"MaskSpec({names or 'match-all'})"
+
+
 def mask_from_fields(**fields: int) -> FlowMask:
     """Build a mask that is exact on the named fields, wildcard elsewhere.
 
@@ -221,6 +253,30 @@ def rss_hash(five_tuple: FiveTuple) -> int:
     h ^= h >> 15
     h = (h * 0x2C1B3C6D) & 0xFFFFFFFF
     h ^= h >> 12
+    return h
+
+
+#: Memo for :func:`rxhash_of`.  Safe because ``rss_hash`` over an
+#: ``extract_flow`` of the same bytes is a pure function; bounded so a
+#: randomized workload cannot grow it without limit.
+_RXHASH_MEMO: dict = {}
+_RXHASH_MEMO_MAX = 16384
+
+
+def rxhash_of(data: bytes) -> int:
+    """Software RSS hash of a frame, memoized by frame bytes.
+
+    Equivalent to ``rss_hash(extract_flow(data).five_tuple())``; the
+    hot paths that recompute the rxhash per received packet (NIC
+    software hashing, AF_XDP metadata init) use this so repeated frames
+    of the same flow pay the parse once in wall-clock time.  Virtual
+    time is unaffected — callers charge the same costs either way.
+    """
+    h = _RXHASH_MEMO.get(data)
+    if h is None:
+        if len(_RXHASH_MEMO) >= _RXHASH_MEMO_MAX:
+            _RXHASH_MEMO.clear()
+        h = _RXHASH_MEMO[data] = rss_hash(extract_flow(data).five_tuple())
     return h
 
 

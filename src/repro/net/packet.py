@@ -82,29 +82,21 @@ class Packet:
         return len(self.data)
 
     def clone(self) -> "Packet":
-        """Deep copy — used by mirror/flood actions."""
-        meta = PacketMeta(
-            in_port=self.meta.in_port,
-            l3_offset=self.meta.l3_offset,
-            l4_offset=self.meta.l4_offset,
-            rxhash=self.meta.rxhash,
-            csum_verified=self.meta.csum_verified,
-            csum_partial=self.meta.csum_partial,
-            gso_size=self.meta.gso_size,
-            llc_warm=self.meta.llc_warm,
-            recirc_id=self.meta.recirc_id,
-            ct_state=self.meta.ct_state,
-            ct_zone=self.meta.ct_zone,
-            ct_mark=self.meta.ct_mark,
-            tunnel=TunnelMeta(
-                tunnel_type=self.meta.tunnel.tunnel_type,
-                vni=self.meta.tunnel.vni,
-                remote_ip=self.meta.tunnel.remote_ip,
-                local_ip=self.meta.tunnel.local_ip,
-                options=self.meta.tunnel.options,
-            ),
-        )
-        return Packet(self.data, meta)
+        """Deep copy — used by mirror/flood actions.
+
+        Copies field dicts directly rather than re-running the dataclass
+        constructors; clone sits on the per-packet hot path (every NIC
+        receive clones).
+        """
+        tunnel = TunnelMeta.__new__(TunnelMeta)
+        tunnel.__dict__.update(self.meta.tunnel.__dict__)
+        meta = PacketMeta.__new__(PacketMeta)
+        meta.__dict__.update(self.meta.__dict__)
+        meta.tunnel = tunnel
+        pkt = Packet.__new__(Packet)
+        pkt.data = self.data
+        pkt.meta = meta
+        return pkt
 
     def with_data(self, data: bytes) -> "Packet":
         """New packet with different bytes but the same metadata object.

@@ -105,6 +105,7 @@ class OvsAppctl:
                 f"  megaflow hits: {s.megaflow_hits}\n"
                 f"  miss with success upcall: {ok_upcalls}\n"
                 f"  miss with failed upcall: {s.failed_upcalls}\n"
+                f"  avg. packets per output batch: {s.avg_batch:.2f}\n"
                 f"  iterations: {pmd.iterations} "
                 f"(empty: {pmd.empty_polls})\n"
                 f"  processing cycles: {cycles:.0f} ns "
@@ -122,10 +123,17 @@ class OvsAppctl:
         lines = []
         for pmd in pmds:
             busy = pmd.iterations - pmd.empty_polls
+            s = pmd.stats
             lines.append(f"pmd thread on core {pmd.ctx.cpu}:")
             lines.append(f"  iterations: {pmd.iterations} "
                          f"(busy: {busy}, empty: {pmd.empty_polls})")
             lines.append(f"  packets processed: {pmd.packets_processed}")
+            lines.append(f"  rx batches: {s.batches} "
+                         f"(avg size: {s.avg_batch:.2f})")
+            if s.batch_hist:
+                dist = " ".join(f"{size}:{s.batch_hist[size]}"
+                                for size in sorted(s.batch_hist))
+                lines.append(f"  packets-per-batch histogram: {dist}")
             lines.append(f"  processing cycles: {pmd.cycles_ns:.0f} ns")
         if rec is None:
             lines.append("(no trace recorder attached; "

@@ -18,11 +18,33 @@ vhostuser, tap/AF_PACKET).  Per-packet processing:
 
 Transmit is batched per output port per input burst, as the real PMD
 does — this is what amortises the AF_XDP tx-kick syscall.
+
+Burst-oriented classification
+=============================
+
+``process_batch`` classifies a received burst the way real
+``dp_netdev_input`` does: flow keys are resolved once per distinct
+packet shape in the burst (a per-burst memo keyed by the bytes that
+feed extraction), EMC outcomes are replayed from a cross-burst flow
+cache when nothing displaced them, and each unique flow walks the
+megaflow classifier at most once per burst.  Packets whose entry is a
+single Output action take an inlined executor fast path; everything
+else (recirculation, conntrack, tunnels) falls back to the retained
+per-packet reference path, ``_process_one``.
+
+The batched path must be *observationally equivalent* to the reference
+path: identical action results, identical cache/stat counters, and
+byte-identical virtual-time charges (same charge values, in the same
+order, against the same accumulators — float addition is not
+associative, so outcomes may be memoized but charges are always
+replayed per packet).  Set :data:`BATCH_CLASSIFY` to ``False`` (or pass
+``batch_classify=False``) to run the reference path; the equivalence
+and determinism suites compare the two.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.net.flow import FlowKey, extract_flow
@@ -39,6 +61,15 @@ from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
 MAX_RECIRC_PASSES = 8
+
+#: Default for burst-oriented classification; instances may override via
+#: ``batch_classify``.  The reference per-packet path is kept for
+#: equivalence testing and recirculated passes.
+BATCH_CLASSIFY = True
+
+#: Cap on the per-EMC cross-burst flow cache (token -> classification);
+#: cleared wholesale when full, like a generation flip.
+FLOW_CACHE_MAX = 16384
 
 
 class PortAdapter(Protocol):
@@ -79,14 +110,28 @@ class PipelineStats:
     passes: int = 0
     dropped: int = 0
     packets: int = 0
+    #: Number of rx bursts processed and the packets-per-batch histogram
+    #: (batch size -> occurrences), the figures behind pmd-perf-show's
+    #: batching lines.
+    batches: int = 0
+    batch_hist: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def avg_batch(self) -> float:
+        """Mean packets per rx batch."""
+        return self.packets / self.batches if self.batches else 0.0
 
 
 class DpifNetdev:
     """The userspace datapath instance inside one vswitchd."""
 
     def __init__(self, name: str = "netdev@ovs-netdev",
-                 now_ns_fn: Callable[[], int] = lambda: 0) -> None:
+                 now_ns_fn: Callable[[], int] = lambda: 0,
+                 batch_classify: Optional[bool] = None) -> None:
         self.name = name
+        #: Tri-state: None defers to the module-level BATCH_CLASSIFY at
+        #: each burst, so tests can flip the global and compare paths.
+        self.batch_classify = batch_classify
         self.ports: Dict[int, DpPort] = {}
         self._port_by_name: Dict[str, int] = {}
         self._next_port = 1
@@ -185,24 +230,149 @@ class DpifNetdev:
         (after flushing), mainly for tests.
         """
         tx_batches: Dict[int, List[Packet]] = {}
+        n = len(pkts)
         port = self.ports.get(in_port)
         if port is not None:
-            port.rx_packets += len(pkts)
+            port.rx_packets += n
         statses = ((self.stats,) if stats is None
                    else (self.stats, stats))
         for s in statses:
-            s.packets += len(pkts)
+            s.packets += n
+            s.batches += 1
+            s.batch_hist[n] = s.batch_hist.get(n, 0) + 1
         rec = trace.ACTIVE
         if rec is not None:
-            rec.count("dp.rx_packets", len(pkts))
+            rec.count("dp.rx_packets", n)
+            rec.note_batch("dp.rx", n)
         for pkt in pkts:
             pkt.meta.in_port = in_port
             pkt.meta.recirc_id = 0
             pkt.meta.ct_state = 0
             pkt.meta.ct_zone = 0
-            self._process_one(pkt, ctx, emc, tx_batches, 0, statses)
+        batched = self.batch_classify
+        if batched is None:
+            batched = BATCH_CLASSIFY
+        if batched:
+            self._classify_execute_burst(pkts, ctx, emc, tx_batches, statses)
+        else:
+            for pkt in pkts:
+                self._process_one(pkt, ctx, emc, tx_batches, 0, statses)
         self._flush_tx(tx_batches, ctx, tx_queue)
         return tx_batches
+
+    def _classify_execute_burst(
+        self,
+        pkts: List[Packet],
+        ctx: ExecContext,
+        emc: ExactMatchCache,
+        tx_batches: Dict[int, List[Packet]],
+        statses: Tuple[PipelineStats, ...],
+    ) -> None:
+        """Burst-oriented classification (the ``dp_netdev_input`` shape).
+
+        Computation is staged and memoized; *charging* is replayed
+        packet by packet in exactly the reference order, because every
+        accumulator (per-(cpu, category) busy time, local time, ledger
+        spans) is order-sensitive float addition.  Classification and
+        execution stay fused per packet: an executed action (recirc, ct,
+        meter, upcall install) may mutate the very caches the next
+        packet's classification observes.
+        """
+        costs = DEFAULT_COSTS
+        extract_ns = costs.flow_extract_ns
+        action_ns = costs.action_ns
+        now_fn = self.now_ns_fn
+        megaflows = self.megaflows
+        flow_cache = emc.flow_cache
+        #: Per-burst memo: identical packet shapes share one FlowKey.
+        burst_keys: Dict[Tuple, FlowKey] = {}
+        #: Per-burst memo: each unique flow walks the classifier once.
+        mf_memo: Dict[FlowKey, Tuple] = {}
+        for pkt in pkts:
+            for s in statses:
+                s.passes += 1
+            ctx.charge(extract_ns, label="flow_extract")
+            meta = pkt.meta
+            tun = meta.tunnel
+            # Everything extract_flow reads at depth 0 (recirc/ct state
+            # was just zeroed), so equal tokens imply equal FlowKeys.
+            token = (pkt.data, meta.in_port, meta.ct_mark,
+                     tun.vni, tun.remote_ip, tun.local_ip)
+            cell = flow_cache.get(token)
+            if cell is not None and cell[2] == emc.displacements:
+                # Cross-burst fast path: this shape hit the EMC before
+                # and no insert/evict/flush displaced anything since.
+                entry = cell[1]
+                emc.replay_hit(ctx)
+                for s in statses:
+                    s.emc_hits += 1
+                entry.touch(now_fn(), len(pkt))
+            else:
+                if cell is not None:
+                    # Stale tag only invalidates the *EMC outcome*; the
+                    # token still fully determines the extracted key.
+                    key = cell[0]
+                else:
+                    key = burst_keys.get(token)
+                    if key is None:
+                        key = burst_keys[token] = extract_flow(
+                            pkt.data,
+                            in_port=meta.in_port,
+                            recirc_id=0,
+                            ct_state=0,
+                            ct_zone=0,
+                            ct_mark=meta.ct_mark,
+                            tun_id=tun.vni,
+                            tun_src=tun.remote_ip,
+                            tun_dst=tun.local_ip,
+                        )
+                entry = emc.lookup(key, ctx)
+                if entry is not None:
+                    for s in statses:
+                        s.emc_hits += 1
+                    entry.touch(now_fn(), len(pkt))
+                else:
+                    memo = mf_memo.get(key)
+                    if memo is not None and memo[2] == megaflows.version:
+                        entry, probes = memo[0], memo[1]
+                        megaflows.replay_lookup(
+                            entry, probes, ctx,
+                            now_ns=now_fn(), nbytes=len(pkt),
+                        )
+                    else:
+                        entry, probes = megaflows.lookup_entry_probes(
+                            key, ctx, now_ns=now_fn(), nbytes=len(pkt),
+                        )
+                        if entry is not None:
+                            mf_memo[key] = (entry, probes,
+                                            megaflows.version)
+                    if entry is not None:
+                        for s in statses:
+                            s.megaflow_hits += 1
+                        emc.insert(key, entry, ctx)
+                    else:
+                        entry = self._upcall(key, ctx, statses)
+                        if entry is None:
+                            for s in statses:
+                                s.dropped += 1
+                            continue
+                        emc.insert(key, entry, ctx)
+                # The insert (or prior hit) guarantees a probe of this
+                # key now hits; remember that fact for future bursts.
+                if len(flow_cache) >= FLOW_CACHE_MAX:
+                    flow_cache.clear()
+                flow_cache[token] = (key, entry, emc.displacements)
+            out_port = entry.single_out
+            if out_port is not None:
+                # Inlined _execute for the dominant one-Output case.
+                ctx.charge(action_ns, label="odp_action")
+                batch = tx_batches.get(out_port)
+                if batch is None:
+                    batch = tx_batches[out_port] = []
+                batch.append(pkt.with_data(pkt.data))
+            else:
+                self._execute(pkt, entry.actions, ctx, emc, tx_batches,
+                              0, statses)
 
     def _process_one(
         self,

@@ -7,7 +7,27 @@ datapath actions.  This is the cache whose in-kernel equivalent the Linux
 maintainers rejected (§2.1, footnote on flow mask cache) — userspace gets
 to have it anyway, one of the quiet advantages of the AF_XDP design.
 
-Sized like the real one (8192 entries, 2-way pseudo-LRU by hash)."""
+Sized like the real one (8192 entries, 2-way pseudo-LRU by hash).
+
+Batched classification support
+==============================
+
+The burst-oriented datapath (``DpifNetdev._classify_execute_burst``)
+wants to skip re-extracting and re-hashing a 31-field :class:`FlowKey`
+for packets whose bytes it has already classified.  Two pieces support
+that without changing any observable behaviour:
+
+* ``lookup`` is split into :meth:`charge_lookup` (the virtual-time
+  charges) and :meth:`probe` (the probe itself plus hit/miss counters),
+  composed in the original order; :meth:`replay_hit` reproduces a
+  *known* hit's charges and counters without touching the slots.
+* :attr:`displacements` counts every mutation that can change a probe's
+  outcome (a slot overwritten, evicted or flushed).  A cached
+  "key K hits with entry E" fact is valid only while ``displacements``
+  is unchanged since it was recorded; :attr:`flow_cache` is scratch
+  space for the datapath to keep such facts, invalidated wholesale by
+  comparing against this counter.
+"""
 
 from __future__ import annotations
 
@@ -29,13 +49,24 @@ class ExactMatchCache:
         self.misses = 0
         self.insertions = 0
         self.occupancy = 0
+        #: Bumped whenever a slot mutation could change a future probe's
+        #: outcome; cached probe results are valid only while unchanged.
+        self.displacements = 0
+        #: Burst-classification scratch: token -> (key, entry, tag).
+        #: Owned by the datapath; entries whose tag != displacements are
+        #: stale.  Lives here so it shares the EMC's per-PMD affinity.
+        self.flow_cache: dict = {}
 
     def _positions(self, key: FlowKey) -> Tuple[int, int]:
         h = hash(key)
         mask = self.n_entries - 1
         return h & mask, (h >> 13) & mask
 
-    def lookup(self, key: FlowKey, ctx: Optional[ExecContext] = None) -> Optional[object]:
+    # ------------------------------------------------------------------
+    # Lookup, split so the batched path can replay known outcomes.
+    # ------------------------------------------------------------------
+    def charge_lookup(self, ctx: Optional[ExecContext]) -> None:
+        """The virtual-time cost of one EMC lookup (hit or miss)."""
         if ctx is not None:
             ctx.charge(DEFAULT_COSTS.emc_hit_ns, label="emc")
             if self.occupancy > 64:
@@ -46,6 +77,9 @@ class ExactMatchCache:
                 pressure = min(1.0, self.occupancy / 2048.0)
                 ctx.charge(DEFAULT_COSTS.cache_miss_ns * pressure,
                            label="emc_pressure")
+
+    def probe(self, key: FlowKey) -> Optional[object]:
+        """Probe the slots and bump hit/miss stats (no charges)."""
         rec = trace.ACTIVE
         for pos in self._positions(key):
             entry = self._slots[pos]
@@ -59,6 +93,28 @@ class ExactMatchCache:
             rec.count("emc.miss")
         return None
 
+    def lookup(self, key: FlowKey, ctx: Optional[ExecContext] = None) -> Optional[object]:
+        self.charge_lookup(ctx)
+        return self.probe(key)
+
+    def replay_hit(self, ctx: Optional[ExecContext] = None) -> None:
+        """Account a lookup whose outcome is already known to be a hit.
+
+        Charges and counters are byte-identical to :meth:`lookup`
+        returning that hit; the slot probe itself is skipped.  Only
+        valid while :attr:`displacements` is unchanged since the hit was
+        observed.
+        """
+        self.charge_lookup(ctx)
+        self.hits += 1
+        rec = trace.ACTIVE
+        if rec is not None:
+            rec.count("emc.hit")
+
+    # ------------------------------------------------------------------
+    # Mutation (every path that can change a probe result bumps
+    # ``displacements``).
+    # ------------------------------------------------------------------
     def insert(self, key: FlowKey, value: object,
                ctx: Optional[ExecContext] = None) -> None:
         if ctx is not None:
@@ -66,14 +122,21 @@ class ExactMatchCache:
         trace.count("emc.insert")
         p1, p2 = self._positions(key)
         # Prefer an empty way; otherwise evict the second way.
-        if self._slots[p1] is None or self._slots[p1][0] == key:
-            if self._slots[p1] is None:
-                self.occupancy += 1
-            self._slots[p1] = (key, value)
+        s1 = self._slots[p1]
+        if s1 is None or s1[0] == key:
+            target, old = p1, s1
         else:
-            if self._slots[p2] is None:
-                self.occupancy += 1
-            self._slots[p2] = (key, value)
+            target, old = p2, self._slots[p2]
+        if old is None:
+            self.occupancy += 1
+        if old is None or old[0] != key or old[1] is not value:
+            # The probe outcome for some key changed (a fill, an
+            # eviction, or a remap of this key) — cached probe results
+            # are no longer trustworthy.  Covers the subtle case of
+            # filling an empty first way while the second way holds the
+            # same key with a different value.
+            self.displacements += 1
+        self._slots[target] = (key, value)
         self.insertions += 1
 
     def evict(self, key: FlowKey) -> None:
@@ -82,10 +145,13 @@ class ExactMatchCache:
             if entry is not None and entry[0] == key:
                 self._slots[pos] = None
                 self.occupancy -= 1
+                self.displacements += 1
 
     def flush(self) -> None:
         self._slots = [None] * self.n_entries
         self.occupancy = 0
+        self.displacements += 1
+        self.flow_cache.clear()
 
     @property
     def hit_rate(self) -> float:

@@ -6,14 +6,29 @@ subtables until it hits.  The 1000-random-IP workload of §5.2 is the
 worst case precisely because installed megaflows (one per IP pair, after
 translation unwildcards nw_src/nw_dst) stop fitting the EMC and every
 packet pays this probe sequence.
+
+Subtables are keyed by :class:`~repro.net.flow.MaskSpec` projections —
+the masked key with wildcarded fields elided — instead of full 31-field
+``apply_mask`` tuples.  The projection induces exactly the same
+equivalence classes (wildcarded fields contribute a constant zero for
+every key), so lookup results are unchanged while each probe hashes a
+handful of integers instead of 31.
+
+For burst classification, :meth:`lookup_entry_probes` performs exactly
+one reference lookup but also returns the probe count, and
+:meth:`replay_lookup` re-accounts a known outcome (charges, counters,
+stats touch) without walking the subtables.  A replay is valid only
+while :attr:`version` — bumped by every insert/remove/flush — is
+unchanged since the probed outcome was recorded.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.net.flow import FlowKey, FlowMask, N_FLOW_FIELDS, apply_mask
+from repro.net.flow import FlowKey, FlowMask, MaskSpec, N_FLOW_FIELDS
+from repro.ovs import odp
 from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
@@ -29,6 +44,17 @@ class MegaflowEntry:
     n_packets: int = 0
     n_bytes: int = 0
     last_used_ns: int = 0
+    #: When the action list is exactly one Output, its port number —
+    #: the batched executor's fast path.  Derived, so excluded from
+    #: comparison/repr.
+    single_out: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if (len(self.actions) == 1
+                and type(self.actions[0]) is odp.Output):
+            self.single_out = self.actions[0].port_no
 
     def touch(self, now_ns: int, nbytes: int) -> None:
         self.n_packets += 1
@@ -40,9 +66,15 @@ class MegaflowCache:
     def __init__(self, max_flows: int = 65536) -> None:
         self.max_flows = max_flows
         self._masks: List[FlowMask] = []
+        #: Parallel to ``_masks``: (spec, subtable) pairs walked in
+        #: insertion order, subtables keyed by ``spec.project(key)``.
+        self._walk: List[Tuple[MaskSpec, Dict[Tuple[int, ...], MegaflowEntry]]] = []
         self._tables: Dict[FlowMask, Dict[Tuple[int, ...], MegaflowEntry]] = {}
         self.hits = 0
         self.misses = 0
+        #: Bumped on every successful insert/remove/flush; cached lookup
+        #: outcomes are valid only while unchanged.
+        self.version = 0
 
     def __len__(self) -> int:
         return sum(len(t) for t in self._tables.values())
@@ -56,33 +88,70 @@ class MegaflowCache:
         entry = self.lookup_entry(key, ctx, now_ns=now_ns, nbytes=nbytes)
         return None if entry is None else entry.actions
 
-    def lookup_entry(self, key: FlowKey, ctx: Optional[ExecContext] = None,
-                     now_ns: int = 0, nbytes: int = 0) -> Optional[MegaflowEntry]:
+    # ------------------------------------------------------------------
+    # Lookup, split so the batched path can replay known outcomes.
+    # ------------------------------------------------------------------
+    def _probe(self, key: FlowKey) -> Tuple[Optional[MegaflowEntry], int]:
+        """Walk the subtables (no charges, no counters, no touch)."""
         probes = 0
-        found: Optional[MegaflowEntry] = None
-        for mask in self._masks:
+        for spec, table in self._walk:
             probes += 1
-            entry = self._tables[mask].get(apply_mask(key, mask))
+            entry = table.get(spec.project(key))
             if entry is not None:
-                found = entry
-                break
+                return entry, probes
+        return None, probes
+
+    def _account(self, entry: Optional[MegaflowEntry], probes: int,
+                 ctx: Optional[ExecContext],
+                 now_ns: int, nbytes: int) -> None:
+        """Charges, counters and stats for a lookup with this outcome."""
         if ctx is not None and probes:
             ctx.charge(probes * DEFAULT_COSTS.megaflow_subtable_ns,
                        label="dpcls")
         rec = trace.ACTIVE
         if rec is not None and probes:
             rec.count("dpcls.subtable_probes", probes)
-        if found is None:
+        if entry is None:
             self.misses += 1
             if rec is not None:
                 rec.count("dpcls.miss")
-            return None
+            return
         self.hits += 1
         if rec is not None:
             rec.count("dpcls.hit")
-        found.touch(now_ns, nbytes)
-        return found
+        entry.touch(now_ns, nbytes)
 
+    def lookup_entry(self, key: FlowKey, ctx: Optional[ExecContext] = None,
+                     now_ns: int = 0, nbytes: int = 0) -> Optional[MegaflowEntry]:
+        entry, probes = self._probe(key)
+        self._account(entry, probes, ctx, now_ns, nbytes)
+        return entry
+
+    def lookup_entry_probes(
+        self, key: FlowKey, ctx: Optional[ExecContext] = None,
+        now_ns: int = 0, nbytes: int = 0,
+    ) -> Tuple[Optional[MegaflowEntry], int]:
+        """Like :meth:`lookup_entry`, also reporting the probe count so
+        the caller can memoize the outcome for :meth:`replay_lookup`."""
+        entry, probes = self._probe(key)
+        self._account(entry, probes, ctx, now_ns, nbytes)
+        return entry, probes
+
+    def replay_lookup(self, entry: Optional[MegaflowEntry], probes: int,
+                      ctx: Optional[ExecContext] = None,
+                      now_ns: int = 0, nbytes: int = 0) -> None:
+        """Re-account a lookup whose outcome is already known.
+
+        Byte-identical charges/counters/stats to :meth:`lookup_entry`
+        reaching the same outcome; the subtable walk is skipped.  Valid
+        only while :attr:`version` is unchanged since the outcome was
+        observed.
+        """
+        self._account(entry, probes, ctx, now_ns, nbytes)
+
+    # ------------------------------------------------------------------
+    # Mutation.
+    # ------------------------------------------------------------------
     def insert(self, key: FlowKey, mask: FlowMask, value: Tuple,
                ctx: Optional[ExecContext] = None,
                now_ns: int = 0) -> Optional[MegaflowEntry]:
@@ -97,11 +166,20 @@ class MegaflowCache:
             table = {}
             self._tables[mask] = table
             self._masks.append(mask)
+            self._walk.append((MaskSpec(mask), table))
+        spec = self._spec_for(mask)
         entry = MegaflowEntry(
             actions=tuple(value), key=key, mask=mask, last_used_ns=now_ns
         )
-        table[apply_mask(key, mask)] = entry
+        table[spec.project(key)] = entry
+        self.version += 1
         return entry
+
+    def _spec_for(self, mask: FlowMask) -> MaskSpec:
+        for i, m in enumerate(self._masks):
+            if m == mask:
+                return self._walk[i][0]
+        raise KeyError(f"no subtable for mask {mask!r}")
 
     def entries(self) -> List[MegaflowEntry]:
         return [e for t in self._tables.values() for e in t.values()]
@@ -110,18 +188,23 @@ class MegaflowCache:
         table = self._tables.get(mask)
         if table is None:
             return False
-        masked = apply_mask(key, mask)
+        masked = self._spec_for(mask).project(key)
         if masked not in table:
             return False
         del table[masked]
         if not table:
             del self._tables[mask]
-            self._masks.remove(mask)
+            idx = self._masks.index(mask)
+            del self._masks[idx]
+            del self._walk[idx]
+        self.version += 1
         return True
 
     def flush(self) -> None:
         self._masks.clear()
+        self._walk.clear()
         self._tables.clear()
+        self.version += 1
 
     @property
     def hit_rate(self) -> float:

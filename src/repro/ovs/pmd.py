@@ -63,6 +63,13 @@ class PmdThread:
         the 'processing cycles' line of pmd-stats-show."""
         return self.ctx.local_time_ns
 
+    @property
+    def avg_batch(self) -> float:
+        """Mean packets per rx batch handed to the datapath; under load
+        this exceeds 1 and the burst classifier amortizes per-packet
+        work across it (pmd-perf-show's 'rx batches' line)."""
+        return self.stats.avg_batch
+
     def run_iteration(self) -> int:
         """One trip around the poll loop; returns packets processed."""
         costs = DEFAULT_COSTS

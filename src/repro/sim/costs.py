@@ -222,6 +222,12 @@ class CostModel:
 #: The calibrated default model used by all experiments.
 DEFAULT_COSTS = CostModel()
 
+#: Bumped whenever ``DEFAULT_COSTS`` is mutated (see :func:`overridden`).
+#: Wall-clock memo layers that cache *derived charge values* (e.g. the XDP
+#: verdict memo) tag entries with this so a sensitivity override can never
+#: replay charges computed under different constants.
+VERSION: int = 0
+
 
 @contextmanager
 def overridden(**overrides: float):
@@ -237,6 +243,7 @@ def overridden(**overrides: float):
     """
     from repro.sim import trace
 
+    global VERSION
     saved = {}
     for name, value in overrides.items():
         if not hasattr(DEFAULT_COSTS, name):
@@ -246,8 +253,10 @@ def overridden(**overrides: float):
         # Sensitivity overrides must show up in any attached trace ledger:
         # a perf report over doctored constants should say so.
         trace.count(f"costs.overridden.{name}")
+    VERSION += 1
     try:
         yield DEFAULT_COSTS
     finally:
         for name, value in saved.items():
             object.__setattr__(DEFAULT_COSTS, name, value)
+        VERSION += 1

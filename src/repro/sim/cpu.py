@@ -50,6 +50,14 @@ class CpuCategory(enum.Enum):
     POLL_IDLE = "poll_idle"
 
 
+# Dense index per category so the per-packet accounting path can use list
+# indexing instead of hashing an enum member (a measurable share of the
+# wall-clock cost of ExecContext.charge).
+for _i, _cat in enumerate(CpuCategory):
+    _cat.idx = _i
+N_CATEGORIES = len(CpuCategory)
+
+
 class LatencyTrace:
     """Accumulates per-component latency along one packet's path."""
 
@@ -76,16 +84,19 @@ class CpuModel:
             raise ValueError("a host needs at least one CPU")
         self.n_cpus = n_cpus
         self.clock = clock if clock is not None else Clock()
-        # busy[cpu][category] = ns
-        self._busy: list[Dict[CpuCategory, float]] = [
-            {} for _ in range(n_cpus)
+        # busy[cpu][category.idx] = ns.  A dense list, not a dict: the
+        # accounting path runs once per charge, and enum hashing is the
+        # single hottest Python-level operation of a forwarding run.
+        # Each (cpu, category) pair keeps its own accumulator, so the
+        # per-bucket float values are bit-identical to the dict scheme.
+        self._busy: list[list[float]] = [
+            [0.0] * N_CATEGORIES for _ in range(n_cpus)
         ]
 
     def charge(self, cpu: int, category: CpuCategory, ns: float) -> None:
         if ns < 0:
             raise ValueError(f"negative charge: {ns}")
-        bucket = self._busy[cpu]
-        bucket[category] = bucket.get(category, 0.0) + ns
+        self._busy[cpu][category.idx] += ns
         rec = _trace.ACTIVE
         if rec is not None:
             rec.note_cpu(ns)
@@ -99,11 +110,11 @@ class CpuModel:
         cpus = range(self.n_cpus) if cpu is None else (cpu,)
         total = 0.0
         for c in cpus:
-            bucket = self._busy[c]
+            lane = self._busy[c]
             if category is None:
-                total += sum(bucket.values())
+                total += sum(lane)
             else:
-                total += bucket.get(category, 0.0)
+                total += lane[category.idx]
         return total
 
     def utilisation(
@@ -133,8 +144,10 @@ class CpuModel:
         return out
 
     def reset(self) -> None:
-        for bucket in self._busy:
-            bucket.clear()
+        # Zero in place: ExecContexts cache a reference to their lane.
+        for lane in self._busy:
+            for i in range(N_CATEGORIES):
+                lane[i] = 0.0
 
 
 class ExecContext:
@@ -166,6 +179,9 @@ class ExecContext:
         self.name = name or f"ctx-{category.value}@cpu{cpu}"
         self.local_time_ns: float = 0.0
         self.trace: Optional[LatencyTrace] = None
+        #: Cached busy lane; valid because contexts are pinned and
+        #: CpuModel.reset() zeroes lanes in place.
+        self._lane = cpu_model._busy[cpu]
 
     def charge(
         self,
@@ -173,16 +189,66 @@ class ExecContext:
         label: str = "work",
         category: Optional[CpuCategory] = None,
     ) -> None:
-        """Consume ``ns`` of CPU time in this context."""
+        """Consume ``ns`` of CPU time in this context.
+
+        This is the accounting funnel for the whole simulator (it runs
+        several times per packet), so the CpuModel side is inlined: the
+        lane update below is exactly what :meth:`CpuModel.charge` does.
+        """
         if ns == 0:
             return
-        self.cpu_model.charge(self.cpu, category or self.category, ns)
+        if ns < 0:
+            raise ValueError(f"negative charge: {ns}")
+        cat = category if category is not None else self.category
+        self._lane[cat.idx] += ns
         self.local_time_ns += ns
         if self.trace is not None:
             self.trace.add(ns, label)
         rec = _trace.ACTIVE
         if rec is not None:
+            rec.note_cpu(ns)
             rec.record(label, ns)
+
+    def charge_n(
+        self,
+        ns: float,
+        n: int,
+        label: str = "work",
+        category: Optional[CpuCategory] = None,
+    ) -> None:
+        """Charge ``ns`` exactly ``n`` times (one per packet of a batch).
+
+        Byte-identical to ``n`` separate :meth:`charge` calls: every
+        accumulator (busy lane, local time, latency trace, ledger span)
+        receives ``n`` individual float additions in the same order —
+        batching must never collapse them into one ``n * ns`` term,
+        because float addition is not associative and the trace ledger
+        records per-charge span counts.
+        """
+        if n <= 0 or ns == 0:
+            return
+        if ns < 0:
+            raise ValueError(f"negative charge: {ns}")
+        cat = category if category is not None else self.category
+        idx = cat.idx
+        lane = self._lane
+        tr = self.trace
+        rec = _trace.ACTIVE
+        if tr is None and rec is None:
+            local = self.local_time_ns
+            for _ in range(n):
+                lane[idx] += ns
+                local += ns
+            self.local_time_ns = local
+            return
+        for _ in range(n):
+            lane[idx] += ns
+            self.local_time_ns += ns
+            if tr is not None:
+                tr.add(ns, label)
+            if rec is not None:
+                rec.note_cpu(ns)
+                rec.record(label, ns)
 
     def wait(self, ns: float, label: str = "wait") -> None:
         """Pass ``ns`` of wall time without consuming CPU (sleep/block).

@@ -1,0 +1,36 @@
+"""Wall-clock fast-path switches.
+
+The burst-classification work (PR 2) added cross-packet memo layers that
+change *no* observable simulation output — virtual-time charges, trace
+ledgers, counters and packet bytes are byte-identical — but make the
+simulator run several times faster in real time: the XDP verdict memo,
+NIC steering/rxhash memos, and the datapath's cross-burst flow cache
+consult this flag.
+
+``ENABLED`` exists so the benchmark harness (``repro.tools.bench_report``)
+and the equivalence test suites can A/B the optimized stack against the
+pre-batching behaviour in one process.  Production runs leave it on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+ENABLED: bool = True
+
+
+def set_enabled(on: bool) -> None:
+    global ENABLED
+    ENABLED = bool(on)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block with every wall-clock memo layer bypassed."""
+    global ENABLED
+    prev, ENABLED = ENABLED, False
+    try:
+        yield
+    finally:
+        ENABLED = prev

@@ -59,7 +59,7 @@ class TraceRecorder:
     """
 
     __slots__ = ("spans", "waits", "counters", "span_totals",
-                 "cpu_charged_ns", "_stack")
+                 "cpu_charged_ns", "batch_sizes", "_stack")
 
     def __init__(self) -> None:
         #: stage label -> [count, total_ns]; the conservation set.
@@ -72,6 +72,11 @@ class TraceRecorder:
         self.span_totals: Dict[str, List[float]] = {}
         #: independently accumulated at the CpuModel layer.
         self.cpu_charged_ns: float = 0.0
+        #: stage -> {batch size -> occurrences}: the packets-per-batch
+        #: histograms (see :meth:`note_batch`).  Deliberately *not* part
+        #: of :meth:`ledger`: the ledger predates batching and must stay
+        #: byte-comparable against pre-batching golden traces.
+        self.batch_sizes: Dict[str, Dict[int, int]] = {}
         self._stack: List[List[object]] = []
 
     # ------------------------------------------------------------------
@@ -97,9 +102,48 @@ class TraceRecorder:
             entry[0] += 1
             entry[1] += ns
 
+    def record_n(self, stage: str, ns: float, n: int) -> None:
+        """Attribute ``ns`` to ``stage`` exactly ``n`` times.
+
+        Batch-aware span attribution: byte-identical to ``n`` separate
+        :meth:`record` calls (``n`` float additions to every open
+        accumulator, span count advanced by ``n``) with the dict lookup
+        hoisted out of the loop.  Collapsing into one ``n * ns`` addition
+        would change the ledger — float addition is not associative and
+        the per-stage call counts are part of the canonical dump.
+        """
+        if n <= 0:
+            return
+        entry = self.spans.get(stage)
+        if entry is None:
+            entry = self.spans[stage] = [0, 0.0]
+        stack = self._stack
+        for _ in range(n):
+            entry[0] += 1
+            entry[1] += ns
+            for frame in stack:
+                frame[1] += ns
+
     def note_cpu(self, ns: float) -> None:
         """CpuModel-side tally; the other leg of the conservation check."""
         self.cpu_charged_ns += ns
+
+    def note_cpu_n(self, ns: float, n: int) -> None:
+        """``n`` individual CpuModel-side tallies (see :meth:`record_n`)."""
+        for _ in range(n):
+            self.cpu_charged_ns += ns
+
+    def note_batch(self, stage: str, n: int) -> None:
+        """Record that ``stage`` handled a batch of ``n`` packets.
+
+        Feeds the packets-per-batch histograms behind
+        ``dpif-netdev/pmd-perf-show``.  Kept out of :meth:`ledger` so
+        golden ledgers recorded before batching existed stay comparable.
+        """
+        hist = self.batch_sizes.get(stage)
+        if hist is None:
+            hist = self.batch_sizes[stage] = {}
+        hist[n] = hist.get(n, 0) + 1
 
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
@@ -162,6 +206,7 @@ class TraceRecorder:
         self.counters.clear()
         self.span_totals.clear()
         self.cpu_charged_ns = 0.0
+        self.batch_sizes.clear()
         self._stack.clear()
 
     # ------------------------------------------------------------------
@@ -202,6 +247,21 @@ class TraceRecorder:
         lines.append(f"{'TOTAL'.ljust(width)}  "
                      f"{sum(int(c) for c, _ in self.spans.values()):>10}  "
                      f"{self.total_ns:>14.0f}  100.0%")
+        return "\n".join(lines)
+
+    def render_batches(self) -> str:
+        """Human-oriented packets-per-batch histograms per stage."""
+        if not self.batch_sizes:
+            return "(no batches recorded)"
+        lines = []
+        for stage in sorted(self.batch_sizes):
+            hist = self.batch_sizes[stage]
+            batches = sum(hist.values())
+            pkts = sum(size * n for size, n in hist.items())
+            mean = pkts / batches if batches else 0.0
+            dist = " ".join(f"{size}:{hist[size]}" for size in sorted(hist))
+            lines.append(f"{stage}: {batches} batches, "
+                         f"avg {mean:.2f} pkts/batch [{dist}]")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

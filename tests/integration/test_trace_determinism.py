@@ -1,22 +1,66 @@
 """Trace regression gates: byte-identical ledgers across identical runs
 and cost conservation on real experiment runs (the acceptance bar for
-the observability layer)."""
+the observability layer).
+
+The batched-vs-reference gates additionally pin the burst classifier's
+observational-equivalence contract at full-experiment scale: running an
+experiment with batching plus every wall-clock memo layer must produce
+the byte-identical trace ledger the per-packet reference path produces.
+"""
+
+import contextlib
 
 import pytest
 
-from repro.sim import trace
+from repro.ovs import dpif_netdev
+from repro.sim import fastpath, trace
+
+
+@contextlib.contextmanager
+def _reference_mode():
+    """Run with burst classification and all wall-clock memos off —
+    the pre-batching observable behaviour."""
+    prev = dpif_netdev.BATCH_CLASSIFY
+    dpif_netdev.BATCH_CLASSIFY = False
+    try:
+        with fastpath.disabled():
+            yield
+    finally:
+        dpif_netdev.BATCH_CLASSIFY = prev
+
+
+def _experiment_ledger(experiment: str, packets: int) -> str:
+    with trace.recording() as rec:
+        if experiment == "fig2":
+            from repro.experiments.fig2_single_flow import run_fig2
+
+            run_fig2(packets=packets)
+        elif experiment == "fig9":
+            from repro.experiments.fig9_forwarding import run_fig9
+
+            run_fig9(packets=packets, scenarios=("P2P",))
+        else:
+            from repro.experiments.table2_optimizations import run_table2
+
+            run_table2(packets=packets)
+    return rec.ledger()
 
 
 def _fig9_ledger(packets: int = 300) -> str:
-    from repro.experiments.fig9_forwarding import run_fig9
-
-    with trace.recording() as rec:
-        run_fig9(packets=packets, scenarios=("P2P",))
-    return rec.ledger()
+    return _experiment_ledger("fig9", packets)
 
 
 def test_fig9_ledgers_are_byte_identical():
     assert _fig9_ledger() == _fig9_ledger()
+
+
+@pytest.mark.parametrize("experiment,packets",
+                         [("fig2", 400), ("fig9", 300), ("table2", 400)])
+def test_batched_ledger_matches_reference(experiment, packets):
+    batched = _experiment_ledger(experiment, packets)
+    with _reference_mode():
+        reference = _experiment_ledger(experiment, packets)
+    assert batched == reference
 
 
 def test_ledger_differs_when_the_run_differs():

@@ -86,6 +86,42 @@ def test_pmd_perf_show_reads_the_trace_ledger(world):
     assert appctl.pmd_perf_show([pmd], recorder=rec) == out
 
 
+def test_batch_counters_under_load(world):
+    """Back-pressure builds real bursts: with 64 packets queued and a
+    32-packet batch size, the mean rx batch size must exceed 1 and the
+    histogram must account for every packet."""
+    host, vs, (p1, a1), _p2 = world
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    pmd.add_rxq(vs.dpif_netdev.ports[p1.dp_port_no], 0)
+    a1.inject([udp_pkt() for _ in range(64)])
+    pmd.run_until_idle()
+
+    s = pmd.stats
+    assert s.batches > 0
+    assert pmd.avg_batch == s.avg_batch > 1.0
+    assert sum(size * n for size, n in s.batch_hist.items()) == s.packets
+    assert s.batch_hist.get(32) == 2  # full bursts under load
+
+    appctl = OvsAppctl(vs)
+    stats_out = appctl.pmd_stats_show([pmd])
+    assert f"avg. packets per output batch: {s.avg_batch:.2f}" in stats_out
+    perf_out = appctl.pmd_perf_show([pmd])
+    assert f"rx batches: {s.batches} (avg size: {s.avg_batch:.2f})" \
+        in perf_out
+    assert "packets-per-batch histogram: 32:2" in perf_out
+
+
+def test_batch_histogram_records_singletons(world):
+    host, vs, (p1, a1), _p2 = world
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    pmd.add_rxq(vs.dpif_netdev.ports[p1.dp_port_no], 0)
+    for _ in range(3):
+        a1.inject([udp_pkt()])
+        pmd.run_until_idle()
+    assert pmd.stats.batch_hist == {1: 3}
+    assert pmd.avg_batch == 1.0
+
+
 def test_pmd_perf_show_without_recorder_says_so(world):
     host, vs, (p1, _a1), _p2 = world
     pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)

@@ -1,0 +1,235 @@
+"""Property-based invariants of the flow caches and mask machinery.
+
+These pin down the algebra the burst classifier leans on: masking is
+idempotent and order-insensitive, a MaskSpec projection induces exactly
+the ``apply_mask`` equivalence classes, an inserted flow is immediately
+probe-able, the EMC never exceeds its capacity, and the version/
+displacement counters that gate cross-burst replays move exactly when
+the underlying structures change.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flow import (
+    EXACT_MASK,
+    FlowKey,
+    MaskSpec,
+    N_FLOW_FIELDS,
+    apply_mask,
+    mask_from_fields,
+)
+from repro.ovs.emc import ExactMatchCache
+from repro.ovs.megaflow import MegaflowCache, MegaflowEntry, union_masks
+
+# ---------------------------------------------------------------------------
+# Strategies.
+# ---------------------------------------------------------------------------
+
+field_value = st.integers(0, 0xFFFF)
+
+keys_st = st.builds(
+    FlowKey,
+    in_port=st.integers(0, 3),
+    eth_type=st.sampled_from([0x0800, 0x0806]),
+    nw_src=field_value,
+    nw_dst=field_value,
+    nw_proto=st.sampled_from([6, 17]),
+    tp_src=field_value,
+    tp_dst=field_value,
+)
+
+#: Per-field mask bits: wildcard, exact, or a partial (prefix-ish) mask.
+mask_bits = st.sampled_from([0, -1, 0xFF00, 0x00FF, 0xF0F0])
+
+masks_st = st.lists(
+    mask_bits, min_size=N_FLOW_FIELDS, max_size=N_FLOW_FIELDS
+).map(tuple)
+
+
+# ---------------------------------------------------------------------------
+# Mask algebra.
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None)
+@given(key=keys_st, mask=masks_st)
+def test_apply_mask_is_idempotent(key, mask):
+    once = apply_mask(key, mask)
+    assert apply_mask(FlowKey(*once), mask) == once
+
+
+@settings(deadline=None)
+@given(key=keys_st, m1=masks_st, m2=masks_st)
+def test_apply_mask_is_order_insensitive(key, m1, m2):
+    a = apply_mask(FlowKey(*apply_mask(key, m1)), m2)
+    b = apply_mask(FlowKey(*apply_mask(key, m2)), m1)
+    assert a == b
+
+
+@settings(deadline=None)
+@given(k1=keys_st, k2=keys_st, mask=masks_st)
+def test_maskspec_projection_matches_apply_mask_classes(k1, k2, mask):
+    """project() collides exactly when apply_mask collides — the property
+    that lets subtables key on projections."""
+    spec = MaskSpec(mask)
+    assert ((spec.project(k1) == spec.project(k2))
+            == (apply_mask(k1, mask) == apply_mask(k2, mask)))
+
+
+@settings(deadline=None)
+@given(key=keys_st, masks=st.lists(masks_st, min_size=1, max_size=4))
+def test_union_mask_is_at_least_as_specific(key, masks):
+    union = union_masks(list(masks))
+    for mask in masks:
+        # Any field a component mask examines, the union examines too:
+        # masking with the union preserves every component's projection.
+        assert apply_mask(FlowKey(*apply_mask(key, union)), mask) \
+            == apply_mask(key, mask)
+
+
+# ---------------------------------------------------------------------------
+# EMC invariants.
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None)
+@given(keys=st.lists(keys_st, min_size=1, max_size=64, unique=True))
+def test_emc_insert_then_probe_hits(keys):
+    emc = ExactMatchCache(n_entries=8)
+    for i, key in enumerate(keys):
+        emc.insert(key, f"entry{i}")
+        assert emc.probe(key) == f"entry{i}"
+
+
+@settings(deadline=None)
+@given(keys=st.lists(keys_st, min_size=1, max_size=128, unique=True))
+def test_emc_occupancy_never_exceeds_capacity(keys):
+    emc = ExactMatchCache(n_entries=8)
+    for key in keys:
+        emc.insert(key, "v")
+        live = sum(1 for s in emc._slots if s is not None)
+        assert emc.occupancy == live <= emc.n_entries
+
+
+@settings(deadline=None)
+@given(keys=st.lists(keys_st, min_size=1, max_size=64, unique=True))
+def test_emc_displacements_monotonic_and_cover_all_mutations(keys):
+    """Any insert/evict/flush that could change a probe outcome bumps
+    ``displacements`` — the validity tag of the datapath flow cache."""
+    emc = ExactMatchCache(n_entries=8)
+    last = emc.displacements
+    for key in keys:
+        snapshot = list(emc._slots)
+        emc.insert(key, object())
+        if emc._slots != snapshot:
+            assert emc.displacements > last
+        last = emc.displacements
+    for key in keys:
+        snapshot = list(emc._slots)
+        emc.evict(key)
+        if emc._slots != snapshot:
+            assert emc.displacements > last
+        last = emc.displacements
+    emc.flush()
+    assert emc.displacements > last
+
+
+@settings(deadline=None)
+@given(keys=st.lists(keys_st, min_size=2, max_size=32, unique=True))
+def test_emc_reinsert_same_entry_is_tag_stable(keys):
+    """Re-inserting the identical (key, entry) pair into its own slot
+    must NOT bump displacements: the batched path re-inserts on every
+    megaflow hit and would otherwise self-invalidate its flow cache."""
+    emc = ExactMatchCache(n_entries=8)
+    entry = object()
+    emc.insert(keys[0], entry)
+    tag = emc.displacements
+    emc.insert(keys[0], entry)
+    assert emc.displacements == tag
+
+
+# ---------------------------------------------------------------------------
+# Megaflow invariants.
+# ---------------------------------------------------------------------------
+
+FIELD_SUBSETS = [
+    mask_from_fields(eth_type=-1, nw_dst=-1),
+    mask_from_fields(eth_type=-1, nw_src=-1, nw_dst=-1),
+    mask_from_fields(eth_type=-1, nw_proto=-1, tp_dst=-1),
+    EXACT_MASK,
+]
+
+
+@settings(deadline=None)
+@given(
+    flows=st.lists(
+        st.tuples(keys_st, st.integers(0, len(FIELD_SUBSETS) - 1)),
+        min_size=1, max_size=32,
+    )
+)
+def test_megaflow_insert_then_lookup_hits(flows):
+    mf = MegaflowCache()
+    for key, mask_idx in flows:
+        mask = FIELD_SUBSETS[mask_idx]
+        inserted = mf.insert(key, mask, ("out",))
+        assert isinstance(inserted, MegaflowEntry)
+        found = mf.lookup_entry(key)
+        # An earlier subtable may shadow it, but *some* entry with a
+        # compatible masked key must hit.
+        assert found is not None
+        assert (apply_mask(key, found.mask)
+                == apply_mask(found.key, found.mask))
+
+
+@settings(deadline=None)
+@given(
+    flows=st.lists(
+        st.tuples(keys_st, st.integers(0, len(FIELD_SUBSETS) - 1)),
+        min_size=1, max_size=24,
+        # Unique per (mask, masked key): keys colliding under their mask
+        # share one subtable slot and would overwrite each other.
+        unique_by=lambda f: (f[1], apply_mask(f[0], FIELD_SUBSETS[f[1]])),
+    )
+)
+def test_megaflow_version_moves_exactly_on_mutation(flows):
+    mf = MegaflowCache()
+    v = mf.version
+    for key, mask_idx in flows:
+        mf.insert(key, FIELD_SUBSETS[mask_idx], ("out",))
+        assert mf.version == v + 1
+        v = mf.version
+        mf.lookup_entry(key)
+        assert mf.version == v  # lookups never bump
+    for key, mask_idx in flows:
+        removed = mf.remove(key, FIELD_SUBSETS[mask_idx])
+        assert removed and mf.version == v + 1
+        v = mf.version
+    mf.flush()
+    assert mf.version == v + 1
+
+
+def test_megaflow_failed_insert_keeps_version():
+    """A full cache rejects the insert and must not bump the version —
+    cached lookup outcomes remain valid."""
+    mf = MegaflowCache(max_flows=1)
+    mask = FIELD_SUBSETS[0]
+    mf.insert(FlowKey(nw_dst=1, eth_type=0x0800), mask, ("a",))
+    v = mf.version
+    rejected = mf.insert(FlowKey(nw_dst=2, eth_type=0x0800), mask, ("b",))
+    assert rejected is None
+    assert mf.version == v
+
+
+@settings(deadline=None)
+@given(key=keys_st, mask_idx=st.integers(0, len(FIELD_SUBSETS) - 1))
+def test_megaflow_replay_matches_live_lookup(key, mask_idx):
+    """replay_lookup must mutate hits/misses/stats exactly as the live
+    lookup that produced the outcome."""
+    mask = FIELD_SUBSETS[mask_idx]
+    live = MegaflowCache()
+    live.insert(key, mask, ("out",))
+    entry, probes = live.lookup_entry_probes(key)
+    hits, misses = live.hits, live.misses
+    packets = entry.n_packets
+    live.replay_lookup(entry, probes)
+    assert (live.hits, live.misses) == (hits + 1, misses)
+    assert entry.n_packets == packets + 1
