@@ -37,6 +37,8 @@ EXPERIMENTS = {
                "repro.experiments.table5_xdp_cost"),
     "fig12": ("Figure 12: multi-queue scaling",
               "repro.experiments.fig12_multiqueue"),
+    "degradation": ("Robustness: degradation under injected faults",
+                    "repro.experiments.degradation"),
 }
 
 

@@ -30,7 +30,7 @@ from repro.ebpf.xdp import XdpContext
 from repro.kernel.nic import PhysicalNic
 from repro.net.flow import extract_flow, rss_hash, rxhash_of
 from repro.net.packet import Packet
-from repro.sim import fastpath, trace
+from repro.sim import fastpath, faults, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
 
@@ -70,6 +70,9 @@ class AfxdpDriver:
         self._alloc_counter = 0
         self.rx_packets = 0
         self.tx_packets = 0
+        #: Set when the (injected) verifier rejected the native program
+        #: and the port degraded to generic copy mode instead of failing.
+        self.verifier_rejected = False
 
     # ------------------------------------------------------------------
     def setup(self) -> None:
@@ -79,6 +82,14 @@ class AfxdpDriver:
             copy_mode = not self.nic.features.afxdp_zerocopy
         else:
             copy_mode = opts.force_copy_mode
+        plan = faults.ACTIVE
+        if plan is not None and plan.should_fire("ebpf.verifier_reject"):
+            # The verifier rejected the native-mode program at load time
+            # (a kernel-version skew OVS really hits): degrade to the
+            # generic copy-mode attach instead of failing the port.
+            self.verifier_rejected = True
+            copy_mode = True
+            trace.count("ebpf.verifier_rejected")
         bind_mode = BindMode.COPY if copy_mode else BindMode.ZEROCOPY
         if opts.mgmt_steering_ports:
             program, xsk_map = steering_program(

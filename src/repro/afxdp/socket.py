@@ -21,9 +21,13 @@ from repro.afxdp.rings import DescRing
 from repro.afxdp.umem import Umem
 from repro.afxdp.umempool import UmemPool
 from repro.net.packet import Packet
-from repro.sim import trace
+from repro.sim import faults, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
+
+#: Bounded retry budget after tx-kick EAGAIN, as netdev-afxdp retries
+#: ``sendto`` a fixed number of times before giving up on the batch.
+TX_KICK_MAX_RETRIES = 4
 
 
 class BindMode(enum.Enum):
@@ -49,6 +53,14 @@ class XskSocket:
         self.rx_delivered = 0
         self.rx_dropped_no_fill = 0
         self.tx_sent = 0
+        # Fault/overload accounting: every non-delivery is counted
+        # somewhere (the packet-conservation property audits these).
+        self.rx_dropped_overrun = 0
+        self.tx_dropped_no_umem = 0
+        self.tx_dropped_ring_full = 0
+        self.tx_dropped_kick = 0
+        self.frames_leaked = 0
+        self.zc_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Kernel side (softirq context).
@@ -59,6 +71,26 @@ class XskSocket:
         the rx ring."""
         costs = DEFAULT_COSTS
         rec = trace.ACTIVE
+        plan = faults.ACTIVE
+        if plan is not None:
+            if plan.should_fire("afxdp.fill_ring_overrun"):
+                # The producer raced the consumer under overload: the
+                # descriptor is torn, the frame dropped with a counter
+                # (the silent-success alternative is exactly the bug
+                # class this layer exists to expose).
+                self.rx_dropped_overrun += 1
+                if rec is not None:
+                    rec.count("afxdp.rx_dropped_overrun")
+                return False
+            if (self.bind_mode is BindMode.ZEROCOPY
+                    and plan.should_fire("afxdp.zc_fallback")):
+                # The driver lost zero-copy (paper's support matrix):
+                # rebind in copy mode; every packet from here on pays
+                # the skb bounce + copy the cost model prices below.
+                self.bind_mode = BindMode.COPY
+                self.zc_fallbacks += 1
+                if rec is not None:
+                    rec.count("afxdp.zc_fallbacks")
         desc = self.umem.fill_ring.consume()
         ctx.charge(costs.ring_op_ns, label="fill_pop")
         if desc is None:
@@ -129,8 +161,23 @@ class XskSocket:
             return 0
         costs = DEFAULT_COSTS
         rec = trace.ACTIVE
+        plan = faults.ACTIVE
+        if plan is not None and plan.should_fire("afxdp.umem_exhausted"):
+            # The pool ran dry (frames in flight, completions pending):
+            # the whole burst is dropped, counted per ring.
+            self.tx_dropped_no_umem += len(pkts)
+            if rec is not None:
+                rec.count("afxdp.tx_dropped_no_umem", len(pkts))
+            return 0
         addrs = self.pool.alloc(len(pkts), ctx, batched=True)
         n = len(addrs)
+        if n < len(pkts):
+            # A genuine shortfall (e.g. frames leaked by completion-ring
+            # overruns): the excess packets are dropped, not silently
+            # forgotten.
+            self.tx_dropped_no_umem += len(pkts) - n
+            if rec is not None:
+                rec.count("afxdp.tx_dropped_no_umem", len(pkts) - n)
         for addr, pkt in zip(addrs, pkts[:n]):
             if self.bind_mode is BindMode.COPY:
                 ctx.charge(costs.copy_cost(len(pkt)), label="tx_copy")
@@ -141,8 +188,14 @@ class XskSocket:
         produced = self.tx_ring.produce_batch(
             [(addr, len(pkt)) for addr, pkt in zip(addrs, pkts[:n])]
         )
-        if produced < n and rec is not None:
-            rec.count("afxdp.tx_ring_full")
+        if produced < n:
+            # Ring full: drop the overflow *and* return its frames to
+            # the pool (they used to leak here).
+            self.tx_dropped_ring_full += n - produced
+            if rec is not None:
+                rec.count("afxdp.tx_ring_full")
+                rec.count("afxdp.tx_dropped_ring_full", n - produced)
+            self.pool.free(addrs[produced:], ctx, batched=True)
         ctx.charge(costs.ring_batch_ns + produced * costs.ring_op_ns,
                    label="tx_push")
         self._kick_tx(ctx)
@@ -153,8 +206,39 @@ class XskSocket:
         and reports them on the completion ring."""
         costs = DEFAULT_COSTS
         device = self.bound_device
+        plan = faults.ACTIVE
         trace.count("afxdp.tx_kick_syscalls")
         with ctx.as_category(CpuCategory.SYSTEM):
+            if plan is not None:
+                attempt = 0
+                while plan.should_fire("afxdp.tx_kick_eagain"):
+                    # EAGAIN: the syscall entry/exit was still paid.
+                    # Retry with bounded exponential backoff, charged
+                    # in virtual time (waited, not burned — netdev-afxdp
+                    # services other queues meanwhile).
+                    ctx.charge(costs.syscall_base_ns, label="tx_kick")
+                    trace.count("afxdp.tx_kick_eagain")
+                    if attempt >= TX_KICK_MAX_RETRIES:
+                        # Retry budget exhausted: drop the queued
+                        # descriptors and recycle their frames through
+                        # the completion ring so the pool stays whole.
+                        descs = self.tx_ring.consume_batch(
+                            self.tx_ring.size)
+                        if descs:
+                            self.tx_dropped_kick += len(descs)
+                            trace.count("afxdp.tx_dropped_kick",
+                                        len(descs))
+                            self.umem.completion_ring.produce_batch(
+                                [(addr, 0) for addr, _ in descs])
+                        ctx.charge(
+                            costs.ring_batch_ns
+                            + len(descs) * costs.ring_op_ns,
+                            label="comp_push",
+                        )
+                        return
+                    ctx.wait(costs.tx_kick_backoff_ns * (1 << attempt),
+                             label="tx_kick_backoff")
+                    attempt += 1
             ctx.charge(costs.syscall_base_ns, label="tx_kick")
             descs = self.tx_ring.consume_batch(self.tx_ring.size)
             done = []
@@ -164,6 +248,16 @@ class XskSocket:
                     device.transmit(pkt, ctx)
                 self.tx_sent += 1
                 done.append((addr, 0))
+            if (plan is not None and done
+                    and plan.should_fire("afxdp.comp_ring_overrun")):
+                # The completion ring had no room: the kernel cannot
+                # report these frames back, so they stay "in flight"
+                # forever — the pool shrinks, and umem exhaustion
+                # emerges downstream (with its own counters).
+                self.frames_leaked += len(done)
+                trace.count("afxdp.comp_ring_overrun")
+                trace.count("afxdp.frames_leaked", len(done))
+                return
             self.umem.completion_ring.produce_batch(done)
             ctx.charge(
                 costs.ring_batch_ns + len(done) * costs.ring_op_ns,

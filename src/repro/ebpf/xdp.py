@@ -22,6 +22,7 @@ from repro.ebpf.program import Program
 from repro.ebpf.vm import EbpfVm, VmFault
 from repro.sim import costs as _costs
 from repro.sim import fastpath
+from repro.sim import faults as _faults
 from repro.sim import trace as _trace
 from repro.sim.cpu import ExecContext
 
@@ -92,6 +93,22 @@ class XdpContext:
     ) -> XdpVerdict:
         """Run the program over one frame; never raises for program bugs."""
         costs = _costs.DEFAULT_COSTS
+
+        plan = _faults.ACTIVE
+        if plan is not None and plan.should_fire("ebpf.map_lookup_fault"):
+            # bpf_map_lookup_elem returned NULL under pressure: a robust
+            # program falls through to XDP_PASS so the kernel slow path
+            # carries the packet instead of the program aborting.  The
+            # setup and the failed lookup were still paid; checked
+            # *before* the memo so a faulted run is never replayed.
+            if exec_ctx is not None:
+                exec_ctx.charge(costs.xdp_ctx_setup_ns, label="xdp_setup")
+                exec_ctx.charge(costs.ebpf_map_lookup_ns, label="ebpf")
+            rec = _trace.ACTIVE
+            if rec is not None:
+                rec.count("ebpf.map_lookup_faults")
+                rec.count("ebpf.runs")
+            return XdpVerdict(XdpAction.PASS, data)
 
         memo_key = tag = None
         if fastpath.ENABLED:

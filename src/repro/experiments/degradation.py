@@ -1,0 +1,257 @@
+"""Degradation under injected faults: the robustness curve.
+
+Sweeps a fault rate through the AF_XDP P2P forwarding pipeline —
+tx-kick EAGAIN, fill-ring overruns and upcall-queue overload firing
+together — and reports how throughput, drops and per-packet latency
+degrade.  The paper argues the userspace datapath must absorb exactly
+these faults gracefully (§3.3, §6); the curve this produces is the
+simulated version of that claim: goodput declines smoothly, every lost
+packet is attributed to a named counter, and packet conservation holds
+at every sweep point.
+
+Runs are deterministic per seed (the CI fault-matrix job runs each seed
+twice and diffs the JSON)::
+
+    python -m repro degradation
+    python -m repro.experiments.degradation --json --seed 7
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.afxdp.driver import AfxdpOptions
+from repro.experiments.common import CpuSnapshot, reduce_run
+from repro.experiments.p2p import _base_host, warmup_count
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.ovs.pmd import PmdThread
+from repro.sim import faults, trace
+from repro.sim.faults import FaultPlan, FaultRule
+from repro.tools.conservation import afxdp_packet_ledger
+from repro.traffic.trex import FlowSpec, TrexStream
+
+#: The fault points the sweep drives, all at the same rate.
+SWEPT_POINTS: Tuple[str, ...] = (
+    "afxdp.tx_kick_eagain",
+    "afxdp.fill_ring_overrun",
+    "dp.upcall_overload",
+)
+
+DEFAULT_RATES: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2)
+PACKETS = 600
+N_FLOWS = 64
+LINK_GBPS = 25.0
+
+
+@dataclass
+class DegradationPoint:
+    """One sweep point of the degradation curve."""
+
+    fault_rate: float
+    offered: int
+    delivered: int
+    #: Offered-load rate the pipeline sustained (reduce_run's metric).
+    mpps: float
+    #: Delivered-packet rate: the robustness headline.
+    goodput_mpps: float
+    #: Bottleneck-lane ns per *delivered* packet (latency proxy).
+    ns_per_delivered: float
+    #: Virtual time spent sleeping in tx-kick backoff.
+    backoff_wait_ns: float
+    lost_upcalls: int
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    drops: Dict[str, int] = field(default_factory=dict)
+    conserved: bool = True
+
+    def to_json(self) -> Dict:
+        return {
+            "fault_rate": self.fault_rate,
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "mpps": round(self.mpps, 6),
+            "goodput_mpps": round(self.goodput_mpps, 6),
+            "ns_per_delivered": round(self.ns_per_delivered, 3),
+            "backoff_wait_ns": round(self.backoff_wait_ns, 1),
+            "lost_upcalls": self.lost_upcalls,
+            "faults_fired": dict(sorted(self.faults_fired.items())),
+            "drops": dict(sorted(self.drops.items())),
+            "conserved": self.conserved,
+        }
+
+
+def _run_point(
+    rate: float,
+    packets: int,
+    n_flows: int,
+    seed: int,
+    link_gbps: float,
+) -> DegradationPoint:
+    """Build a fresh AF_XDP P2P world and drive it under one fault rate."""
+    options = AfxdpOptions()
+    plan = FaultPlan(
+        seed=seed,
+        rules=[FaultRule(point, rate=rate) for point in SWEPT_POINTS],
+    )
+    # Each sweep point needs its own isolated ledger (per-point backoff
+    # waits, counters).  Shelve any outer recorder (e.g. ``python -m
+    # repro --trace degradation``) for the duration — nesting is an
+    # error by design.
+    outer = trace.ACTIVE
+    if outer is not None:
+        trace.detach()
+    try:
+        return _run_point_traced(plan, rate, packets, n_flows,
+                                 link_gbps, options)
+    finally:
+        if outer is not None:
+            trace.attach(outer)
+
+
+def _run_point_traced(
+    plan: FaultPlan,
+    rate: float,
+    packets: int,
+    n_flows: int,
+    link_gbps: float,
+    options: AfxdpOptions,
+) -> DegradationPoint:
+    with faults.injecting(plan), trace.recording() as rec:
+        host, nic_in, nic_out = _base_host(1, link_gbps)
+        vs = host.install_ovs("netdev")
+        vs.add_bridge("br0")
+        p_in = vs.add_afxdp_port("br0", nic_in, options)
+        vs.add_afxdp_port("br0", nic_out, options)
+        stream = TrexStream(FlowSpec(n_flows=n_flows))
+        of = OpenFlowConnection(vs.bridge("br0"))
+        # One rule per source IP: every flow pays its own upcall and
+        # installs its own megaflow, so the upcall-overload point and the
+        # revalidator's flow limit actually see per-flow pressure (a
+        # single in_port rule would collapse into one wildcard megaflow).
+        for src in stream.src_ips:
+            of.add_flow(0, 20, Match(in_port=p_in.ofport, nw_src=src),
+                        [OutputAction("ens2")])
+        of.add_flow(0, 10, Match(in_port=p_in.ofport),
+                    [OutputAction("ens2")])
+        dpif = vs.dpif_netdev
+        driver_in = dpif.ports[dpif.port_no("ens1")].adapter.driver
+        driver_out = dpif.ports[dpif.port_no("ens2")].adapter.driver
+        pmd = PmdThread(dpif, host.cpu, core=0,
+                        batch_size=options.batch_size)
+        pmd.add_rxq(dpif.ports[dpif.port_no("ens1")], 0)
+
+        def pump_all() -> None:
+            while nic_in.pending():
+                host.kernel.service_nic(nic_in, budget=options.batch_size)
+                pmd.run_iteration()
+            pmd.run_until_idle()
+
+        warmup = warmup_count(stream)
+        for pkt in stream.burst(warmup):
+            nic_in.host_receive(pkt)
+            pump_all()
+        before = CpuSnapshot.take(host.cpu)
+        delivered_before = sum(
+            s.tx_sent for s in driver_out.sockets.values())
+        sent = 0
+        while sent < packets:
+            chunk = min(options.batch_size, packets - sent)
+            for pkt in stream.burst(chunk):
+                nic_in.host_receive(pkt)
+            sent += chunk
+            pump_all()
+            # Revalidator pass between bursts, as real udpif runs
+            # continuously: under lost-upcall pressure it tightens the
+            # flow limit, feeding the degradation back into the datapath.
+            dpif.revalidate(emcs=[pmd.emc])
+        measurement = reduce_run(
+            host.cpu, before, packets,
+            link_gbps=link_gbps, frame_len=stream.frame_len,
+            pmd_cpus=(0,),
+        )
+        delivered = sum(
+            s.tx_sent for s in driver_out.sockets.values()
+        ) - delivered_before
+        ledger = afxdp_packet_ledger(
+            warmup + packets, nic_in, driver_in, driver_out, dpif)
+        backoff_entry = rec.waits.get("tx_kick_backoff")
+        backoff_wait_ns = backoff_entry[1] if backoff_entry else 0.0
+    ratio = delivered / packets if packets else 0.0
+    return DegradationPoint(
+        fault_rate=rate,
+        offered=packets,
+        delivered=delivered,
+        mpps=measurement.mpps,
+        goodput_mpps=measurement.mpps * ratio,
+        ns_per_delivered=(measurement.wall_ns / delivered
+                          if delivered else float("inf")),
+        backoff_wait_ns=backoff_wait_ns,
+        lost_upcalls=dpif.stats.lost,
+        faults_fired=dict(plan.fired),
+        drops={k: v for k, v in ledger.sinks.items() if v},
+        conserved=ledger.conserved(),
+    )
+
+
+def run_degradation(
+    packets: int = PACKETS,
+    n_flows: int = N_FLOWS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    seed: int = 0,
+    link_gbps: float = LINK_GBPS,
+) -> List[DegradationPoint]:
+    points = []
+    for rate in rates:
+        point = _run_point(rate, packets, n_flows, seed, link_gbps)
+        if not point.conserved:
+            raise AssertionError(
+                f"packet conservation violated at rate={rate}: "
+                f"{point.to_json()}"
+            )
+        points.append(point)
+    return points
+
+
+def render(points: Sequence[DegradationPoint]) -> str:
+    lines = [
+        f"{'rate':>6}  {'goodput':>9}  {'delivered':>9}  {'dropped':>8}  "
+        f"{'lost':>5}  {'ns/pkt':>9}  {'backoff':>10}",
+    ]
+    for p in points:
+        dropped = p.offered - p.delivered
+        lines.append(
+            f"{p.fault_rate:>6.2f}  {p.goodput_mpps:>9.3f}  "
+            f"{p.delivered:>9}  {dropped:>8}  {p.lost_upcalls:>5}  "
+            f"{p.ns_per_delivered:>9.0f}  {p.backoff_wait_ns:>10.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: "List[str] | None" = None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    as_json = "--json" in argv
+    seed = 0
+    packets = PACKETS
+    if "--seed" in argv:
+        seed = int(argv[argv.index("--seed") + 1])
+    if "--packets" in argv:
+        packets = int(argv[argv.index("--packets") + 1])
+    points = run_degradation(packets=packets, seed=seed)
+    if as_json:
+        print(json.dumps({
+            "seed": seed,
+            "packets": packets,
+            "points": [p.to_json() for p in points],
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"degradation sweep (seed={seed}, {packets} packets, "
+              f"{N_FLOWS} flows):")
+        print(render(points))
+
+
+if __name__ == "__main__":
+    main()

@@ -81,6 +81,12 @@ class PhysicalNic(NetDevice):
         self.ring_size = ring_size
         self.rx_rings: List[Deque[Packet]] = [deque() for _ in range(n_queues)]
         self.rx_missed = 0  # ring-full drops (what TRex loss detection sees)
+        # XDP dispatch outcomes, for packet-conservation audits: every
+        # frame the driver serviced is forwarded, dropped, or diverted
+        # to the kernel stack — never silently lost.
+        self.xdp_drops = 0       # XDP_DROP / XDP_ABORTED verdicts
+        self.xdp_passes = 0      # XDP_PASS: diverted into the stack
+        self.xdp_redirect_failed = 0  # REDIRECT with no viable target
         self.ntuple_rules: List[NtupleRule] = []
         #: XDP program per queue (Figure 6); key None = all queues (Intel).
         self._xdp: Dict[Optional[int], XdpContext] = {}
@@ -224,8 +230,10 @@ class PhysicalNic(NetDevice):
         if verdict.touched_data:
             pkt.meta.llc_warm = True
         if verdict.action == XdpAction.DROP or verdict.action == XdpAction.ABORTED:
+            self.xdp_drops += 1
             return  # buffer recycled in place
         if verdict.action == XdpAction.PASS:
+            self.xdp_passes += 1
             self.deliver(pkt.with_data(verdict.data), ctx)
             return
         if verdict.action == XdpAction.TX:
@@ -244,12 +252,14 @@ class PhysicalNic(NetDevice):
         target = verdict.redirect
         out = pkt.with_data(verdict.data)
         if target is None:
+            self.xdp_redirect_failed += 1
             return
         if target[0] == "map":
             _, bpf_map, slot = target
             if bpf_map.map_type == "xskmap":
                 socket = self.xsk_sockets.get(slot)
                 if socket is None:
+                    self.xdp_redirect_failed += 1
                     return  # no socket bound: drop
                 socket.kernel_rx(out, ctx)  # type: ignore[attr-defined]
                 return
@@ -265,9 +275,11 @@ class PhysicalNic(NetDevice):
         self, pkt: Packet, ifindex: Optional[int], ctx: ExecContext
     ) -> None:
         if ifindex is None or self.redirect_resolver is None:
+            self.xdp_redirect_failed += 1
             return
         device = self.redirect_resolver(ifindex)
         if device is None:
+            self.xdp_redirect_failed += 1
             return
         device.transmit(pkt, ctx)
 

@@ -20,6 +20,7 @@ from repro.net.packet import Packet
 from repro.net.tunnel import decapsulate, encapsulate
 from repro.ovs import odp
 from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
+from repro.sim import faults, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
@@ -141,6 +142,9 @@ class KernelDatapath:
         self._next_port = 1
         self.upcall_handler: Optional[Callable[[Upcall, ExecContext], None]] = None
         self.n_upcalls = 0
+        #: Upcalls the kernel could not deliver to userspace (socket
+        #: buffer overrun, no handler) — dpctl/show's ``lost:`` column.
+        self.n_lost = 0
         self.now_ns_fn: Callable[[], int] = lambda: 0
 
     # ------------------------------------------------------------------
@@ -235,7 +239,16 @@ class KernelDatapath:
     def _upcall(self, pkt: Packet, key: FlowKey, ctx: ExecContext) -> None:
         costs = DEFAULT_COSTS
         self.n_upcalls += 1
+        plan = faults.ACTIVE
+        if plan is not None and plan.should_fire("kernel.upcall_overload"):
+            # The netlink socket buffer overflowed under an upcall storm:
+            # the kernel increments ``lost`` and drops the packet (it
+            # never reaches userspace, so no flow gets installed either).
+            self.n_lost += 1
+            trace.count("kernel.upcall_lost")
+            return
         if self.upcall_handler is None:
+            self.n_lost += 1
             return
         # The packet and key cross to userspace and back: two context
         # switches, a netlink copy each way, a classifier lookup up there.

@@ -26,7 +26,7 @@ from repro.net.addresses import int_to_ip
 from repro.net.flow import FlowKey
 from repro.ovs.pmd import PmdThread
 from repro.ovs.vswitchd import VSwitchd
-from repro.sim import trace
+from repro.sim import faults, trace
 from repro.sim.trace import TraceRecorder
 
 
@@ -41,9 +41,12 @@ class OvsAppctl:
             dpif = self.vs.dpif_netdev
             lines.append(f"{dpif.name}:")
             s = dpif.stats
+            # ``lost:`` means what it means in real dpctl/show: packets
+            # destined for the slow path that never got there (bounded
+            # upcall queue overflow) — not every pipeline drop.
             lines.append(
                 f"  lookups: hit:{s.emc_hits + s.megaflow_hits} "
-                f"missed:{s.upcalls} lost:{s.dropped}"
+                f"missed:{s.upcalls} lost:{s.lost}"
             )
             lines.append(f"  flows: {len(dpif.megaflows)}")
             for port in sorted(dpif.ports.values(), key=lambda p: p.port_no):
@@ -55,7 +58,8 @@ class OvsAppctl:
             dp = self.vs.dpif_netlink.dp
             lines.append(f"system@{dp.name}:")
             lines.append(
-                f"  lookups: hit:{dp.flows.n_hit} missed:{dp.flows.n_missed}"
+                f"  lookups: hit:{dp.flows.n_hit} "
+                f"missed:{dp.flows.n_missed} lost:{dp.n_lost}"
             )
             lines.append(f"  flows: {len(dp.flows)}")
             for port in sorted(dp.ports.values(), key=lambda p: p.port_no):
@@ -163,6 +167,31 @@ class OvsAppctl:
         lines = []
         for name, count in sorted(rec.counters.items()):
             lines.append(f"{name:32s} {count:>12d}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def faults_show(self) -> str:
+        """``ovs-appctl faults/show``: the installed fault plan, its
+        per-point event/fire tallies, and the datapath degradation
+        state (flow limit, lost upcalls)."""
+        plan = faults.ACTIVE
+        lines = []
+        if plan is None:
+            lines.append("(no fault plan installed)")
+        else:
+            lines.append(plan.render())
+        dpif = self.vs.dpif_netdev
+        if dpif is not None:
+            limit = ("none" if dpif.flow_limit is None
+                     else str(dpif.flow_limit))
+            lines.append(
+                f"datapath {dpif.name}: flow-limit:{limit} "
+                f"lost:{dpif.stats.lost} "
+                f"failed-upcalls:{dpif.stats.failed_upcalls}"
+            )
+        if self.vs.dpif_netlink is not None:
+            dp = self.vs.dpif_netlink.dp
+            lines.append(f"datapath system@{dp.name}: lost:{dp.n_lost}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

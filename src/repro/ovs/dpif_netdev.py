@@ -56,11 +56,17 @@ from repro.ovs.emc import ExactMatchCache
 from repro.ovs.megaflow import MegaflowCache
 from repro.ovs.meter import MeterTable
 from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
-from repro.sim import trace
+from repro.sim import faults, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
 MAX_RECIRC_PASSES = 8
+
+#: The revalidator never tightens the megaflow budget below this, and
+#: relaxes it back by this step per calm pass (the shape of real
+#: udpif's flow_limit controller).
+FLOW_LIMIT_MIN = 128
+FLOW_LIMIT_STEP = 1000
 
 #: Default for burst-oriented classification; instances may override via
 #: ``batch_classify``.  The reference per-packet path is kept for
@@ -107,6 +113,11 @@ class PipelineStats:
     megaflow_hits: int = 0
     upcalls: int = 0
     failed_upcalls: int = 0
+    #: Misses shed before reaching the handler (bounded upcall queue /
+    #: overload breaker) — the dpctl/show ``lost:`` column.  Lost
+    #: packets are also counted in ``dropped`` (their fate); ``lost``
+    #: records the cause.
+    lost: int = 0
     passes: int = 0
     dropped: int = 0
     packets: int = 0
@@ -144,6 +155,12 @@ class DpifNetdev:
         self.upcall_fn: Optional[Callable[[FlowKey, Optional[ExecContext]],
                                           Tuple]] = None
         self.stats = PipelineStats()
+        #: Megaflow install budget (None = the cache's own max).  Seeded
+        #: from an installed FaultPlan and tightened/relaxed by the
+        #: revalidator under upcall pressure, like real udpif.
+        self.flow_limit: Optional[int] = None
+        self._burst_upcalls = 0
+        self._reval_lost_seen = 0
 
     # ------------------------------------------------------------------
     def add_port(self, name: str, adapter: object, kind: str = "netdev",
@@ -193,7 +210,16 @@ class DpifNetdev:
                 self.megaflows.remove(entry.key, entry.mask)
                 removed_idle += 1
                 continue
-            fresh = self.upcall_fn(entry.key, None) if self.upcall_fn else None
+            try:
+                fresh = (self.upcall_fn(entry.key, None)
+                         if self.upcall_fn else None)
+            except Exception:
+                # A raising translator must not crash the control-plane
+                # pass: the stale flow is evicted (it reinstalls on the
+                # next packet, when translation may succeed again).
+                self.stats.failed_upcalls += 1
+                trace.count("dp.revalidate_upcall_errors")
+                fresh = None
             if (fresh is None or tuple(fresh[0]) != entry.actions
                     or tuple(fresh[1]) != tuple(entry.mask)):
                 self.megaflows.remove(entry.key, entry.mask)
@@ -203,11 +229,35 @@ class DpifNetdev:
         if removed_idle or removed_changed:
             for emc in emcs:
                 emc.flush()
+        flow_limit = self._adjust_flow_limit()
         return {
             "removed_idle": removed_idle,
             "removed_changed": removed_changed,
             "kept": kept,
+            "flow_limit": -1 if flow_limit is None else flow_limit,
         }
+
+    def _adjust_flow_limit(self) -> Optional[int]:
+        """The udpif flow-limit controller: halve the megaflow budget
+        while upcalls are being lost, creep it back up when calm.
+
+        Inert (stays ``None`` = uncapped) until pressure first appears,
+        so plan-less runs are untouched.
+        """
+        lost_delta = self.stats.lost - self._reval_lost_seen
+        self._reval_lost_seen = self.stats.lost
+        if lost_delta > 0:
+            base = (self.flow_limit if self.flow_limit is not None
+                    else self.megaflows.max_flows)
+            self.flow_limit = max(FLOW_LIMIT_MIN,
+                                  min(base, len(self.megaflows) or base) // 2)
+            trace.count("dp.flow_limit_tightened")
+        elif self.flow_limit is not None:
+            relaxed = self.flow_limit + FLOW_LIMIT_STEP
+            # Fully recovered: lift the cap entirely.
+            self.flow_limit = (None if relaxed >= self.megaflows.max_flows
+                               else relaxed)
+        return self.flow_limit
 
     # ------------------------------------------------------------------
     # The fast path.
@@ -244,6 +294,7 @@ class DpifNetdev:
         if rec is not None:
             rec.count("dp.rx_packets", n)
             rec.note_batch("dp.rx", n)
+        self._burst_upcalls = 0
         for pkt in pkts:
             pkt.meta.in_port = in_port
             pkt.meta.recirc_id = 0
@@ -331,6 +382,7 @@ class DpifNetdev:
                     for s in statses:
                         s.emc_hits += 1
                     entry.touch(now_fn(), len(pkt))
+                    in_emc = True
                 else:
                     memo = mf_memo.get(key)
                     if memo is not None and memo[2] == megaflows.version:
@@ -349,19 +401,23 @@ class DpifNetdev:
                     if entry is not None:
                         for s in statses:
                             s.megaflow_hits += 1
-                        emc.insert(key, entry, ctx)
+                        in_emc = self._emc_insert(emc, key, entry, ctx)
                     else:
                         entry = self._upcall(key, ctx, statses)
                         if entry is None:
                             for s in statses:
                                 s.dropped += 1
                             continue
-                        emc.insert(key, entry, ctx)
+                        in_emc = self._emc_insert(emc, key, entry, ctx)
                 # The insert (or prior hit) guarantees a probe of this
-                # key now hits; remember that fact for future bursts.
-                if len(flow_cache) >= FLOW_CACHE_MAX:
-                    flow_cache.clear()
-                flow_cache[token] = (key, entry, emc.displacements)
+                # key now hits; remember that fact for future bursts —
+                # but only if the entry really went in (the storm
+                # breaker may have skipped the insert, and replaying a
+                # phantom EMC hit would diverge from the reference path).
+                if in_emc:
+                    if len(flow_cache) >= FLOW_CACHE_MAX:
+                        flow_cache.clear()
+                    flow_cache[token] = (key, entry, emc.displacements)
             out_port = entry.single_out
             if out_port is not None:
                 # Inlined _execute for the dominant one-Output case.
@@ -417,14 +473,14 @@ class DpifNetdev:
             if entry is not None:
                 for s in statses:
                     s.megaflow_hits += 1
-                emc.insert(key, entry, ctx)
+                self._emc_insert(emc, key, entry, ctx)
             else:
                 entry = self._upcall(key, ctx, statses)
                 if entry is None:
                     for s in statses:
                         s.dropped += 1
                     return
-                emc.insert(key, entry, ctx)
+                self._emc_insert(emc, key, entry, ctx)
         self._execute(pkt, entry.actions, ctx, emc, tx_batches, depth,
                       statses)
 
@@ -434,6 +490,19 @@ class DpifNetdev:
         for s in statses:
             s.upcalls += 1
         trace.count("dp.upcall")
+        plan = faults.ACTIVE
+        if plan is not None:
+            self._burst_upcalls += 1
+            cap = plan.upcall_queue_cap
+            if ((cap is not None and self._burst_upcalls > cap)
+                    or plan.should_fire("dp.upcall_overload")):
+                # The bounded upcall queue overflowed (or the handler is
+                # overloaded): shed the miss instead of amplifying the
+                # storm.  Real netlink reports this as ``lost:``.
+                for s in statses:
+                    s.lost += 1
+                trace.count("dp.upcall_lost")
+                return None
         if self.upcall_fn is None:
             for s in statses:
                 s.failed_upcalls += 1
@@ -450,8 +519,19 @@ class DpifNetdev:
                 s.failed_upcalls += 1
             return None
         actions, mask = result
-        entry = self.megaflows.insert(key, mask, tuple(actions), ctx,
-                                      now_ns=self.now_ns_fn())
+        limit = self.flow_limit
+        if plan is not None and plan.flow_limit is not None:
+            limit = (plan.flow_limit if limit is None
+                     else min(limit, plan.flow_limit))
+        if limit is not None and len(self.megaflows) >= limit:
+            # Over the revalidator's budget: translate-and-execute only,
+            # without installing (the packet still flows; the flow
+            # reinstalls once the limit relaxes).
+            trace.count("dp.flow_limit_hit")
+            entry = None
+        else:
+            entry = self.megaflows.insert(key, mask, tuple(actions), ctx,
+                                          now_ns=self.now_ns_fn())
         if entry is None:
             # Cache full: execute this packet unbatched via a transient
             # entry (the real datapath applies actions from the upcall).
@@ -459,6 +539,22 @@ class DpifNetdev:
 
             entry = MegaflowEntry(actions=tuple(actions), key=key, mask=mask)
         return entry
+
+    def _emc_insert(self, emc: ExactMatchCache, key: FlowKey, entry,
+                    ctx: ExecContext) -> bool:
+        """Insert into the EMC unless the storm breaker says skip.
+
+        Mirrors ``emc-insert-inv-prob``: under an upcall storm, inserting
+        every miss result thrashes the EMC; a probabilistic insert keeps
+        only flows that recur.  Returns whether the entry is now in the
+        EMC (the burst path must not record a cross-burst hit if not).
+        """
+        plan = faults.ACTIVE
+        if plan is not None and not plan.should_insert_emc():
+            trace.count("dp.emc_insert_skipped")
+            return False
+        emc.insert(key, entry, ctx)
+        return True
 
     # ------------------------------------------------------------------
     # Action execution.
@@ -557,5 +653,11 @@ class DpifNetdev:
             if port is None:
                 self.stats.dropped += len(pkts)
                 continue
-            port.adapter.tx_burst(pkts, ctx, queue=tx_queue)
-            port.tx_packets += len(pkts)
+            sent = port.adapter.tx_burst(pkts, ctx, queue=tx_queue)
+            if sent is None:
+                sent = len(pkts)
+            port.tx_packets += sent
+            if sent < len(pkts):
+                # The adapter dropped the shortfall and counted it in
+                # its own per-ring counters; surface the event here too.
+                trace.count("dp.tx_shortfall", len(pkts) - sent)

@@ -55,6 +55,10 @@ class DpifNetlink:
     # -- upcalls -----------------------------------------------------------
     def _handle_upcall(self, upcall: Upcall, ctx: ExecContext) -> None:
         if self.upcall_fn is None:
+            # No handler thread registered: the packet the kernel sent
+            # up dies here.  Real netlink accounts this in the
+            # ``lost:`` column of dpctl/show rather than no-opping.
+            self.dp.n_lost += 1
             return
         result = self.upcall_fn(upcall.key, ctx)
         if result is None:

@@ -159,6 +159,10 @@ class CostModel:
     #: AF_XDP copy-mode extra (skb bounce; "fallback mode ... extra copy").
     #: charged per byte via copy_per_byte_ns plus this fixed part.
     afxdp_copy_mode_ns: float = 120.0
+    #: Base wait after a tx-kick sendto returns EAGAIN; each retry doubles
+    #: it (bounded exponential backoff, see netdev-afxdp's retry loop).
+    #: Waited, not burned: the thread could poll other queues meanwhile.
+    tx_kick_backoff_ns: float = 1_000.0
     #: Kernel rxhash computation when hardware hash is unavailable (§5.5).
     software_rxhash_ns: float = 14.0
     #: veth crossing (namespace switch, no copy).

@@ -1,0 +1,253 @@
+"""Deterministic fault injection and overload degradation.
+
+The paper's operability argument (§6) is not only that the userspace
+AF_XDP datapath is fast, but that it *fails well*: tx kicks return
+EAGAIN under pressure, rings overrun, drivers without zero-copy force
+the copy-mode fallback, upcall storms must be shed rather than amplified.
+The happy-path simulation cannot exercise any of that, so this module
+adds the missing misfortune — deterministically.
+
+A :class:`FaultPlan` names the faults to inject at registered *fault
+points* (see :data:`FAULT_POINTS`).  Each point draws from its own
+:func:`repro.sim.rng.make_rng` stream, so two runs with the same seed
+fire the same faults at the same packets, byte for byte, and adding a
+rule for one point never perturbs another point's stream.  The plan also
+carries the overload-degradation knobs that mirror real ovs-vswitchd:
+``emc_insert_inv_prob`` (the ``emc-insert-inv-prob`` storm breaker),
+``upcall_queue_cap`` (the bounded upcall queue behind ``lost:``
+accounting) and ``flow_limit`` (the revalidator's megaflow budget).
+
+Overhead discipline mirrors :mod:`repro.sim.trace`: with no plan
+installed, hot paths pay a single module-attribute load
+(``faults.ACTIVE is None``) and the observable behaviour — including
+every trace ledger — is byte-identical to a build without this module.
+A plan whose rules never fire (zero rate) draws nothing and changes
+nothing either; the determinism suite pins both properties down.
+
+Usage::
+
+    plan = FaultPlan(seed=7, rules=[FaultRule("afxdp.tx_kick_eagain",
+                                              rate=0.05)])
+    with faults.injecting(plan):
+        bench.drive(stream, packets)
+    print(plan.render())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.sim import trace
+from repro.sim.rng import make_rng
+
+#: Every place the substrate consults the active plan, with the real
+#: failure it models.  Plans may only name points registered here —
+#: a typo'd point name would otherwise silently never fire.
+FAULT_POINTS: Dict[str, str] = {
+    "afxdp.tx_kick_eagain":
+        "sendto(MSG_DONTWAIT) on the XSK fd returns EAGAIN (§3.3); the "
+        "driver retries with bounded exponential backoff",
+    "afxdp.fill_ring_overrun":
+        "fill-ring producer/consumer raced under overload; the frame is "
+        "dropped with a per-ring counter",
+    "afxdp.comp_ring_overrun":
+        "completion ring full at kick time; completed frames leak until "
+        "the pool runs dry (emergent umem exhaustion)",
+    "afxdp.umem_exhausted":
+        "umem pool has no free frames for a tx burst; the burst is "
+        "dropped and counted",
+    "afxdp.zc_fallback":
+        "driver loses zero-copy support (paper's driver matrix, §3.5); "
+        "the socket rebinds in copy mode and pays the extra copy",
+    "dp.upcall_overload":
+        "userspace upcall queue overflowed (handler overloaded); the "
+        "miss is recorded as lost, the packet dropped",
+    "kernel.upcall_overload":
+        "netlink upcall socket buffer overflowed; the kernel reports it "
+        "in the dpctl/show lost: column",
+    "ebpf.map_lookup_fault":
+        "bpf_map_lookup_elem failed (map under pressure); the program "
+        "degrades to XDP_PASS so the kernel slow path carries the packet",
+    "ebpf.verifier_reject":
+        "the verifier rejected the XDP program at load time; the port "
+        "degrades to the generic copy-mode path instead of failing",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one fault point fires.
+
+    ``rate`` fires on each event with that probability (its own RNG
+    stream); ``nth`` fires deterministically on every nth event
+    (1-based, so ``nth=1`` fires always); ``max_fires`` caps the total.
+    ``rate`` and ``nth`` compose with OR; a rule with neither never
+    fires.
+    """
+
+    point: str
+    rate: float = 0.0
+    nth: Optional[int] = None
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            known = ", ".join(sorted(FAULT_POINTS))
+            raise ValueError(
+                f"unknown fault point {self.point!r}; known: {known}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be >= 0")
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus overload-degradation knobs.
+
+    Instances are consulted from hot paths through the module-global
+    :data:`ACTIVE` (see :func:`install` / :func:`injecting`); they track
+    per-point event and fire counts for ``appctl faults/show``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rules: Sequence[FaultRule] = (),
+        emc_insert_inv_prob: int = 1,
+        upcall_queue_cap: Optional[int] = None,
+        flow_limit: Optional[int] = None,
+    ) -> None:
+        if emc_insert_inv_prob < 1:
+            raise ValueError("emc_insert_inv_prob must be >= 1")
+        if upcall_queue_cap is not None and upcall_queue_cap < 0:
+            raise ValueError("upcall_queue_cap must be >= 0")
+        if flow_limit is not None and flow_limit < 0:
+            raise ValueError("flow_limit must be >= 0")
+        self.seed = seed
+        self.rules: Dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.point in self.rules:
+                raise ValueError(f"duplicate rule for {rule.point!r}")
+            self.rules[rule.point] = rule
+        #: One independent stream per ruled point: adding a rule for a
+        #: new point never shifts an existing point's draws.
+        self._rngs = {
+            point: make_rng("faults", point, seed=seed)
+            for point in self.rules
+        }
+        self._emc_rng = make_rng("faults", "emc_insert", seed=seed)
+        #: point -> times the point was consulted / times it fired.
+        self.events: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+        #: Real-ovs-vswitchd ``other_config:emc-insert-inv-prob``: insert
+        #: into the EMC with probability 1/P (default 1 = always).
+        self.emc_insert_inv_prob = emc_insert_inv_prob
+        #: Bounded per-burst upcall budget; misses beyond it are ``lost``
+        #: (the netlink socket buffer analogue of dpif-netdev).
+        self.upcall_queue_cap = upcall_queue_cap
+        #: Initial megaflow budget (the revalidator adjusts the
+        #: datapath's own limit from here under pressure).
+        self.flow_limit = flow_limit
+
+    # ------------------------------------------------------------------
+    def should_fire(self, point: str) -> bool:
+        """One event at ``point``; does the fault fire?
+
+        Unruled points consume no randomness (so a zero-rule plan is
+        observationally inert), but are still tallied in ``events``.
+        """
+        n = self.events.get(point, 0) + 1
+        self.events[point] = n
+        rule = self.rules.get(point)
+        if rule is None:
+            return False
+        fired = self.fired.get(point, 0)
+        if rule.max_fires is not None and fired >= rule.max_fires:
+            return False
+        fire = False
+        if rule.nth is not None and n % rule.nth == 0:
+            fire = True
+        if not fire and rule.rate > 0.0:
+            fire = self._rngs[point].random() < rule.rate
+        if fire:
+            self.fired[point] = fired + 1
+            trace.count(f"fault.{point}")
+        return fire
+
+    def should_insert_emc(self) -> bool:
+        """The ``emc-insert-inv-prob`` draw: insert with probability 1/P.
+
+        With the default P=1 no randomness is consumed and the answer is
+        always yes — byte-identical to a plan-less run.
+        """
+        if self.emc_insert_inv_prob <= 1:
+            return True
+        return self._emc_rng.randrange(self.emc_insert_inv_prob) == 0
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-oriented ``faults/show`` body."""
+        lines = [f"fault plan: seed={self.seed}"]
+        lines.append(f"  emc-insert-inv-prob: {self.emc_insert_inv_prob}")
+        lines.append(f"  upcall-queue-cap: {self.upcall_queue_cap}")
+        lines.append(f"  flow-limit: {self.flow_limit}")
+        if not self.rules:
+            lines.append("  (no fault rules)")
+        for point in sorted(self.rules):
+            rule = self.rules[point]
+            trig = []
+            if rule.rate:
+                trig.append(f"rate={rule.rate}")
+            if rule.nth is not None:
+                trig.append(f"nth={rule.nth}")
+            if rule.max_fires is not None:
+                trig.append(f"max_fires={rule.max_fires}")
+            lines.append(
+                f"  {point}: {' '.join(trig) or 'inert'} — "
+                f"events:{self.events.get(point, 0)} "
+                f"fired:{self.fired.get(point, 0)}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultPlan(seed={self.seed}, rules={len(self.rules)}, "
+                f"fired={sum(self.fired.values())})")
+
+
+#: The installed plan, or None (injection disabled).  Hot paths read
+#: this attribute directly — keep it a plain module global.
+ACTIVE: Optional[FaultPlan] = None
+
+
+def active() -> Optional[FaultPlan]:
+    return ACTIVE
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the active fault plan.  Nesting is not supported:
+    installing over an existing plan is an error (silently swapping RNG
+    streams mid-run would break reproducibility)."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("a FaultPlan is already installed")
+    ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def injecting(plan: Optional[FaultPlan] = None) -> Iterator[FaultPlan]:
+    """Install a plan (a fresh inert one by default) for the block."""
+    installed = install(plan if plan is not None else FaultPlan())
+    try:
+        yield installed
+    finally:
+        uninstall()

@@ -1,0 +1,104 @@
+"""Packet-conservation audit for the AF_XDP forwarding pipeline.
+
+The trace layer's invariant is ``spans == cpu_charged_ns``; this is the
+packet-side analogue: every frame offered to the ingress NIC must be
+accounted for — forwarded out, dropped at a *named* layer counter, or
+diverted to the kernel stack.  A sink nobody counts is exactly the kind
+of silent loss the fault-injection layer exists to expose, so the
+degradation experiment and the Hypothesis property suite both assert
+:meth:`PacketLedger.conserved` at every sweep point.
+
+Layer map (ingress to egress)::
+
+    NIC hw ring      nic.rx_missed
+    XDP dispatch     nic.xdp_drops / xdp_passes / xdp_redirect_failed
+    XSK rx           sock.rx_dropped_no_fill / rx_dropped_overrun
+    dpif-netdev      stats.dropped  (lost upcalls, action drops, ...)
+    XSK tx           sock.tx_dropped_no_umem / _ring_full / _kick
+    wire             sock.tx_sent
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PacketLedger:
+    """One audit of ``offered`` packets against per-layer outcomes.
+
+    ``sinks`` maps a named terminal outcome (a drop counter or a
+    diversion like "to the kernel stack") to a packet count.
+    """
+
+    offered: int
+    forwarded: int
+    sinks: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.sinks.values())
+
+    @property
+    def accounted(self) -> int:
+        return self.forwarded + self.total_dropped
+
+    def conserved(self) -> bool:
+        return self.offered == self.accounted
+
+    def render(self) -> str:
+        lines = [f"offered    {self.offered}",
+                 f"forwarded  {self.forwarded}"]
+        for name in sorted(self.sinks):
+            if self.sinks[name]:
+                lines.append(f"{name:26s} {self.sinks[name]}")
+        status = "balanced" if self.conserved() else (
+            f"UNACCOUNTED {self.offered - self.accounted}")
+        lines.append(f"accounted  {self.accounted} ({status})")
+        return "\n".join(lines)
+
+
+def afxdp_packet_ledger(
+    offered: int,
+    nic_in,
+    driver_in,
+    driver_out,
+    dpif,
+) -> PacketLedger:
+    """Audit an AF_XDP P2P world after its queues have drained.
+
+    ``driver_in``/``driver_out`` are the :class:`~repro.afxdp.driver.
+    AfxdpDriver` instances on the ingress and egress NICs; ``offered``
+    is the number of frames the traffic generator put on the wire
+    toward ``nic_in``.
+    """
+    sinks: Dict[str, int] = {}
+
+    def sink(name: str, n: int) -> None:
+        if n:
+            sinks[name] = sinks.get(name, 0) + n
+
+    sink("nic.rx_missed", nic_in.rx_missed)
+    sink("nic.xdp_drops", nic_in.xdp_drops)
+    # PASS verdicts leave the AF_XDP pipeline for the kernel stack; in
+    # a P2P bench nothing consumes them, but they are *diverted*, not
+    # lost: the dispatch accounted for them.
+    sink("nic.xdp_passes_to_stack", nic_in.xdp_passes)
+    sink("nic.xdp_redirect_failed", nic_in.xdp_redirect_failed)
+    forwarded = 0
+    for sock in driver_in.sockets.values():
+        sink("xsk.rx_dropped_no_fill", sock.rx_dropped_no_fill)
+        sink("xsk.rx_dropped_overrun", sock.rx_dropped_overrun)
+    sink("dp.dropped", dpif.stats.dropped)
+    # Tx-side outcomes on every distinct driver (a hairpin config reuses
+    # the ingress NIC for output; don't double-count it).
+    drivers = ([driver_in] if driver_in is driver_out
+               else [driver_in, driver_out])
+    for driver in drivers:
+        for sock in driver.sockets.values():
+            sink("xsk.tx_dropped_no_umem", sock.tx_dropped_no_umem)
+            sink("xsk.tx_dropped_ring_full", sock.tx_dropped_ring_full)
+            sink("xsk.tx_dropped_kick", sock.tx_dropped_kick)
+            forwarded += sock.tx_sent
+    return PacketLedger(offered=offered, forwarded=forwarded, sinks=sinks)

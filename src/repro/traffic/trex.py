@@ -76,6 +76,18 @@ class TrexStream:
         self._cursor = 0
 
     @property
+    def src_ips(self) -> List[int]:
+        """Distinct source IPs across the prebuilt packets (sorted).
+
+        Lets a bench install one OpenFlow rule per source so every flow
+        costs its own upcall + megaflow instead of collapsing into one
+        wildcard entry.
+        """
+        return sorted({
+            int.from_bytes(p.data[26:30], "big") for p in self._packets
+        })
+
+    @property
     def distinct_flows(self) -> int:
         return len({
             (p.data[26:30], p.data[30:34]) for p in self._packets

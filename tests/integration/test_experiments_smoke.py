@@ -128,6 +128,18 @@ def test_fig8_smoke_panel_b():
     assert "Figure 8b" in result.render("b")
 
 
+def test_degradation_smoke():
+    from repro.experiments.degradation import run_degradation
+
+    points = run_degradation(packets=TINY["packets"] // 2, n_flows=16,
+                             rates=(0.0, 0.2), seed=0)
+    baseline, faulted = points
+    assert baseline.delivered == baseline.offered
+    assert not baseline.faults_fired
+    assert faulted.delivered < baseline.delivered
+    assert faulted.conserved and baseline.conserved
+
+
 def test_p2p_benches_smoke():
     """The p2p bench module directly: every datapath flavour forwards."""
     from repro.experiments.p2p import (afxdp_p2p, dpdk_p2p, ebpf_p2p,

@@ -1,0 +1,196 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.sim import faults, trace
+from repro.sim.faults import FAULT_POINTS, FaultPlan, FaultRule
+
+
+# ----------------------------------------------------------------------
+# Rule and plan validation.
+# ----------------------------------------------------------------------
+def test_unknown_point_rejected_with_known_list():
+    with pytest.raises(ValueError) as err:
+        FaultRule("afxdp.txkick_eagain")
+    assert "unknown fault point" in str(err.value)
+    assert "afxdp.tx_kick_eagain" in str(err.value)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"rate": -0.1},
+    {"rate": 1.5},
+    {"nth": 0},
+    {"max_fires": -1},
+])
+def test_invalid_rule_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FaultRule("afxdp.tx_kick_eagain", **kwargs)
+
+
+def test_duplicate_rule_rejected():
+    rule = FaultRule("afxdp.tx_kick_eagain", rate=0.1)
+    with pytest.raises(ValueError, match="duplicate"):
+        FaultPlan(rules=[rule, rule])
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"emc_insert_inv_prob": 0},
+    {"upcall_queue_cap": -1},
+    {"flow_limit": -2},
+])
+def test_invalid_plan_knobs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FaultPlan(**kwargs)
+
+
+def test_every_registered_point_has_a_description():
+    for point, description in FAULT_POINTS.items():
+        assert "." in point
+        assert len(description) > 20
+
+
+# ----------------------------------------------------------------------
+# Firing semantics.
+# ----------------------------------------------------------------------
+def test_rate_draws_are_deterministic_per_seed():
+    def fires(seed):
+        plan = FaultPlan(seed=seed, rules=[
+            FaultRule("dp.upcall_overload", rate=0.3)])
+        return [plan.should_fire("dp.upcall_overload")
+                for _ in range(200)]
+
+    assert fires(7) == fires(7)
+    assert fires(7) != fires(8)
+    assert any(fires(7)) and not all(fires(7))
+
+
+def test_nth_fires_exactly_every_nth_event():
+    plan = FaultPlan(rules=[FaultRule("afxdp.umem_exhausted", nth=3)])
+    pattern = [plan.should_fire("afxdp.umem_exhausted")
+               for _ in range(9)]
+    assert pattern == [False, False, True] * 3
+
+
+def test_nth_one_always_fires():
+    plan = FaultPlan(rules=[FaultRule("afxdp.zc_fallback", nth=1)])
+    assert all(plan.should_fire("afxdp.zc_fallback") for _ in range(5))
+
+
+def test_max_fires_caps_total():
+    plan = FaultPlan(rules=[
+        FaultRule("ebpf.map_lookup_fault", nth=1, max_fires=2)])
+    results = [plan.should_fire("ebpf.map_lookup_fault")
+               for _ in range(5)]
+    assert results == [True, True, False, False, False]
+    assert plan.fired["ebpf.map_lookup_fault"] == 2
+    assert plan.events["ebpf.map_lookup_fault"] == 5
+
+
+def test_unruled_points_tally_events_but_never_fire_or_draw():
+    plan = FaultPlan(rules=[FaultRule("afxdp.tx_kick_eagain", rate=0.5)])
+    # Consulting an unruled point must not advance any RNG stream: the
+    # ruled point's draw sequence is identical whether or not other
+    # points were consulted in between.
+    witness = FaultPlan(rules=[FaultRule("afxdp.tx_kick_eagain",
+                                         rate=0.5)])
+    seq_a = []
+    for _ in range(50):
+        plan.should_fire("dp.upcall_overload")
+        seq_a.append(plan.should_fire("afxdp.tx_kick_eagain"))
+    seq_b = [witness.should_fire("afxdp.tx_kick_eagain")
+             for _ in range(50)]
+    assert seq_a == seq_b
+    assert plan.events["dp.upcall_overload"] == 50
+    assert "dp.upcall_overload" not in plan.fired
+
+
+def test_per_point_streams_are_independent():
+    solo = FaultPlan(seed=3, rules=[
+        FaultRule("afxdp.fill_ring_overrun", rate=0.4)])
+    both = FaultPlan(seed=3, rules=[
+        FaultRule("afxdp.fill_ring_overrun", rate=0.4),
+        FaultRule("dp.upcall_overload", rate=0.4)])
+    seq_solo, seq_both = [], []
+    for _ in range(100):
+        seq_solo.append(solo.should_fire("afxdp.fill_ring_overrun"))
+        seq_both.append(both.should_fire("afxdp.fill_ring_overrun"))
+        both.should_fire("dp.upcall_overload")
+    assert seq_solo == seq_both
+
+
+def test_fires_bump_trace_counter():
+    with trace.recording() as rec:
+        plan = FaultPlan(rules=[FaultRule("afxdp.comp_ring_overrun",
+                                          nth=2)])
+        for _ in range(4):
+            plan.should_fire("afxdp.comp_ring_overrun")
+    assert rec.counter("fault.afxdp.comp_ring_overrun") == 2
+
+
+# ----------------------------------------------------------------------
+# EMC-insert probability (the storm breaker knob).
+# ----------------------------------------------------------------------
+def test_default_emc_insert_always_true_without_randomness():
+    plan = FaultPlan()
+    state = plan._emc_rng.getstate()
+    assert all(plan.should_insert_emc() for _ in range(10))
+    assert plan._emc_rng.getstate() == state
+
+
+def test_emc_insert_inv_prob_skips_some_inserts_deterministically():
+    def decisions(seed):
+        plan = FaultPlan(seed=seed, emc_insert_inv_prob=4)
+        return [plan.should_insert_emc() for _ in range(200)]
+
+    assert decisions(1) == decisions(1)
+    got = decisions(1)
+    assert any(got) and not all(got)
+    # With P=4 roughly a quarter insert; allow generous slack.
+    assert 20 <= sum(got) <= 90
+
+
+# ----------------------------------------------------------------------
+# Install / uninstall lifecycle.
+# ----------------------------------------------------------------------
+def test_install_uninstall_roundtrip():
+    assert faults.ACTIVE is None
+    plan = faults.install(FaultPlan())
+    assert faults.active() is plan
+    faults.uninstall()
+    assert faults.ACTIVE is None
+
+
+def test_nested_install_is_an_error():
+    with faults.injecting():
+        with pytest.raises(RuntimeError, match="already installed"):
+            faults.install(FaultPlan())
+    assert faults.ACTIVE is None
+
+
+def test_injecting_uninstalls_on_exception():
+    with pytest.raises(KeyError):
+        with faults.injecting():
+            raise KeyError("boom")
+    assert faults.ACTIVE is None
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+# ----------------------------------------------------------------------
+def test_render_shows_rules_and_tallies():
+    plan = FaultPlan(seed=5, rules=[
+        FaultRule("afxdp.tx_kick_eagain", rate=0.25, max_fires=3)])
+    for _ in range(8):
+        plan.should_fire("afxdp.tx_kick_eagain")
+    out = plan.render()
+    assert "seed=5" in out
+    assert "afxdp.tx_kick_eagain" in out
+    assert "rate=0.25" in out
+    assert "max_fires=3" in out
+    assert "events:8" in out
+
+
+def test_render_empty_plan():
+    out = FaultPlan().render()
+    assert "(no fault rules)" in out
+    assert "emc-insert-inv-prob: 1" in out
