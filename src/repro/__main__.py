@@ -3,12 +3,14 @@
     python -m repro                 # every table and figure
     python -m repro fig2 table5     # a subset
     python -m repro --trace fig2    # + per-stage virtual-time profile
+    python -m repro --profile fig9  # + call tree (perf-report style)
     python -m repro --list
 
 Each experiment prints the same rows/series the paper reports; expect a
 few minutes for the full set (fig8/fig9 dominate).  ``--trace`` attaches
 a :class:`~repro.sim.trace.TraceRecorder` per experiment and prints the
-profile (see :mod:`repro.tools.perf_report`).
+profile (see :mod:`repro.tools.perf_report`); ``--profile`` also attaches
+a :class:`~repro.sim.profile.Profiler` and prints the call tree.
 """
 
 from __future__ import annotations
@@ -43,16 +45,18 @@ EXPERIMENTS = {
 
 
 USAGE = """\
-usage: python -m repro [--list] [--trace] [experiment ...]
+usage: python -m repro [--list] [--trace] [--profile] [experiment ...]
 
 Reproduce the paper's tables and figures.  With no arguments, runs
 every experiment.
 
 options:
-  -h, --help   show this message and exit
-  -l, --list   list the available experiments
-  -t, --trace  run each experiment under a TraceRecorder and print the
-               per-stage virtual-time profile afterwards
+  -h, --help     show this message and exit
+  -l, --list     list the available experiments
+  -t, --trace    run each experiment under a TraceRecorder and print the
+                 per-stage virtual-time profile afterwards
+  -p, --profile  like --trace, plus a call-tree profiler; prints the
+                 perf-report-style tree after each experiment
 """
 
 
@@ -66,11 +70,12 @@ def main(argv: "list[str]") -> int:
         for key, (title, _module) in EXPERIMENTS.items():
             print(f"  {key:8s} {title}")
         return 0
-    with_trace = "--trace" in argv or "-t" in argv
+    with_profile = "--profile" in argv or "-p" in argv
+    with_trace = with_profile or "--trace" in argv or "-t" in argv
     flags = [a for a in argv if a.startswith("-")]
     unknown_flags = [
-        f for f in flags if f not in ("--trace", "-t", "--list", "-l",
-                                      "--help", "-h")
+        f for f in flags if f not in ("--trace", "-t", "--profile", "-p",
+                                      "--list", "-l", "--help", "-h")
     ]
     if unknown_flags:
         print(f"unknown option(s): {', '.join(unknown_flags)}",
@@ -95,16 +100,27 @@ def main(argv: "list[str]") -> int:
         started = time.time()
         module = importlib.import_module(module_name)
         if with_trace:
-            from repro.sim import trace
-            from repro.tools.perf_report import format_report
+            from repro.sim import profile, trace
+            from repro.tools.perf_report import _call_main, format_report
 
-            with trace.recording() as rec:
-                module.main()
+            if with_profile:
+                with profile.profiling() as rec:
+                    _call_main(module)
+            else:
+                with trace.recording() as rec:
+                    _call_main(module)
             print()
             print(format_report(
                 rec, title=f"virtual-time profile: {key}"))
+            if with_profile:
+                print()
+                print(profile.render_tree(
+                    rec.profiler.root, title=f"call tree: {key}",
+                    min_share=0.05))
         else:
-            module.main()
+            from repro.tools.perf_report import _call_main
+
+            _call_main(module)
         print(f"[{key} done in {time.time() - started:.1f}s]\n")
     return 0
 

@@ -131,6 +131,17 @@ class AfxdpDriver:
     # ------------------------------------------------------------------
     def rx_burst(self, queue: int, ctx: ExecContext) -> List[Packet]:
         """Receive a burst on a queue (PMD thread context)."""
+        rec = trace.ACTIVE
+        prof = rec.profiler if rec is not None else None
+        if prof is None:
+            return self._rx_burst(queue, ctx)
+        prof.enter("afxdp.rx")
+        try:
+            return self._rx_burst(queue, ctx)
+        finally:
+            prof.exit_()
+
+    def _rx_burst(self, queue: int, ctx: ExecContext) -> List[Packet]:
         costs = DEFAULT_COSTS
         opts = self.options
         sock = self.sockets[queue]
@@ -182,6 +193,18 @@ class AfxdpDriver:
         pkt.meta.csum_verified = not opts.sw_checksum_on_tx
 
     def tx_burst(self, queue: int, pkts: List[Packet], ctx: ExecContext) -> int:
+        rec = trace.ACTIVE
+        prof = rec.profiler if rec is not None else None
+        if prof is None:
+            return self._tx_burst(queue, pkts, ctx)
+        prof.enter("afxdp.tx")
+        try:
+            return self._tx_burst(queue, pkts, ctx)
+        finally:
+            prof.exit_()
+
+    def _tx_burst(self, queue: int, pkts: List[Packet],
+                  ctx: ExecContext) -> int:
         costs = DEFAULT_COSTS
         opts = self.options
         sock = self.sockets[queue]

@@ -92,6 +92,29 @@ class XdpContext:
         ktime_ns: int = 0,
     ) -> XdpVerdict:
         """Run the program over one frame; never raises for program bugs."""
+        # Profiler-only frame per attached program: this is what lets a
+        # profile split Table 5's XDP cost by program (A-D) instead of
+        # one undifferentiated "ebpf" bucket.
+        rec = _trace.ACTIVE
+        prof = rec.profiler if rec is not None else None
+        if prof is None:
+            return self._run(data, exec_ctx, ingress_ifindex,
+                             rx_queue_index, ktime_ns)
+        prof.enter(f"xdp:{self.program.name}")
+        try:
+            return self._run(data, exec_ctx, ingress_ifindex,
+                             rx_queue_index, ktime_ns)
+        finally:
+            prof.exit_()
+
+    def _run(
+        self,
+        data: bytes,
+        exec_ctx: Optional[ExecContext] = None,
+        ingress_ifindex: int = 0,
+        rx_queue_index: int = 0,
+        ktime_ns: int = 0,
+    ) -> XdpVerdict:
         costs = _costs.DEFAULT_COSTS
 
         plan = _faults.ACTIVE

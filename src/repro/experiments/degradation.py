@@ -90,6 +90,7 @@ def _run_point(
     n_flows: int,
     seed: int,
     link_gbps: float,
+    sampler=None,
 ) -> DegradationPoint:
     """Build a fresh AF_XDP P2P world and drive it under one fault rate."""
     options = AfxdpOptions()
@@ -106,7 +107,7 @@ def _run_point(
         trace.detach()
     try:
         return _run_point_traced(plan, rate, packets, n_flows,
-                                 link_gbps, options)
+                                 link_gbps, options, sampler)
     finally:
         if outer is not None:
             trace.attach(outer)
@@ -119,8 +120,11 @@ def _run_point_traced(
     n_flows: int,
     link_gbps: float,
     options: AfxdpOptions,
+    sampler=None,
 ) -> DegradationPoint:
     with faults.injecting(plan), trace.recording() as rec:
+        if sampler is not None:
+            rec.sampler = sampler
         host, nic_in, nic_out = _base_host(1, link_gbps)
         vs = host.install_ovs("netdev")
         vs.add_bridge("br0")
@@ -203,15 +207,32 @@ def run_degradation(
     rates: Sequence[float] = DEFAULT_RATES,
     seed: int = 0,
     link_gbps: float = LINK_GBPS,
+    metrics_lines: "List[str] | None" = None,
 ) -> List[DegradationPoint]:
+    """Sweep the fault rates.  With ``metrics_lines`` (a list to append
+    to), each point runs with a fresh virtual-time
+    :class:`~repro.sim.profile.MetricsSampler` whose JSONL series —
+    every line tagged with the point's fault rate — is collected there."""
     points = []
     for rate in rates:
-        point = _run_point(rate, packets, n_flows, seed, link_gbps)
+        sampler = None
+        if metrics_lines is not None:
+            from repro.sim.profile import MetricsSampler
+
+            # A sweep point only charges a few hundred virtual µs, so
+            # sample far finer than the 1 ms default.
+            sampler = MetricsSampler(interval_ns=25_000.0)
+        point = _run_point(rate, packets, n_flows, seed, link_gbps,
+                           sampler)
         if not point.conserved:
             raise AssertionError(
                 f"packet conservation violated at rate={rate}: "
                 f"{point.to_json()}"
             )
+        if sampler is not None and sampler.samples:
+            metrics_lines.append(
+                sampler.to_jsonl(extra={"experiment": "degradation",
+                                        "fault_rate": rate}))
         points.append(point)
     return points
 
@@ -236,11 +257,22 @@ def main(argv: "List[str] | None" = None) -> None:
     as_json = "--json" in argv
     seed = 0
     packets = PACKETS
+    metrics_path = None
     if "--seed" in argv:
         seed = int(argv[argv.index("--seed") + 1])
     if "--packets" in argv:
         packets = int(argv[argv.index("--packets") + 1])
-    points = run_degradation(packets=packets, seed=seed)
+    if "--metrics" in argv:
+        metrics_path = argv[argv.index("--metrics") + 1]
+    metrics_lines: "List[str] | None" = (
+        [] if metrics_path is not None else None)
+    points = run_degradation(packets=packets, seed=seed,
+                             metrics_lines=metrics_lines)
+    if metrics_path is not None:
+        with open(metrics_path, "w") as fh:
+            fh.write("\n".join(metrics_lines) + "\n")
+        print(f"wrote metric samples for {len(metrics_lines)} sweep "
+              f"points to {metrics_path}")
     if as_json:
         print(json.dumps({
             "seed": seed,

@@ -125,8 +125,45 @@ def run_fig9(
     return result
 
 
-def main() -> None:  # pragma: no cover - CLI entry
-    result = run_fig9()
+def main(argv=None) -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="fig9_forwarding",
+        description="Figure 9 + Table 4: forwarding rate and CPU use",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="sample counters at fixed virtual-time intervals and write "
+             "the series as JSONL to PATH",
+    )
+    parser.add_argument("--packets", type=int, default=PACKETS)
+    args = parser.parse_args(argv)
+    if args.metrics is None:
+        result = run_fig9(packets=args.packets)
+    else:
+        from repro.sim import trace
+        from repro.sim.profile import MetricsSampler
+
+        sampler = MetricsSampler()
+        rec = trace.ACTIVE
+        if rec is None:
+            with trace.recording() as rec:
+                rec.sampler = sampler
+                result = run_fig9(packets=args.packets)
+        else:
+            # Ride the caller's recorder (python -m repro --trace fig9
+            # --metrics ...); the sampler only reads, so the caller's
+            # ledger stays byte-identical.
+            rec.sampler = sampler
+            try:
+                result = run_fig9(packets=args.packets)
+            finally:
+                rec.sampler = None
+        with open(args.metrics, "w") as fh:
+            fh.write(sampler.to_jsonl(extra={"experiment": "fig9"}) + "\n")
+        print(f"wrote {len(sampler.samples)} metric samples "
+              f"to {args.metrics}")
     print(result.render_rates())
     print()
     print(result.render_table4())

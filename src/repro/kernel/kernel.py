@@ -85,16 +85,24 @@ class Kernel:
         """
         costs = DEFAULT_COSTS
         total = 0
-        for queue in range(nic.n_queues):
-            if not nic.pending(queue):
-                continue
-            ctx = self.softirq_ctx(self.cpu_for_queue(nic, queue))
-            if interrupt_mode:
-                ctx.charge(costs.irq_entry_ns, label="irq")
-                trace.count("kernel.irqs")
-            ctx.charge(costs.napi_poll_ns, label="napi")
-            trace.count("kernel.napi_polls")
-            total += nic.service_queue(queue, ctx, budget=budget)
+        rec = trace.ACTIVE
+        prof = rec.profiler if rec is not None else None
+        if prof is not None:
+            prof.enter("kernel.service_nic")
+        try:
+            for queue in range(nic.n_queues):
+                if not nic.pending(queue):
+                    continue
+                ctx = self.softirq_ctx(self.cpu_for_queue(nic, queue))
+                if interrupt_mode:
+                    ctx.charge(costs.irq_entry_ns, label="irq")
+                    trace.count("kernel.irqs")
+                ctx.charge(costs.napi_poll_ns, label="napi")
+                trace.count("kernel.napi_polls")
+                total += nic.service_queue(queue, ctx, budget=budget)
+        finally:
+            if prof is not None:
+                prof.exit_()
         return total
 
     def pump(self, max_rounds: int = 10_000) -> int:

@@ -18,6 +18,7 @@ from repro.ebpf.program import Program
 from repro.ebpf.vm import EbpfVm, VmFault
 from repro.kernel.netdev import NetDevice
 from repro.net.packet import Packet
+from repro.sim import trace
 from repro.sim.cpu import ExecContext
 
 TC_ACT_OK = 0
@@ -46,12 +47,23 @@ class TcIngressHook:
     def _ingress(self, pkt: Packet, ctx: ExecContext) -> None:
         # tc runs on the skb the driver already allocated for this frame;
         # the interpreter cost is the program's only extra charge.
-        vm = EbpfVm(self.program, exec_ctx=ctx)
+        # Profiler-only frame per program, so a call tree splits tc cost
+        # by program just like the xdp: frames do.
+        rec = trace.ACTIVE
+        prof = rec.profiler if rec is not None else None
+        if prof is not None:
+            prof.enter(f"tc:{self.program.name}")
         try:
-            verdict = vm.run(pkt.data, ingress_ifindex=self.device.ifindex)
-        except VmFault:
-            self.n_shot += 1
-            return
+            vm = EbpfVm(self.program, exec_ctx=ctx)
+            try:
+                verdict = vm.run(pkt.data,
+                                 ingress_ifindex=self.device.ifindex)
+            except VmFault:
+                self.n_shot += 1
+                return
+        finally:
+            if prof is not None:
+                prof.exit_()
         data = vm.pkt_bytes()
         if vm.redirect_target is not None:
             self.n_redirect += 1

@@ -8,26 +8,56 @@ operator actually runs:
 * ``dpctl/dump-flows`` — the installed megaflows with stats,
 * ``dpif-netdev/pmd-stats-show`` — per-PMD cache hit rates,
 * ``dpif-netdev/pmd-perf-show`` — per-stage virtual-time breakdown,
-* ``coverage/show`` — rare-event counters from the trace ledger,
+* ``coverage/show`` — rare-event counters from the trace ledger, with
+  real-OVS-style events-per-second rate columns (per *virtual* second),
 * ``dpctl/dump-conntrack`` — the connection table,
+* ``metrics/show`` — the attached virtual-time metrics sampler's view,
+* ``ofproto/trace`` — inject a synthetic packet and narrate every
+  decision the datapath would take, without taking any of them,
 * ``fdb/stats`` equivalents come from the bridges' OpenFlow dumps.
 
 ``pmd-perf-show`` and ``coverage/show`` read the active
 :class:`~repro.sim.trace.TraceRecorder` (or one passed explicitly), so
 they show real data only when a run executed under
 ``trace.recording()``.
+
+``ofproto/trace`` is strictly read-only: cache probes use the peek
+variants (no charges, no counters, no stats touch), translation runs
+uncharged and every observable side effect — rule/table hit counters,
+``n_translations``, lazily created tables, allocated recirculation ids —
+is rolled back before it returns.  Running it mid-experiment changes no
+subsequent ledger byte; an integration test enforces this by string
+comparison.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.kernel.conntrack import (
+    CT_ESTABLISHED,
+    CT_INVALID,
+    CT_NEW,
+    CT_RELATED,
+    CT_REPLY,
+    CT_TRACKED,
+)
 from repro.net.addresses import int_to_ip
-from repro.net.flow import FlowKey
+from repro.net.flow import FlowKey, extract_flow
+from repro.net.tunnel import decapsulate
+from repro.ovs import odp
+from repro.ovs import ofactions as ofp
+from repro.ovs.match import _FULL_MASK, Match
+from repro.ovs.ofproto import TranslationError
+from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
 from repro.ovs.pmd import PmdThread
 from repro.ovs.vswitchd import VSwitchd
 from repro.sim import faults, trace
 from repro.sim.trace import TraceRecorder
+
+#: Recirculation passes ofproto/trace will follow before giving up
+#: (mirrors the datapath's MAX_RECIRC_PASSES).
+MAX_TRACE_PASSES = 8
 
 
 class OvsAppctl:
@@ -160,14 +190,34 @@ class OvsAppctl:
                       recorder: Optional[TraceRecorder] = None) -> str:
         """Mirror ``ovs-appctl coverage/show``: event counters collected
         by the trace layer (EMC/dpcls outcomes, upcalls, ring stalls,
-        syscalls, copies...)."""
+        syscalls, copies...), each with its average rate per *virtual*
+        second of charged CPU time — the analog of the real command's
+        avg/hr columns over a wall-clock window."""
         rec = recorder if recorder is not None else trace.ACTIVE
         if rec is None or not rec.counters:
             return "(no events recorded)"
-        lines = []
+        busy_s = rec.cpu_charged_ns / 1e9
+        lines = [f"{'Event':32s} {'Total':>12} {'Avg/s':>15}"]
         for name, count in sorted(rec.counters.items()):
-            lines.append(f"{name:32s} {count:>12d}")
+            if busy_s > 0:
+                rate = f"{count / busy_s:>13.1f}/s"
+            else:
+                rate = f"{'n/a':>15}"
+            lines.append(f"{name:32s} {count:>12d} {rate:>15}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def metrics_show(self, sampler=None) -> str:
+        """``ovs-appctl metrics/show``: the virtual-time metrics
+        sampler's series summary (see
+        :class:`~repro.sim.profile.MetricsSampler`)."""
+        s = sampler
+        if s is None:
+            rec = trace.ACTIVE
+            s = rec.sampler if rec is not None else None
+        if s is None:
+            return "(no metrics sampler attached)"
+        return s.render()
 
     # ------------------------------------------------------------------
     def faults_show(self) -> str:
@@ -215,6 +265,247 @@ class OvsAppctl:
         return "\n".join(lines) if lines else "(conntrack empty)"
 
     # ------------------------------------------------------------------
+    def ofproto_trace(self, packet, in_port, emc=None) -> str:
+        """``ovs-appctl ofproto/trace``: narrate one packet's fate.
+
+        ``packet`` is a :class:`~repro.net.packet.Packet` (or raw bytes)
+        injected as if received on ``in_port`` (a datapath port name or
+        number).  The narration covers each recirculation pass: the EMC
+        probe outcome (when the caller supplies a PMD's cache), the
+        megaflow probe with its subtable count and mask, the upcall's
+        OpenFlow table walk, the conntrack verdict, and the final
+        datapath actions.
+
+        Read-only end to end: nothing is charged, counted, installed,
+        committed or metered — see the module docstring for the rollback
+        contract.
+        """
+        dpif = self.vs.dpif_netdev
+        if dpif is None:
+            return "(ofproto/trace needs the userspace datapath)"
+        data = packet.data if hasattr(packet, "data") else bytes(packet)
+        if isinstance(in_port, str):
+            try:
+                port_no = dpif.port_no(in_port)
+            except KeyError:
+                return f"(no datapath port {in_port!r})"
+        else:
+            port_no = in_port
+        ofproto = self.vs.ofproto
+        # Recirculation ids allocated *by this trace* are rolled back
+        # only after the whole trace ran: a later pass must still be
+        # able to resolve an id an earlier pass narrated.
+        saved_next_recirc = ofproto._next_recirc
+        lines: List[str] = []
+        try:
+            self._trace_passes(lines, dpif, data, port_no, emc)
+        finally:
+            for rid in [r for r in ofproto._recirc_resume
+                        if r >= saved_next_recirc]:
+                resume_key = ofproto._recirc_resume.pop(rid)
+                ofproto._recirc_ids.pop(resume_key, None)
+            ofproto._next_recirc = saved_next_recirc
+        return "\n".join(lines)
+
+    def _trace_passes(self, lines: List[str], dpif, data: bytes,
+                      port_no: int, emc) -> None:
+        recirc_id = 0
+        ct_state = 0
+        ct_zone = 0
+        ct_mark = 0
+        tun = (0, 0, 0)  # (vni, remote_ip, local_ip)
+        for pass_no in range(1, MAX_TRACE_PASSES + 2):
+            if pass_no > MAX_TRACE_PASSES:
+                lines.append("... recirculation limit reached; giving up")
+                return
+            key = extract_flow(
+                data,
+                in_port=port_no,
+                recirc_id=recirc_id,
+                ct_state=ct_state,
+                ct_zone=ct_zone,
+                ct_mark=ct_mark,
+                tun_id=tun[0],
+                tun_src=tun[1],
+                tun_dst=tun[2],
+            )
+            if pass_no > 1:
+                lines.append("")
+            lines.append(f"Pass {pass_no}")
+            lines.append(f"Flow: {_render_flow(key)}")
+            actions = self._trace_classify(lines, dpif, key, emc)
+            if actions is None:
+                return
+            if not actions:
+                lines.append("Datapath actions: drop")
+                return
+            lines.append(f"Datapath actions: {_render_actions(actions)}")
+            follow = self._trace_actions(lines, dpif, data, key, actions)
+            if follow is None:
+                return
+            data, port_no, recirc_id, ct_state, ct_zone, ct_mark, tun = follow
+
+    def _trace_classify(self, lines: List[str], dpif, key: FlowKey,
+                        emc) -> "Optional[Tuple]":
+        """One pass's cache/upcall decision; returns the datapath
+        actions, or None if the trace ends here (translation error)."""
+        if emc is not None:
+            hit = emc.peek(key)
+            if hit is not None:
+                lines.append("EMC: hit")
+                return hit.actions
+            lines.append("EMC: miss")
+        else:
+            lines.append("EMC: (no per-PMD cache supplied; skipped)")
+        entry, probes = dpif.megaflows.peek(key)
+        if entry is not None:
+            lines.append(
+                f"Megaflow: hit after {probes} subtable probe(s), "
+                f"packets:{entry.n_packets}"
+            )
+            lines.append(f"  {_render_masked_key(entry.key, entry.mask)}")
+            return entry.actions
+        lines.append(f"Megaflow: miss ({probes} subtable(s) probed)")
+        lines.append("Upcall: translating through the OpenFlow tables")
+        result, error, walk = self._trace_translate(key)
+        bridge_name = None
+        for bname, table_id, rule, _obs_key in walk:
+            if bname != bridge_name:
+                bridge_name = bname
+                lines.append(f'bridge("{bname}")')
+                lines.append("-" * (len(bname) + 9))
+            if rule is None:
+                lines.append(
+                    f"{table_id:>2}. (no matching rule: table-miss drop)"
+                )
+                continue
+            lines.append(
+                f"{table_id:>2}. priority {rule.priority}, "
+                f"{_render_match(rule.match)}"
+            )
+            lines.append(f"    actions: {_render_of_actions(rule.actions)}")
+        if error is not None:
+            lines.append(f"Translation error: {error}")
+            return None
+        if not walk:
+            lines.append("(input port not attached to any bridge: drop)")
+        lines.append(
+            f"Megaflow mask: {_render_masked_key(key, result.mask)} "
+            f"(trace: not installed)"
+        )
+        return result.actions
+
+    def _trace_translate(self, key: FlowKey):
+        """Run the translator uncharged and roll back every observable
+        side effect: rule hit counters, per-table lookup/match counters,
+        ``n_translations`` and lazily created (still-empty) tables.
+        Recirculation-id rollback is deferred to :meth:`ofproto_trace`.
+        """
+        ofproto = self.vs.ofproto
+        walk: List[Tuple] = []
+        matched: List = []
+        saved_translations = ofproto.n_translations
+        saved_counts = []
+        saved_table_ids = {}
+        for name, bridge in ofproto.bridges.items():
+            saved_table_ids[name] = set(bridge.tables)
+            for table in bridge.tables.values():
+                saved_counts.append(
+                    (table, table.n_lookups, table.n_matches)
+                )
+
+        def observer(bridge, table_id, rule, obs_key):
+            walk.append((bridge.name, table_id, rule, obs_key))
+            if rule is not None:
+                matched.append(rule)
+
+        try:
+            result = ofproto.translate(key, None, observer=observer)
+            error = None
+        except TranslationError as exc:
+            result, error = None, str(exc)
+        finally:
+            ofproto.n_translations = saved_translations
+            for rule in matched:
+                rule.n_packets -= 1
+            for table, n_lookups, n_matches in saved_counts:
+                table.n_lookups = n_lookups
+                table.n_matches = n_matches
+            for name, bridge in ofproto.bridges.items():
+                for table_id in (set(bridge.tables)
+                                 - saved_table_ids.get(name, set())):
+                    if not len(bridge.tables[table_id]):
+                        del bridge.tables[table_id]
+        return result, error, walk
+
+    def _trace_actions(self, lines: List[str], dpif, data: bytes,
+                       key: FlowKey, actions):
+        """Narrate one pass's datapath actions, following rewrites so a
+        recirculation/decap pass re-enters with accurate bytes.  Returns
+        the next pass's (data, port, recirc, ct-state) tuple, or None
+        when the packet's fate is settled this pass."""
+        ct_state, ct_zone, ct_mark = key.ct_state, key.ct_zone, key.ct_mark
+        for act in actions:
+            if isinstance(act, odp.Output):
+                port = dpif.ports.get(act.port_no)
+                name = port.name if port is not None else "?"
+                lines.append(f" -> output to port {act.port_no} ({name})")
+            elif isinstance(act, odp.Ct):
+                verdict = dpif.conntrack.peek(key.five_tuple(), act.zone)
+                commit = ",commit" if act.commit else ""
+                lines.append(
+                    f" -> ct(zone={act.zone}{commit}): verdict "
+                    f"{_render_ct_state(verdict.state_bits)} "
+                    f"(trace: nothing committed)"
+                )
+                ct_state = verdict.state_bits
+                ct_zone = act.zone
+                if verdict.connection is not None:
+                    ct_mark = verdict.connection.mark
+            elif isinstance(act, odp.Recirc):
+                lines.append(f" -> recirc({act.recirc_id:#x})")
+                return (data, key.in_port, act.recirc_id,
+                        ct_state, ct_zone, ct_mark, (0, 0, 0))
+            elif isinstance(act, odp.SetField):
+                lines.append(f" -> set_field {act.field}={act.value}")
+                data = set_field(data, act.field, act.value)
+            elif isinstance(act, odp.PushVlan):
+                lines.append(f" -> push_vlan vid={act.vid} pcp={act.pcp}")
+                data = do_push_vlan(data, act.vid, act.pcp)
+            elif isinstance(act, odp.PopVlan):
+                lines.append(" -> pop_vlan")
+                data = do_pop_vlan(data)
+            elif isinstance(act, odp.TunnelPush):
+                lines.append(
+                    f" -> tnl_push(vni={act.config.vni}) "
+                    f"out port {act.out_port}"
+                )
+            elif isinstance(act, odp.TunnelPop):
+                try:
+                    ttype, vni, src, dst, inner = decapsulate(data)
+                except ValueError:
+                    lines.append(" -> tnl_pop: malformed outer header, drop")
+                    return None
+                lines.append(
+                    f" -> tnl_pop({ttype}, vni={vni}) "
+                    f"re-enters on vport {act.vport}"
+                )
+                return (inner, act.vport, 0, 0, 0, 0, (vni, src, dst))
+            elif isinstance(act, odp.Meter):
+                lines.append(
+                    f" -> meter({act.meter_id}) "
+                    f"(trace: token bucket not charged)"
+                )
+            elif isinstance(act, odp.Userspace):
+                lines.append(f" -> userspace({act.reason})")
+            elif isinstance(act, odp.Trunc):
+                lines.append(f" -> trunc(max_len={act.max_len})")
+                data = data[: act.max_len]
+            else:
+                lines.append(f" -> {act!r}")
+        return None
+
+    # ------------------------------------------------------------------
     def ofproto_list_bridges(self) -> str:
         lines = []
         for name, bridge in self.vs.ofproto.bridges.items():
@@ -226,19 +517,103 @@ class OvsAppctl:
         return "\n".join(lines)
 
 
+def _fmt_field(name: str, value: int) -> str:
+    """One flow field, rendered the way an operator reads it."""
+    if name in ("nw_src", "nw_dst", "tun_src", "tun_dst"):
+        return f"{name}={int_to_ip(value & 0xFFFFFFFF)}"
+    if name in ("eth_src", "eth_dst"):
+        return f"{name}={value:012x}"
+    return f"{name}={value}"
+
+
 def _render_masked_key(key: FlowKey, mask) -> str:
     parts = []
     for name, value, bits in zip(FlowKey._fields, key, mask):
         if not bits:
             continue
-        masked = value & bits
-        if name in ("nw_src", "nw_dst", "tun_src", "tun_dst"):
-            parts.append(f"{name}={int_to_ip(masked & 0xFFFFFFFF)}")
-        elif name in ("eth_src", "eth_dst"):
-            parts.append(f"{name}={masked:012x}")
-        else:
-            parts.append(f"{name}={masked}")
+        parts.append(_fmt_field(name, value & bits))
     return ",".join(parts) or "(match-all)"
+
+
+def _render_flow(key: FlowKey) -> str:
+    """The ``Flow:`` line of ofproto/trace: recirc_id and in_port
+    always, then every non-zero field."""
+    parts = [f"recirc_id={key.recirc_id:#x}", f"in_port={key.in_port}"]
+    if key.ct_state:
+        parts.append(f"ct_state={_render_ct_state(key.ct_state)}")
+    for name, value in zip(FlowKey._fields, key):
+        if not value or name in ("in_port", "recirc_id", "ct_state"):
+            continue
+        parts.append(_fmt_field(name, value))
+    return ",".join(parts)
+
+
+def _render_match(match: Match) -> str:
+    if match.is_catchall():
+        return "(match any)"
+    parts = []
+    for name, (value, bits) in sorted(match.fields().items()):
+        if bits == _FULL_MASK[name]:
+            parts.append(_fmt_field(name, value))
+        else:
+            parts.append(f"{name}={value:#x}/{bits:#x}")
+    return ",".join(parts)
+
+
+def _render_of_actions(actions) -> str:
+    """OpenFlow actions in the flow-dump idiom operators know."""
+    if not actions:
+        return "drop"
+    out = []
+    for act in actions:
+        if isinstance(act, ofp.OutputAction):
+            out.append(f"output:{act.port}")
+        elif isinstance(act, ofp.GotoTable):
+            out.append(f"goto_table:{act.table_id}")
+        elif isinstance(act, ofp.Resubmit):
+            out.append(f"resubmit(,{act.table_id})")
+        elif isinstance(act, ofp.SetFieldAction):
+            out.append(f"set_field:{act.value}->{act.field}")
+        elif isinstance(act, ofp.CtAction):
+            inner = [f"zone={act.zone}"]
+            if act.commit:
+                inner.append("commit")
+            if act.table is not None:
+                inner.append(f"table={act.table}")
+            if act.nat_dst is not None:
+                ip, port = act.nat_dst
+                inner.append(f"nat(dst={int_to_ip(ip)}:{port})")
+            out.append(f"ct({','.join(inner)})")
+        elif isinstance(act, ofp.PushVlanAction):
+            out.append(f"push_vlan:{act.vid}")
+        elif isinstance(act, ofp.PopVlanAction):
+            out.append("pop_vlan")
+        elif isinstance(act, ofp.PopTunnel):
+            out.append(f"pop_tunnel:{act.tunnel_port}")
+        elif isinstance(act, ofp.MeterAction):
+            out.append(f"meter:{act.meter_id}")
+        elif isinstance(act, ofp.ControllerAction):
+            out.append(f"controller({act.reason})")
+        elif isinstance(act, ofp.DropAction):
+            out.append("drop")
+        else:
+            out.append(act.__class__.__name__.lower())
+    return ",".join(out)
+
+
+_CT_STATE_NAMES = (
+    (CT_NEW, "new"),
+    (CT_ESTABLISHED, "est"),
+    (CT_RELATED, "rel"),
+    (CT_REPLY, "rpl"),
+    (CT_INVALID, "inv"),
+    (CT_TRACKED, "trk"),
+)
+
+
+def _render_ct_state(bits: int) -> str:
+    names = [name for bit, name in _CT_STATE_NAMES if bits & bit]
+    return "|".join(names) if names else "none"
 
 
 def _render_actions(actions) -> str:

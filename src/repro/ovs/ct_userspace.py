@@ -61,6 +61,11 @@ class UserspaceConntrack:
             )
         return result
 
+    def peek(self, five_tuple: FiveTuple, zone: int) -> CtResult:
+        """Classify without committing, charging, or touching state —
+        the ``ofproto/trace`` verdict: what *would* ct() say right now."""
+        return self._table.lookup(five_tuple, zone, self._now_ns_fn())
+
     def expire(self) -> int:
         return self._table.expire(self._now_ns_fn())
 

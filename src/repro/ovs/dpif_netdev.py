@@ -303,12 +303,23 @@ class DpifNetdev:
         batched = self.batch_classify
         if batched is None:
             batched = BATCH_CLASSIFY
-        if batched:
-            self._classify_execute_burst(pkts, ctx, emc, tx_batches, statses)
-        else:
-            for pkt in pkts:
-                self._process_one(pkt, ctx, emc, tx_batches, 0, statses)
-        self._flush_tx(tx_batches, ctx, tx_queue)
+        # Profiler-only frame (no ledger span): groups every charge this
+        # burst makes under dp.input in the call tree.  One attribute
+        # load when profiling is off.
+        prof = rec.profiler if rec is not None else None
+        if prof is not None:
+            prof.enter("dp.input")
+        try:
+            if batched:
+                self._classify_execute_burst(
+                    pkts, ctx, emc, tx_batches, statses)
+            else:
+                for pkt in pkts:
+                    self._process_one(pkt, ctx, emc, tx_batches, 0, statses)
+            self._flush_tx(tx_batches, ctx, tx_queue)
+        finally:
+            if prof is not None:
+                prof.exit_()
         return tx_batches
 
     def _classify_execute_burst(

@@ -97,6 +97,16 @@ class ExactMatchCache:
         self.charge_lookup(ctx)
         return self.probe(key)
 
+    def peek(self, key: FlowKey) -> Optional[object]:
+        """Probe without observing: no charges, no hit/miss stats, no
+        trace counters.  The ``ofproto/trace`` introspection path — a
+        mid-run peek must leave every subsequent ledger byte unchanged."""
+        for pos in self._positions(key):
+            entry = self._slots[pos]
+            if entry is not None and entry[0] == key:
+                return entry[1]
+        return None
+
     def replay_hit(self, ctx: Optional[ExecContext] = None) -> None:
         """Account a lookup whose outcome is already known to be a hit.
 

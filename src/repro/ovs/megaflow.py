@@ -101,6 +101,13 @@ class MegaflowCache:
                 return entry, probes
         return None, probes
 
+    def peek(self, key: FlowKey) -> Tuple[Optional[MegaflowEntry], int]:
+        """Walk the subtables without observing: no charges, counters or
+        stats touch (``ofproto/trace`` uses this so a mid-run peek leaves
+        every subsequent ledger byte unchanged).  Returns the entry (or
+        None) and the number of subtables a real lookup would probe."""
+        return self._probe(key)
+
     def _account(self, entry: Optional[MegaflowEntry], probes: int,
                  ctx: Optional[ExecContext],
                  now_ns: int, nbytes: int) -> None:

@@ -194,9 +194,16 @@ class Ofproto:
     # Translation.
     # ------------------------------------------------------------------
     def translate(
-        self, key: FlowKey, ctx: Optional[ExecContext] = None
+        self, key: FlowKey, ctx: Optional[ExecContext] = None,
+        observer=None,
     ) -> XlateResult:
-        """Compile one flow's forwarding decision to datapath actions."""
+        """Compile one flow's forwarding decision to datapath actions.
+
+        ``observer``, when given, is called as ``observer(bridge,
+        table_id, rule_or_None, key)`` after every table lookup — the
+        ``ofproto/trace`` narration hook.  It observes only; the
+        translation itself is unchanged.
+        """
         self.n_translations += 1
         probed: List[FlowMask] = [
             mask_from_fields(
@@ -227,7 +234,8 @@ class Ofproto:
         if located is not None:
             key = key._replace(in_port=located[1].ofport)
         actions = self._xlate_tables(
-            bridge, table_id, key, probed, ctx, dp_in_port=dp_in_port
+            bridge, table_id, key, probed, ctx, dp_in_port=dp_in_port,
+            observer=observer,
         )
         actions = self._apply_mirrors(bridge, key, dp_in_port, actions)
         return XlateResult(tuple(actions), union_masks(probed))
@@ -278,15 +286,18 @@ class Ofproto:
         ctx: Optional[ExecContext],
         depth: int = 0,
         dp_in_port: int = 0,
+        observer=None,
     ) -> List[odp.OdpAction]:
         if depth > MAX_TRANSLATION_DEPTH:
             raise TranslationError("translation too deep (table loop?)")
         rule = bridge.table(table_id).lookup(key, ctx, probed)
+        if observer is not None:
+            observer(bridge, table_id, rule, key)
         if rule is None:
             return []  # OpenFlow 1.3+ table-miss default: drop
         rule.n_packets += 1
         return self._xlate_actions(bridge, rule, key, probed, ctx, depth,
-                                   dp_in_port)
+                                   dp_in_port, observer=observer)
 
     def _xlate_actions(
         self,
@@ -297,6 +308,7 @@ class Ofproto:
         ctx: Optional[ExecContext],
         depth: int,
         dp_in_port: int = 0,
+        observer=None,
     ) -> List[odp.OdpAction]:
         out: List[odp.OdpAction] = []
         for act in rule.actions:
@@ -308,7 +320,7 @@ class Ofproto:
                 out.extend(
                     self._xlate_tables(
                         bridge, act.table_id, key, probed, ctx, depth + 1,
-                        dp_in_port,
+                        dp_in_port, observer=observer,
                     )
                 )
                 if isinstance(act, ofp.GotoTable):

@@ -75,6 +75,22 @@ class PmdThread:
         costs = DEFAULT_COSTS
         self.iterations += 1
         processed = 0
+        # Profiler-only frame: attributes everything this iteration
+        # charges to this PMD thread in the call tree.
+        rec = trace.ACTIVE
+        prof = rec.profiler if rec is not None else None
+        if prof is not None:
+            prof.enter(f"pmd/{self.ctx.name}")
+        try:
+            processed = self._poll_rxqs(costs)
+        finally:
+            if prof is not None:
+                prof.exit_()
+        self.packets_processed += processed
+        return processed
+
+    def _poll_rxqs(self, costs) -> int:
+        processed = 0
         for rxq in self.rxqs:
             if self.main_thread_mode:
                 # The shared main thread: a poll() syscall per service and
@@ -96,7 +112,6 @@ class PmdThread:
                 tx_queue=rxq.queue, stats=self.stats,
             )
             processed += len(pkts)
-        self.packets_processed += processed
         return processed
 
     def run_until_idle(self, max_iterations: int = 100_000) -> int:

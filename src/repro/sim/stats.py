@@ -71,6 +71,128 @@ class Histogram:
         )
 
 
+class StreamingHistogram:
+    """A log-bucketed streaming histogram (the DDSketch construction).
+
+    Long-running series (the metrics sampler's ns-per-packet track, hour
+    -scale latency sweeps) cannot afford :class:`Histogram`'s
+    per-sample storage.  This sketch keeps one counter per logarithmic
+    bucket: value ``v`` lands in bucket ``ceil(log_gamma(v))`` with
+    ``gamma = (1 + a) / (1 - a)``, and a bucket's representative is its
+    midpoint — so any percentile estimate is within relative error ``a``
+    of the true sample value, regardless of how many samples streamed
+    through.
+
+    Memory is bounded twice over: bucket count grows with the *dynamic
+    range* of the data (log-many buckets), and ``max_buckets`` caps even
+    that by collapsing the lowest pair (sacrificing low-end accuracy,
+    exactly DDSketch's trade).  Exact ``n``/``sum``/``min``/``max`` are
+    kept on the side.
+    """
+
+    __slots__ = ("rel_error", "max_buckets", "gamma", "_log_gamma",
+                 "_buckets", "_zero", "_n", "_sum", "_min", "_max")
+
+    def __init__(self, rel_error: float = 0.01,
+                 max_buckets: int = 4096) -> None:
+        if not 0.0 < rel_error < 1.0:
+            raise ValueError(f"relative error out of range: {rel_error}")
+        if max_buckets < 2:
+            raise ValueError("need at least two buckets")
+        self.rel_error = rel_error
+        self.max_buckets = max_buckets
+        self.gamma = (1.0 + rel_error) / (1.0 - rel_error)
+        self._log_gamma = math.log(self.gamma)
+        #: bucket index -> count; index i covers (gamma^(i-1), gamma^i].
+        self._buckets: Dict[int, int] = {}
+        #: values <= 0 (no logarithm): counted exactly, reported as 0.0.
+        self._zero = 0
+        self._n = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        self._n += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= 0.0:
+            self._zero += 1
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        if len(self._buckets) > self.max_buckets:
+            self._collapse_lowest()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _collapse_lowest(self) -> None:
+        low, second = sorted(self._buckets)[:2]
+        self._buckets[second] += self._buckets.pop(low)
+
+    def _bucket_value(self, index: int) -> float:
+        # Midpoint of (gamma^(i-1), gamma^i]: 2*gamma^i / (gamma + 1).
+        return 2.0 * self.gamma ** index / (self.gamma + 1.0)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._buckets)
+
+    def mean(self) -> float:
+        if not self._n:
+            raise ValueError("empty histogram")
+        return self._sum / self._n
+
+    def min(self) -> float:
+        if not self._n:
+            raise ValueError("empty histogram")
+        return self._min
+
+    def max(self) -> float:
+        if not self._n:
+            raise ValueError("empty histogram")
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (same convention as :func:`percentile`),
+        accurate to ``rel_error`` relative to the true sample value."""
+        if not self._n:
+            raise ValueError("no samples")
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        rank = math.ceil(p / 100.0 * self._n)
+        if rank <= self._zero:
+            return 0.0
+        cumulative = self._zero
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                # The true sample lies in this bucket; clamping to the
+                # exact extremes only ever tightens the estimate.
+                return min(max(self._bucket_value(index), self._min),
+                           self._max)
+        return self._max
+
+    def percentiles(self, ps: Sequence[float] = (50, 90, 99)) -> Dict[float, float]:
+        return {p: self.percentile(p) for p in ps}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._n:
+            return "StreamingHistogram(empty)"
+        return (
+            f"StreamingHistogram(n={self._n}, {len(self._buckets)} buckets, "
+            f"p50={self.percentile(50):.1f}, p99={self.percentile(99):.1f})"
+        )
+
+
 class RateEstimator:
     """Convert work done in virtual time into packet/bit rates."""
 

@@ -59,7 +59,8 @@ class TraceRecorder:
     """
 
     __slots__ = ("spans", "waits", "counters", "span_totals",
-                 "cpu_charged_ns", "batch_sizes", "_stack")
+                 "cpu_charged_ns", "batch_sizes", "profiler", "sampler",
+                 "_stack")
 
     def __init__(self) -> None:
         #: stage label -> [count, total_ns]; the conservation set.
@@ -77,6 +78,14 @@ class TraceRecorder:
         #: of :meth:`ledger`: the ledger predates batching and must stay
         #: byte-comparable against pre-batching golden traces.
         self.batch_sizes: Dict[str, Dict[int, int]] = {}
+        #: Optional passive observers (see :mod:`repro.sim.profile`):
+        #: a Profiler folds charges into a call tree, a MetricsSampler
+        #: snapshots counters on virtual-time thresholds.  Both default
+        #: to None; every hook below guards with one attribute load, so
+        #: the ledger is byte-identical whether or not they are attached
+        #: (the zero-overhead-off gate of the integration suite).
+        self.profiler = None
+        self.sampler = None
         self._stack: List[List[object]] = []
 
     # ------------------------------------------------------------------
@@ -92,6 +101,9 @@ class TraceRecorder:
             entry[1] += ns
         for frame in self._stack:
             frame[1] += ns
+        prof = self.profiler
+        if prof is not None:
+            prof.leaf(stage, ns)
 
     def record_wait(self, stage: str, ns: float) -> None:
         """Attribute ``ns`` of waited (non-CPU) wall time to ``stage``."""
@@ -123,15 +135,28 @@ class TraceRecorder:
             entry[1] += ns
             for frame in stack:
                 frame[1] += ns
+        prof = self.profiler
+        if prof is not None:
+            prof.leaf_n(stage, ns, n)
 
     def note_cpu(self, ns: float) -> None:
         """CpuModel-side tally; the other leg of the conservation check."""
         self.cpu_charged_ns += ns
+        sampler = self.sampler
+        if sampler is not None and self.cpu_charged_ns >= sampler.next_due_ns:
+            sampler.tick(self)
 
     def note_cpu_n(self, ns: float, n: int) -> None:
         """``n`` individual CpuModel-side tallies (see :meth:`record_n`)."""
+        sampler = self.sampler
+        if sampler is None:
+            for _ in range(n):
+                self.cpu_charged_ns += ns
+            return
         for _ in range(n):
             self.cpu_charged_ns += ns
+            if self.cpu_charged_ns >= sampler.next_due_ns:
+                sampler.tick(self)
 
     def note_batch(self, stage: str, n: int) -> None:
         """Record that ``stage`` handled a batch of ``n`` packets.
@@ -161,9 +186,14 @@ class TraceRecorder:
         path = "/".join([str(f[0]) for f in self._stack] + [stage])
         frame: List[object] = [path, 0.0]
         self._stack.append(frame)
+        prof = self.profiler
+        if prof is not None:
+            prof.enter(stage)
         try:
             yield
         finally:
+            if prof is not None:
+                prof.exit_()
             self._stack.pop()
             entry = self.span_totals.get(path)
             if entry is None:
@@ -207,6 +237,10 @@ class TraceRecorder:
         self.span_totals.clear()
         self.cpu_charged_ns = 0.0
         self.batch_sizes.clear()
+        if self.profiler is not None:
+            self.profiler.reset()
+        if self.sampler is not None:
+            self.sampler.reset()
         self._stack.clear()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""The perf_report CLI: every registered experiment is reachable, and
+the --tree/--flame/--json/--diff views work end to end."""
+
+import importlib
+import inspect
+import json
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS
+from repro.tools import perf_report
+from repro.tools.perf_report import main, profile_experiment
+
+
+def test_every_registered_experiment_resolves():
+    """The CLI must accept every name `python -m repro --list` knows:
+    each module imports and exposes a main() the runner can call."""
+    assert EXPERIMENTS
+    for name, (_title, module_name) in EXPERIMENTS.items():
+        module = importlib.import_module(module_name)
+        assert callable(module.main), name
+        # _call_main's dispatch understands both main shapes.
+        params = inspect.signature(module.main).parameters
+        assert len(params) <= 1, (name, params)
+
+
+def test_profile_experiment_rejects_unknown_name():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        profile_experiment("nonesuch")
+
+
+def test_profile_experiment_attaches_profiler(capsys):
+    rec = profile_experiment("fig2")
+    capsys.readouterr()  # swallow the experiment's own report
+    assert rec.profiler is not None
+    assert rec.conserved()
+    assert rec.profiler.root.inclusive_ns() == pytest.approx(
+        rec.cpu_charged_ns, rel=1e-9)
+    plain = profile_experiment("fig2", with_profiler=False)
+    capsys.readouterr()
+    assert plain.profiler is None
+    # The profiler never perturbed the ledger.
+    assert rec.ledger() == plain.ledger()
+
+
+def test_cli_tree_flame_json(tmp_path, capsys):
+    flame = tmp_path / "out.folded"
+    prof = tmp_path / "prof.json"
+    rc = main(["fig2", "--tree", "--flame", str(flame),
+               "--json", str(prof)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "virtual-time profile: fig2" in out
+    assert "call tree: fig2" in out
+    assert "conservation:" in out and "-> OK" in out
+    stacks = flame.read_text().splitlines()
+    assert stacks and all(s.startswith("all") for s in stacks)
+    assert stacks == sorted(stacks)
+    doc = json.loads(prof.read_text())
+    assert doc["tree"]["label"] == "all"
+    assert doc["root_inclusive_ns"] == pytest.approx(doc["cpu_charged_ns"])
+
+
+def test_cli_flame_to_stdout(capsys):
+    rc = main(["fig2", "--flame"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert any(line.startswith("all;") for line in out.splitlines())
+
+
+def test_cli_diff(capsys):
+    rc = main(["fig2", "fig2", "--diff"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    # Identical runs: every path delta vanishes.
+    assert "(no differences)" in out
+
+
+def test_cli_usage_errors(capsys):
+    assert main(["--bogus"]) == 2
+    assert main(["fig2", "table2"]) == 2          # two names, no --diff
+    assert main(["fig2", "--diff"]) == 2          # --diff needs two
+    assert main(["nonesuch"]) == 2
+    assert main(["fig2", "--min-share", "wat"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_help(capsys):
+    assert main(["--help"]) == 0
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_repro_main_profile_flag(capsys):
+    from repro.__main__ import main as repro_main
+
+    assert repro_main(["--profile", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "call tree: fig2" in out
+    assert "conservation:" in out
+
+
+def test_format_report_shows_counters_and_audit():
+    from repro.sim import trace
+    from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+    with trace.recording() as rec:
+        ctx = ExecContext(CpuModel(1), 0, CpuCategory.USER)
+        with rec.span("stage"):
+            ctx.charge(5.0, label="emc")
+        rec.count("emc.hit")
+    out = perf_report.format_report(rec, title="t")
+    assert "nested spans (inclusive):" in out
+    assert "event counters:" in out
+    assert "emc.hit" in out
+    assert "-> OK" in out
