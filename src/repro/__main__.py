@@ -57,6 +57,9 @@ options:
                  per-stage virtual-time profile afterwards
   -p, --profile  like --trace, plus a call-tree profiler; prints the
                  perf-report-style tree after each experiment
+  --no-jit       run eBPF programs through the interpreter instead of
+                 the JIT (same observables, slower wall-clock; equal to
+                 EBPF_JIT=0)
 """
 
 
@@ -72,10 +75,15 @@ def main(argv: "list[str]") -> int:
         return 0
     with_profile = "--profile" in argv or "-p" in argv
     with_trace = with_profile or "--trace" in argv or "-t" in argv
+    if "--no-jit" in argv:
+        from repro.ebpf import jit
+
+        jit.set_enabled(False)
     flags = [a for a in argv if a.startswith("-")]
     unknown_flags = [
         f for f in flags if f not in ("--trace", "-t", "--profile", "-p",
-                                      "--list", "-l", "--help", "-h")
+                                      "--list", "-l", "--help", "-h",
+                                      "--no-jit")
     ]
     if unknown_flags:
         print(f"unknown option(s): {', '.join(unknown_flags)}",

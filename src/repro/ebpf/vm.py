@@ -64,7 +64,7 @@ class EbpfVm:
         self.program = program
         self.exec_ctx = exec_ctx
         self.ktime_ns = ktime_ns
-        self.rng = make_rng("ebpf-prandom", program.name)
+        self._rng = None
         self.redirect_target: Optional[Tuple] = None
         self.insns_executed = 0
         self.helper_calls = 0
@@ -85,6 +85,16 @@ class EbpfVm:
     # ------------------------------------------------------------------
     # Register / memory model (used by helpers too).
     # ------------------------------------------------------------------
+    @property
+    def rng(self):
+        # Lazy: seeding a Random is far more expensive than most program
+        # runs, and only the prandom helper ever draws from it.  The seed
+        # depends solely on the program name, so the stream is unchanged.
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = make_rng("ebpf-prandom", self.program.name)
+        return rng
+
     def reg(self, index: int) -> object:
         return self._regs[index]
 
@@ -179,29 +189,61 @@ class EbpfVm:
         self.redirect_target = None
 
         insns = self.program.insns
+        decoded = decoded_insns(self.program)
+        regs = self._regs
         pc = 0
         executed = 0
         helpers_before = self.helper_calls
         helper_cost = 0.0
         n = len(insns)
         while pc < n:
-            insn = insns[pc]
+            kind, dst, src, arg, imm, aux = decoded[pc]
             executed += 1
-            op = insn.op
-            if op == "exit":
-                break
-            if op == "call":
-                helper = HELPERS[insn.imm]
-                self._regs[0] = helper(self)
+            if kind == _K_ALU_IMM:
+                regs[dst] = alu(aux, regs[dst], imm)
+                pc += 1
+            elif kind == _K_LDX:
+                regs[dst] = self._load(regs[src], arg, aux)
+                pc += 1
+            elif kind == _K_JMP_IMM:
+                pc = arg if branch_taken(aux, regs[dst], imm) else pc + 1
+            elif kind == _K_ALU_REG:
+                regs[dst] = alu(aux, regs[dst], regs[src])
+                pc += 1
+            elif kind == _K_JMP_REG:
+                pc = arg if branch_taken(aux, regs[dst], regs[src]) else pc + 1
+            elif kind == _K_STX:
+                value = self.scalar_from_reg(src) & aux[1]
+                self._store(regs[dst], arg, aux[0], value)
+                pc += 1
+            elif kind == _K_CALL:
+                helper = HELPERS[imm]
+                regs[0] = helper(self)
                 self.helper_calls += 1
                 helper_cost += costs.ebpf_helper_ns
-                if insn.imm == 1:  # map lookup
+                if imm == 1:  # map lookup
                     helper_cost += costs.ebpf_map_lookup_ns
-                elif insn.imm in (2, 3):
+                elif imm in (2, 3):
                     helper_cost += costs.ebpf_map_update_ns
                 pc += 1
-                continue
-            pc = self._step(insn, pc)
+            elif kind == _K_EXIT:
+                break
+            elif kind == _K_JA:
+                pc = arg
+            elif kind == _K_ST:
+                self._store(regs[dst], arg, aux[0], aux[1])
+                pc += 1
+            elif kind == _K_NEG:
+                regs[dst] = to_u64(-self.scalar_from_reg(dst))
+                pc += 1
+            elif kind == _K_END:
+                regs[dst] = self.scalar_from_reg(dst) & aux
+                pc += 1
+            elif kind == _K_LDMAP:
+                regs[dst] = self.program.maps[imm]
+                pc += 1
+            else:
+                pc = self._step(insns[pc], pc)
 
         self.insns_executed += executed
         self.last_executed = executed
@@ -293,83 +335,10 @@ class EbpfVm:
         raise VmFault(f"unimplemented opcode {op!r}")  # pragma: no cover
 
     def _branch_taken(self, pred: str, lhs: object, rhs: object) -> bool:
-        if isinstance(lhs, Pointer) and isinstance(rhs, Pointer):
-            if lhs.region != rhs.region:
-                raise VmFault("comparing pointers into different regions")
-            a, b = lhs.offset, rhs.offset
-        else:
-            # Pointer-vs-scalar comparisons are NULL checks in real programs;
-            # a live pointer must compare as non-zero even at offset 0, so
-            # give pointers (and map handles) a large synthetic base.
-            def as_value(v: object) -> int:
-                if isinstance(v, Pointer):
-                    return (1 << 48) + v.offset
-                if isinstance(v, BpfMap):
-                    return 1 << 49
-                return to_u64(int(v))  # type: ignore[arg-type]
-
-            a, b = as_value(lhs), as_value(rhs)
-        if pred == "jeq":
-            return a == b
-        if pred == "jne":
-            return a != b
-        if pred == "jgt":
-            return a > b
-        if pred == "jge":
-            return a >= b
-        if pred == "jlt":
-            return a < b
-        if pred == "jle":
-            return a <= b
-        if pred == "jset":
-            return bool(a & b)
-        if pred == "jsgt":
-            return to_s64(a) > to_s64(b)
-        if pred == "jsge":
-            return to_s64(a) >= to_s64(b)
-        raise VmFault(f"bad predicate {pred}")  # pragma: no cover
+        return branch_taken(pred, lhs, rhs)
 
     def _alu(self, op: str, lhs: object, rhs: object) -> object:
-        if op == "mov":
-            return rhs
-        if isinstance(lhs, Pointer):
-            if isinstance(rhs, Pointer):
-                if op == "sub" and lhs.region == rhs.region:
-                    return to_u64(lhs.offset - rhs.offset)
-                raise VmFault("illegal pointer/pointer arithmetic")
-            if op == "add":
-                return Pointer(lhs.region, lhs.offset + to_s64(int(rhs)))
-            if op == "sub":
-                return Pointer(lhs.region, lhs.offset - to_s64(int(rhs)))
-            raise VmFault(f"illegal pointer arithmetic: {op}")
-        if isinstance(rhs, Pointer):
-            if op == "add":
-                return Pointer(rhs.region, rhs.offset + to_s64(int(lhs)))
-            raise VmFault(f"illegal pointer arithmetic: {op}")
-        a, b = to_u64(int(lhs)), to_u64(int(rhs))
-        if op == "add":
-            return to_u64(a + b)
-        if op == "sub":
-            return to_u64(a - b)
-        if op == "mul":
-            return to_u64(a * b)
-        if op == "div":
-            return 0 if b == 0 else a // b  # eBPF defines div-by-zero as 0
-        if op == "mod":
-            return a if b == 0 else a % b
-        if op == "and":
-            return a & b
-        if op == "or":
-            return a | b
-        if op == "xor":
-            return a ^ b
-        if op == "lsh":
-            return to_u64(a << (b & 63))
-        if op == "rsh":
-            return a >> (b & 63)
-        if op == "arsh":
-            return to_u64(to_s64(a) >> (b & 63))
-        raise VmFault(f"bad ALU op {op}")  # pragma: no cover
+        return alu(op, lhs, rhs)
 
     def _load(self, ptr: object, off: int, width: int) -> object:
         if not isinstance(ptr, Pointer):
@@ -417,3 +386,172 @@ class EbpfVm:
             Pointer(ptr.region, ptr.offset + off),
             value.to_bytes(width, order),
         )
+
+
+# ----------------------------------------------------------------------
+# Shared semantic primitives.  Module-level so the JIT (repro.ebpf.jit)
+# uses the *same* code as the interpreter for every case its generated
+# fast paths do not inline — equivalence by construction, not by copy.
+# ----------------------------------------------------------------------
+def branch_taken(pred: str, lhs: object, rhs: object) -> bool:
+    if isinstance(lhs, Pointer) and isinstance(rhs, Pointer):
+        if lhs.region != rhs.region:
+            raise VmFault("comparing pointers into different regions")
+        a, b = lhs.offset, rhs.offset
+    else:
+        # Pointer-vs-scalar comparisons are NULL checks in real programs;
+        # a live pointer must compare as non-zero even at offset 0, so
+        # give pointers (and map handles) a large synthetic base.
+        def as_value(v: object) -> int:
+            if isinstance(v, Pointer):
+                return (1 << 48) + v.offset
+            if isinstance(v, BpfMap):
+                return 1 << 49
+            return to_u64(int(v))  # type: ignore[arg-type]
+
+        a, b = as_value(lhs), as_value(rhs)
+    if pred == "jeq":
+        return a == b
+    if pred == "jne":
+        return a != b
+    if pred == "jgt":
+        return a > b
+    if pred == "jge":
+        return a >= b
+    if pred == "jlt":
+        return a < b
+    if pred == "jle":
+        return a <= b
+    if pred == "jset":
+        return bool(a & b)
+    if pred == "jsgt":
+        return to_s64(a) > to_s64(b)
+    if pred == "jsge":
+        return to_s64(a) >= to_s64(b)
+    raise VmFault(f"bad predicate {pred}")  # pragma: no cover
+
+
+def alu(op: str, lhs: object, rhs: object) -> object:
+    if op == "mov":
+        return rhs
+    if isinstance(lhs, Pointer):
+        if isinstance(rhs, Pointer):
+            if op == "sub" and lhs.region == rhs.region:
+                return to_u64(lhs.offset - rhs.offset)
+            raise VmFault("illegal pointer/pointer arithmetic")
+        if op == "add":
+            return Pointer(lhs.region, lhs.offset + to_s64(int(rhs)))
+        if op == "sub":
+            return Pointer(lhs.region, lhs.offset - to_s64(int(rhs)))
+        raise VmFault(f"illegal pointer arithmetic: {op}")
+    if isinstance(rhs, Pointer):
+        if op == "add":
+            return Pointer(rhs.region, rhs.offset + to_s64(int(lhs)))
+        raise VmFault(f"illegal pointer arithmetic: {op}")
+    a, b = to_u64(int(lhs)), to_u64(int(rhs))
+    if op == "add":
+        return to_u64(a + b)
+    if op == "sub":
+        return to_u64(a - b)
+    if op == "mul":
+        return to_u64(a * b)
+    if op == "div":
+        return 0 if b == 0 else a // b  # eBPF defines div-by-zero as 0
+    if op == "mod":
+        return a if b == 0 else a % b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "lsh":
+        return to_u64(a << (b & 63))
+    if op == "rsh":
+        return a >> (b & 63)
+    if op == "arsh":
+        return to_u64(to_s64(a) >> (b & 63))
+    raise VmFault(f"bad ALU op {op}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Per-program instruction decode cache.
+#
+# The mnemonic strings are convenient to write and verify but expensive
+# to re-parse on every executed instruction (rpartition + set membership
+# per step).  Decode once per Program into flat tuples
+# ``(kind, dst, src, arg, imm, aux)`` — ``arg`` is the resolved branch
+# target for jumps and the memory offset for loads/stores — and cache on
+# the Program keyed by the identity of its insns tuple, so swapping a
+# program's instructions can never replay a stale decode.
+# ----------------------------------------------------------------------
+(
+    _K_ALU_IMM,
+    _K_LDX,
+    _K_JMP_IMM,
+    _K_ALU_REG,
+    _K_JMP_REG,
+    _K_STX,
+    _K_CALL,
+    _K_EXIT,
+    _K_JA,
+    _K_ST,
+    _K_NEG,
+    _K_END,
+    _K_LDMAP,
+    _K_OTHER,
+) = range(14)
+
+_JMP_PREDS = frozenset(
+    {"jeq", "jne", "jgt", "jge", "jlt", "jle", "jset", "jsgt", "jsge"}
+)
+_ALU_BASES = frozenset(
+    {"add", "sub", "mul", "div", "mod", "and", "or", "xor",
+     "lsh", "rsh", "arsh", "mov"}
+)
+
+
+def _decode_insn(insn: Insn, pc: int) -> Tuple:
+    op = insn.op
+    if op == "exit":
+        return (_K_EXIT, 0, 0, 0, 0, None)
+    if op == "call":
+        return (_K_CALL, 0, 0, 0, insn.imm, None)
+    if op == "ja":
+        return (_K_JA, 0, 0, pc + 1 + insn.off, 0, None)
+    if op == "ld_map":
+        return (_K_LDMAP, insn.dst, 0, 0, insn.imm, None)
+    if op == "neg":
+        return (_K_NEG, insn.dst, 0, 0, 0, None)
+    if op in ("be", "le"):
+        return (_K_END, insn.dst, 0, 0, insn.imm, (1 << insn.imm) - 1)
+    base, _, mode = op.rpartition("_")
+    if mode in ("imm", "reg") and base in _JMP_PREDS:
+        kind = _K_JMP_IMM if mode == "imm" else _K_JMP_REG
+        return (kind, insn.dst, insn.src, pc + 1 + insn.off, insn.imm, base)
+    if mode in ("imm", "reg") and base in _ALU_BASES:
+        kind = _K_ALU_IMM if mode == "imm" else _K_ALU_REG
+        return (kind, insn.dst, insn.src, 0, insn.imm, base)
+    if op.startswith("ldx"):
+        return (_K_LDX, insn.dst, insn.src, insn.off, 0, MEM_WIDTHS[op[3:]])
+    if op.startswith("stx"):
+        width = MEM_WIDTHS[op[3:]]
+        mask = (1 << (8 * width)) - 1
+        return (_K_STX, insn.dst, insn.src, insn.off, 0, (width, mask))
+    if op.startswith("st"):
+        width = MEM_WIDTHS[op[2:]]
+        value = to_u64(insn.imm) & ((1 << (8 * width)) - 1)
+        return (_K_ST, insn.dst, 0, insn.off, insn.imm, (width, value))
+    return (_K_OTHER, 0, 0, 0, 0, None)
+
+
+def decoded_insns(program: Program) -> Tuple[Tuple, ...]:
+    """Decoded form of ``program.insns``, cached on the program object."""
+    cached = getattr(program, "_decoded_cache", None)
+    if cached is not None and cached[0] is program.insns:
+        return cached[1]
+    decoded = tuple(
+        _decode_insn(insn, pc) for pc, insn in enumerate(program.insns)
+    )
+    program._decoded_cache = (program.insns, decoded)
+    return decoded

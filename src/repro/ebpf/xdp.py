@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.ebpf import jit as _jit
 from repro.ebpf.program import Program
 from repro.ebpf.vm import EbpfVm, VmFault
 from repro.sim import costs as _costs
@@ -35,7 +36,7 @@ class XdpAction(enum.IntEnum):
     REDIRECT = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class XdpVerdict:
     """Everything the driver needs to act on a program run."""
 
@@ -65,6 +66,18 @@ class XdpContext:
 
     #: Memo entries kept per attached program before a full clear.
     MEMO_MAX = 8192
+    #: After this many consecutive misses the memo stands aside for a
+    #: bypass window before probing again: on all-distinct traffic
+    #: (every frame its own flow) the key build, lookup, and store are
+    #: pure overhead on top of compiled execution.  The window doubles
+    #: while probes stay fruitless (up to MEMO_BYPASS_MAX) and resets on
+    #: the first hit, so cyclic traffic keeps full replay service while
+    #: diverse traffic converges to near-zero memo overhead.  Replays
+    #: and executions are observably identical, so the policy can never
+    #: change a ledger byte — only wall-clock time.
+    MEMO_MISS_LIMIT = 256
+    MEMO_BYPASS_WINDOW = 256
+    MEMO_BYPASS_MAX = 8192
 
     def __init__(self, program: Program) -> None:
         if not program.verified:
@@ -76,11 +89,18 @@ class XdpContext:
         #: helper_calls, charge_ns).  The verdict object itself is
         #: shared across replays; consumers treat verdicts as read-only.
         self._memo: Dict[Tuple, Tuple] = {}
+        self._memo_misses = 0
+        self._memo_bypass = 0
+        self._memo_window = self.MEMO_BYPASS_WINDOW
 
     def _maps_tag(self) -> Tuple:
+        # The program token pins the memo to this exact instruction
+        # stream: swapping the attached program (or rebinding its insns)
+        # can never replay a stale verdict.
         return (
             tuple(m.version for m in self.program.maps.values()),
             _costs.VERSION,
+            _jit.program_token(self.program),
         )
 
     def run(
@@ -134,11 +154,15 @@ class XdpContext:
             return XdpVerdict(XdpAction.PASS, data)
 
         memo_key = tag = None
-        if fastpath.ENABLED:
+        if fastpath.ENABLED and self._memo_bypass:
+            self._memo_bypass -= 1
+        elif fastpath.ENABLED:
             memo_key = (data, ingress_ifindex, rx_queue_index, ktime_ns)
             tag = self._maps_tag()
             hit = self._memo.get(memo_key)
             if hit is not None and hit[0] == tag:
+                self._memo_misses = 0
+                self._memo_window = self.MEMO_BYPASS_WINDOW
                 _, verdict, helper_calls, charge_ns = hit
                 if exec_ctx is not None:
                     exec_ctx.charge(costs.xdp_ctx_setup_ns, label="xdp_setup")
@@ -153,10 +177,30 @@ class XdpContext:
                         rec.count("ebpf.helper_calls", helper_calls)
                     rec.count("ebpf.runs")
                 return verdict
+            self._memo_misses += 1
+            if self._memo_misses >= self.MEMO_MISS_LIMIT:
+                self._memo_misses = 0
+                self._memo_bypass = self._memo_window
+                self._memo_window = min(self._memo_window * 2,
+                                        self.MEMO_BYPASS_MAX)
 
         if exec_ctx is not None:
             exec_ctx.charge(costs.xdp_ctx_setup_ns, label="xdp_setup")
-        vm = EbpfVm(self.program, exec_ctx=exec_ctx, ktime_ns=ktime_ns)
+        # Memo misses execute through compiled code when the fastpath
+        # allows it: cyclic traffic replays from the memo, diverse
+        # traffic runs the JIT, and the interpreter remains the fallback
+        # for declined programs (or EBPF_JIT=0).  Charges and counters
+        # are identical either way by the JIT's charge-exactness
+        # contract, so memo entries are engine-agnostic.
+        compiled = None
+        if fastpath.ENABLED and _jit.ENABLED:
+            compiled = _jit.compiled_for(self.program)
+        if compiled is not None:
+            vm: EbpfVm = _jit.JitVm(compiled, exec_ctx=exec_ctx,
+                                    ktime_ns=ktime_ns)
+        else:
+            _jit.stats_for(self.program.name).interp_runs += 1
+            vm = EbpfVm(self.program, exec_ctx=exec_ctx, ktime_ns=ktime_ns)
         try:
             verdict = vm.run(
                 data,
@@ -177,9 +221,12 @@ class XdpContext:
             insns_executed=vm.insns_executed,
             touched_data=vm.touched_pkt_data,
         )
-        if memo_key is not None and self._maps_tag() == tag:
-            # The run left its maps untouched, so it is a pure function
-            # of the memo key and may be replayed.
+        if memo_key is not None and tag[0] == tuple(
+                m.version for m in self.program.maps.values()):
+            # The run left its maps untouched (the cost table and the
+            # program cannot change mid-run, so only the version vector
+            # needs rechecking): it is a pure function of the memo key
+            # and may be replayed.
             if len(self._memo) >= self.MEMO_MAX:
                 self._memo.clear()
             self._memo[memo_key] = (

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.ebpf import jit as _jit
 from repro.ebpf.program import Program
 from repro.ebpf.vm import EbpfVm, VmFault
 from repro.kernel.netdev import NetDevice
 from repro.net.packet import Packet
-from repro.sim import trace
+from repro.sim import fastpath, trace
 from repro.sim.cpu import ExecContext
 
 TC_ACT_OK = 0
@@ -54,7 +55,17 @@ class TcIngressHook:
         if prof is not None:
             prof.enter(f"tc:{self.program.name}")
         try:
-            vm = EbpfVm(self.program, exec_ctx=ctx)
+            # Compiled (JIT) execution when the fastpath allows it; the
+            # charge/counter sequence is identical either way, so the
+            # ledger cannot tell which path ran.
+            compiled = None
+            if fastpath.ENABLED and _jit.ENABLED:
+                compiled = _jit.compiled_for(self.program)
+            if compiled is not None:
+                vm = _jit.JitVm(compiled, exec_ctx=ctx)
+            else:
+                _jit.stats_for(self.program.name).interp_runs += 1
+                vm = EbpfVm(self.program, exec_ctx=ctx)
             try:
                 verdict = vm.run(pkt.data,
                                  ingress_ifindex=self.device.ifindex)

@@ -12,6 +12,9 @@ operator actually runs:
   real-OVS-style events-per-second rate columns (per *virtual* second),
 * ``dpctl/dump-conntrack`` — the connection table,
 * ``metrics/show`` — the attached virtual-time metrics sampler's view,
+* ``fastpath/show`` — which wall-clock fastpath layers are active
+  (burst classification, verdict memos, the eBPF JIT) and per-program
+  JIT compile/run/fallback counts,
 * ``ofproto/trace`` — inject a synthetic packet and narrate every
   decision the datapath would take, without taking any of them,
 * ``fdb/stats`` equivalents come from the bridges' OpenFlow dumps.
@@ -218,6 +221,46 @@ class OvsAppctl:
         if s is None:
             return "(no metrics sampler attached)"
         return s.render()
+
+    # ------------------------------------------------------------------
+    def fastpath_show(self) -> str:
+        """``ovs-appctl fastpath/show``: the wall-clock fastpath layers
+        (none of which may change a single observable byte) and the
+        per-program eBPF JIT counters.
+
+        ``jit`` counts compiled runs, ``interp`` counts interpreter
+        fallbacks; a program with a decline reason shows why the
+        translator refused it.
+        """
+        from repro.ebpf import jit
+        from repro.ovs import dpif_netdev
+        from repro.sim import fastpath
+
+        def onoff(flag: bool) -> str:
+            return "on" if flag else "off"
+
+        lines = [
+            f"batch-classify: {onoff(dpif_netdev.BATCH_CLASSIFY)}",
+            f"wall-clock memos: {onoff(fastpath.ENABLED)}",
+            "ebpf-jit: "
+            + onoff(fastpath.ENABLED and jit.ENABLED)
+            + ("" if jit.ENABLED else " (EBPF_JIT=0)"),
+        ]
+        stats = jit.stats()
+        if not stats:
+            lines.append("(no eBPF programs run yet)")
+            return "\n".join(lines)
+        lines.append("program               compiled  jit-runs  interp-runs")
+        for name in sorted(stats):
+            st = stats[name]
+            compiled = "yes" if st.compiled else "no"
+            lines.append(
+                f"{name:20s}  {compiled:8s}  {st.jit_runs:8d}  "
+                f"{st.interp_runs:11d}"
+            )
+            if st.declined:
+                lines.append(f"  declined: {st.declined}")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     def faults_show(self) -> str:

@@ -1,0 +1,100 @@
+"""CI gate: the eBPF JIT must be invisible to every observable.
+
+For each experiment (fig2, fig9, table2, table5) this runs the workload
+twice — once with the JIT enabled (the default fastpath) and once with
+it disabled (interpreter + verdict memo) — and byte-diffs the trace
+ledger, the counter map, and the collapsed-stack flamegraph.  Any
+difference is a charge-exactness bug in the translator and fails the
+build.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.jit_gate [--experiments fig2,...]
+
+Exit status 0 when every experiment is byte-identical, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+from typing import Dict, Tuple
+
+from repro.ebpf import jit
+from repro.sim import profile
+from repro.sim.profile import collapse
+
+PACKETS = {"fig2": 400, "fig9": 300, "table2": 400, "table5": 500}
+
+
+def _run_experiment(experiment: str, packets: int) -> None:
+    if experiment == "fig2":
+        from repro.experiments.fig2_single_flow import run_fig2
+
+        run_fig2(packets=packets)
+    elif experiment == "fig9":
+        from repro.experiments.fig9_forwarding import run_fig9
+
+        run_fig9(packets=packets, scenarios=("P2P",))
+    elif experiment == "table2":
+        from repro.experiments.table2_optimizations import run_table2
+
+        run_table2(packets=packets)
+    else:
+        from repro.experiments.table5_xdp_cost import run_table5
+
+        run_table5(packets=packets)
+
+
+def _observe(experiment: str, jit_on: bool) -> Tuple[str, Dict, str]:
+    with contextlib.ExitStack() as stack:
+        if not jit_on:
+            stack.enter_context(jit.disabled())
+        rec = stack.enter_context(profile.profiling())
+        _run_experiment(experiment, PACKETS[experiment])
+    return rec.ledger(), dict(rec.counters), collapse(rec.profiler.root)
+
+
+def check_experiment(experiment: str) -> Tuple[bool, str]:
+    """(ok, detail) for one experiment's JIT-on vs JIT-off diff."""
+    led_on, counters_on, flame_on = _observe(experiment, jit_on=True)
+    led_off, counters_off, flame_off = _observe(experiment, jit_on=False)
+    if led_on != led_off:
+        return False, "trace ledger differs"
+    if counters_on != counters_off:
+        diff = {
+            k: (counters_on.get(k), counters_off.get(k))
+            for k in set(counters_on) | set(counters_off)
+            if counters_on.get(k) != counters_off.get(k)
+        }
+        return False, f"counters differ: {diff!r}"
+    if flame_on != flame_off:
+        return False, "collapsed-stack flamegraph differs"
+    if not (led_on and flame_on and counters_on.get("ebpf.runs")):
+        return False, "vacuous run: no ledger/flame/ebpf activity"
+    return True, (f"ledger {len(led_on)}B, {len(counters_on)} counters, "
+                  f"flame {len(flame_on)}B identical")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiments",
+                        default=",".join(sorted(PACKETS)),
+                        help="comma-separated subset to check")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for experiment in args.experiments.split(","):
+        experiment = experiment.strip()
+        if experiment not in PACKETS:
+            print(f"{experiment}: unknown experiment")
+            failed = True
+            continue
+        ok, detail = check_experiment(experiment)
+        print(f"{experiment:8s} {'OK' if ok else 'FAIL'}  {detail}")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,257 @@
+"""Unit gates for the eBPF JIT: compilation coverage, charge-exactness,
+cache invalidation, decline fallback, and the memo stale-verdict fix."""
+
+import pytest
+
+from repro.ebpf import jit, programs
+from repro.ebpf.helpers import Helper
+from repro.ebpf.isa import Insn, Reg
+from repro.ebpf.maps import HashMap
+from repro.ebpf.program import Program, ProgramBuilder
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import EbpfVm, VmFault
+from repro.ebpf.xdp import XdpAction, XdpContext
+from repro.sim import fastpath, trace
+
+PKT = bytes(range(64))
+
+
+def _build(build_fn, name="jit_t"):
+    b = ProgramBuilder(name)
+    build_fn(b)
+    return verify(b.build())
+
+
+class _ChargeLog:
+    def __init__(self):
+        self.charges = []
+
+    def charge(self, ns, label=None):
+        self.charges.append((label, ns))
+
+
+def _run_both(program, pkt=PKT, **kwargs):
+    """Run on interpreter and JIT; returns ((verdict, vm, charges) * 2)."""
+    compiled = jit.compiled_for(program)
+    assert compiled is not None, jit.stats_for(program.name).declined
+    out = []
+    for vm_factory in (
+        lambda c: EbpfVm(program, exec_ctx=c, ktime_ns=kwargs.get("ktime", 0)),
+        lambda c: jit.JitVm(compiled, exec_ctx=c,
+                            ktime_ns=kwargs.get("ktime", 0)),
+    ):
+        log = _ChargeLog()
+        vm = vm_factory(log)
+        try:
+            verdict = vm.run(pkt, ingress_ifindex=kwargs.get("ifindex", 0),
+                             rx_queue_index=kwargs.get("queue", 0))
+        except VmFault as exc:
+            verdict = ("fault", str(exc))
+        out.append((verdict, vm, log.charges))
+    return out[0], out[1]
+
+
+ALL_PROGRAMS = [
+    ("drop", lambda: programs.drop_program()),
+    ("pass", lambda: programs.pass_program()),
+    ("parse_drop", lambda: programs.parse_drop_program()),
+    ("parse_lookup_drop", lambda: programs.parse_lookup_drop_program()[0]),
+    ("parse_swap_tx", lambda: programs.parse_swap_tx_program()),
+    ("l2_forward", lambda: programs.l2_forward_program()[0]),
+    ("xsk_redirect", lambda: programs.xsk_redirect_program()[0]),
+    ("steering", lambda: programs.steering_program()[0]),
+    ("container_redirect",
+     lambda: programs.container_redirect_program()[0]),
+    ("l4_load_balancer", lambda: programs.l4_load_balancer_program()[0]),
+]
+
+
+class TestCompilationCoverage:
+    @pytest.mark.parametrize("name,factory", ALL_PROGRAMS)
+    def test_every_library_program_compiles(self, name, factory):
+        program = factory()
+        compiled = jit.compiled_for(program)
+        assert compiled is not None, (
+            f"{name} declined: {jit.stats_for(program.name).declined}"
+        )
+        assert jit.stats_for(program.name).compiled
+        assert "def _jit_entry" in compiled.source
+
+    @pytest.mark.parametrize("name,factory", ALL_PROGRAMS)
+    def test_library_program_equivalence(self, name, factory):
+        program = factory()
+        for pkt in (PKT, PKT[:14], b"", bytes(128)):
+            (v1, vm1, c1), (v2, vm2, c2) = _run_both(
+                program, pkt=pkt, ifindex=3, queue=1)
+            assert v1 == v2
+            assert vm1.pkt_bytes() == vm2.pkt_bytes()
+            assert c1 == c2
+            assert vm1.last_charge_ns == vm2.last_charge_ns
+            assert vm1.insns_executed == vm2.insns_executed
+            assert vm1.last_helper_calls == vm2.last_helper_calls
+            assert vm1.redirect_target == vm2.redirect_target
+            assert vm1.touched_pkt_data == vm2.touched_pkt_data
+
+
+class TestChargeExactness:
+    def test_trace_counters_match(self):
+        program = _build(lambda b: (
+            b.mov_reg(Reg.R2, Reg.R1),
+            b.ldxw(Reg.R2, Reg.R1, 0),
+            b.ldxb(Reg.R0, Reg.R2, 5),
+            b.call(Helper.KTIME_GET_NS),
+            b.exit_(),
+        ))
+        compiled = jit.compiled_for(program)
+        ledgers = []
+        counters = []
+        for factory in (lambda: EbpfVm(program),
+                        lambda: jit.JitVm(compiled)):
+            with trace.recording() as rec:
+                factory().run(PKT)
+            ledgers.append(rec.ledger())
+            counters.append(dict(rec.counters))
+        assert counters[0] == counters[1]
+        assert counters[0]["ebpf.insns_retired"] == 5
+        assert counters[0]["ebpf.helper_calls"] == 1
+        assert counters[0]["ebpf.runs"] == 1
+        assert ledgers[0] == ledgers[1]
+
+    def test_first_touch_charge_order_and_fault_paths(self):
+        # An OOB packet load *after* a good one: the dma_first_touch
+        # charge lands, the final aggregate charge does not, and the
+        # fault message is the interpreter's, byte for byte.
+        program = _build(lambda b: (
+            b.mov_reg(Reg.R2, Reg.R1),
+            b.ldxw(Reg.R2, Reg.R1, 0),
+            b.ldxb(Reg.R3, Reg.R2, 0),
+            b.ldxw(Reg.R4, Reg.R2, 1000),
+            b.exit_(),
+        ))
+        (v1, vm1, c1), (v2, vm2, c2) = _run_both(program)
+        assert v1 == v2
+        assert isinstance(v1, tuple) and v1[0] == "fault"
+        assert "out-of-bounds load pkt[1000:1004]" in v1[1]
+        assert c1 == c2 == [("dma_first_touch",
+                             __import__("repro.sim.costs",
+                                        fromlist=["DEFAULT_COSTS"])
+                             .DEFAULT_COSTS.dma_first_touch_ns)]
+        # Faulted runs never retire instructions in either engine.
+        assert vm1.insns_executed == vm2.insns_executed == 0
+
+    def test_map_flush_and_versions_match(self):
+        program, fib = programs.parse_lookup_drop_program()
+        key = programs.l2_key(PKT[0:6])
+        fib.update(key, (1).to_bytes(4, "little"))
+        v_before = fib.version
+        (v1, _, _), (v2, _, _) = _run_both(program)
+        assert v1 == v2
+        # Read-only lookups must not bump the version on either path.
+        assert fib.version == v_before
+
+    def test_prandom_stream_matches(self):
+        program = _build(lambda b: (
+            b.call(Helper.GET_PRANDOM_U32),
+            b.mov_reg(Reg.R6, Reg.R0),
+            b.call(Helper.GET_PRANDOM_U32),
+            b.xor_reg(Reg.R0, Reg.R6),
+            b.exit_(),
+        ), name="prandom_t")
+        (v1, _, _), (v2, _, _) = _run_both(program)
+        assert v1 == v2
+
+
+class TestCacheInvalidation:
+    def test_compiled_once_and_cached(self):
+        program = _build(lambda b: b.mov_imm(Reg.R0, 1).exit_())
+        c1 = jit.compiled_for(program)
+        c2 = jit.compiled_for(program)
+        assert c1 is c2
+
+    def test_rebinding_insns_recompiles(self):
+        program = _build(lambda b: b.mov_imm(Reg.R0, 1).exit_())
+        assert jit.JitVm(jit.compiled_for(program)).run(PKT) == 1
+        program.insns = (Insn("mov_imm", dst=0, imm=7), Insn("exit"))
+        compiled = jit.compiled_for(program)
+        assert jit.JitVm(compiled).run(PKT) == 7
+
+    def test_rebinding_a_map_recompiles(self):
+        table = HashMap(key_size=1, value_size=1, max_entries=4)
+        b = ProgramBuilder("map_rebind_t")
+        map_id = b.declare_map(table)
+        b.ld_map(Reg.R6, map_id)
+        b.mov_imm(Reg.R0, 0)
+        b.exit_()
+        program = verify(b.build())
+        c1 = jit.compiled_for(program)
+        program.maps[map_id] = HashMap(key_size=1, value_size=1,
+                                       max_entries=4)
+        c2 = jit.compiled_for(program)
+        assert c1 is not c2
+
+    def test_program_token_changes_with_insns(self):
+        program = _build(lambda b: b.mov_imm(Reg.R0, 1).exit_())
+        t1 = jit.program_token(program)
+        assert jit.program_token(program) == t1
+        program.insns = tuple(list(program.insns))  # new tuple object
+        assert jit.program_token(program) != t1
+
+
+class TestDeclineFallback:
+    def test_unknown_opcode_declines_and_interpreter_still_runs(self):
+        # Forge a verified program with an opcode the translator does
+        # not know; compiled_for must decline, and the XDP layer must
+        # fall back to the interpreter (which faults -> ABORTED).
+        program = Program("forged", (Insn("bogus_op"), Insn("exit")),
+                          verified=True)
+        assert jit.compiled_for(program) is None
+        st = jit.stats_for("forged")
+        assert not st.compiled
+        assert "unsupported opcode" in st.declined
+        ctx = XdpContext(program)
+        with fastpath.disabled():
+            verdict = ctx.run(PKT)
+        assert verdict.action == XdpAction.ABORTED
+
+    def test_unverified_program_never_compiles(self):
+        b = ProgramBuilder("unverified_t")
+        b.mov_imm(Reg.R0, 1)
+        b.exit_()
+        assert jit.compiled_for(b.build()) is None
+
+    def test_disabled_context_manager(self):
+        assert jit.ENABLED in (True, False)
+        saved = jit.ENABLED
+        with jit.disabled():
+            assert not jit.ENABLED
+        assert jit.ENABLED == saved
+
+    def test_stats_count_jit_and_interp_runs(self):
+        program = programs.drop_program()
+        st = jit.stats_for(program.name)
+        ctx = XdpContext(program)
+        jit_before, interp_before = st.jit_runs, st.interp_runs
+        ctx.run(PKT)  # fastpath+jit default on -> compiled run
+        assert st.jit_runs == jit_before + 1
+        with jit.disabled():
+            XdpContext(program).run(bytes(33))  # fresh frame, no memo
+        assert st.interp_runs == interp_before + 1
+
+
+class TestMemoStaleVerdict:
+    def test_reattached_program_is_not_replayed(self):
+        """PR 2's verdict memo keyed only on frame+maps+costs; swapping
+        the attached program mid-run must not replay the old verdict."""
+        ctx = XdpContext(programs.drop_program())
+        with jit.disabled():  # exercise the memo path specifically
+            assert ctx.run(PKT).action == XdpAction.DROP
+            ctx.program = programs.pass_program()
+            assert ctx.run(PKT).action == XdpAction.PASS
+
+    def test_insn_rebind_is_not_replayed(self):
+        program = programs.drop_program()
+        ctx = XdpContext(program)
+        with jit.disabled():
+            assert ctx.run(PKT).action == XdpAction.DROP
+            program.insns = (Insn("mov_imm", dst=0, imm=2), Insn("exit"))
+            assert ctx.run(PKT).action == XdpAction.PASS

@@ -1,0 +1,287 @@
+"""Hypothesis differential suite: JIT vs interpreter, bit for bit.
+
+Every library program (plus hand-built hostile ones that fault) is run
+twice over randomized map state, packet bytes, context metadata, and
+fault plans — once through the compiled fastpath, once through the pure
+interpreter with the fastpath disabled.  The two executions must agree
+on the verdict, the (possibly rewritten) packet bytes, the redirect
+target, the final map contents and versions, the exact charge sequence,
+and every trace counter — including the ``VmFault`` -> ``XDP_ABORTED``
+paths.  Both sides build a fresh program instance from the same factory
+and replay the same map-population plan, so mutating programs cannot
+leak state between the engines.
+"""
+
+import contextlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebpf import jit, programs
+from repro.ebpf.isa import Reg
+from repro.ebpf.maps import ArrayMap, DevMap, HashMap
+from repro.ebpf.program import ProgramBuilder
+from repro.ebpf.verifier import verify
+from repro.ebpf.xdp import XdpAction, XdpContext
+from repro.sim import fastpath, faults, trace
+
+import pytest
+
+
+class _ChargeLog:
+    """A minimal ExecContext stand-in that records (label, ns) pairs."""
+
+    def __init__(self):
+        self.charges = []
+
+    def charge(self, ns, label=None):
+        self.charges.append((label, ns))
+
+
+def _hostile_oob_load():
+    """Reads far past the end of any packet we generate -> VmFault."""
+    b = ProgramBuilder("hostile_oob_load")
+    b.mov_reg(Reg.R2, Reg.R1)
+    b.ldxw(Reg.R2, Reg.R1, 0)
+    b.ldxw(Reg.R3, Reg.R2, 4096)
+    b.mov_imm(Reg.R0, 2)
+    b.exit_()
+    return verify(b.build())
+
+
+def _hostile_oob_store():
+    """Writes past the 512-byte stack -> VmFault on the store path."""
+    b = ProgramBuilder("hostile_oob_store")
+    b.mov_reg(Reg.R2, Reg.R10)
+    b.stw(Reg.R2, 64, 7)
+    b.mov_imm(Reg.R0, 2)
+    b.exit_()
+    return verify(b.build())
+
+
+def _hostile_ptr_return():
+    """Returns a pointer instead of a scalar verdict -> VmFault at exit."""
+    b = ProgramBuilder("hostile_ptr_return")
+    b.mov_reg(Reg.R0, Reg.R10)
+    b.exit_()
+    return verify(b.build())
+
+
+FACTORIES = {
+    "drop": lambda: programs.drop_program(),
+    "pass": lambda: programs.pass_program(),
+    "parse_drop": lambda: programs.parse_drop_program(),
+    "parse_lookup_drop": lambda: programs.parse_lookup_drop_program()[0],
+    "parse_swap_tx": lambda: programs.parse_swap_tx_program(),
+    "l2_forward": lambda: programs.l2_forward_program()[0],
+    "xsk_redirect": lambda: programs.xsk_redirect_program()[0],
+    "steering": lambda: programs.steering_program()[0],
+    "container_redirect": lambda: programs.container_redirect_program()[0],
+    "l4_load_balancer": lambda: programs.l4_load_balancer_program()[0],
+    "hostile_oob_load": _hostile_oob_load,
+    "hostile_oob_store": _hostile_oob_store,
+    "hostile_ptr_return": _hostile_ptr_return,
+}
+
+
+# --------------------------------------------------------------------------
+# Strategies
+
+
+def _eth_frame(dst, src, ethertype, rest):
+    return dst + src + ethertype + rest
+
+
+_eth_packets = st.builds(
+    _eth_frame,
+    st.binary(min_size=6, max_size=6),
+    st.binary(min_size=6, max_size=6),
+    st.sampled_from([b"\x08\x00", b"\x86\xdd", b"\x08\x06", b"\x12\x34"]),
+    st.binary(max_size=80),
+)
+
+_packets = st.one_of(st.binary(max_size=96), _eth_packets)
+
+
+def _draw_map_plan(data, program, pkt):
+    """One population plan per map id, replayable on a fresh instance.
+
+    HashMap keys are sometimes derived from the packet prefix so that
+    programs whose lookup keys come from header fields (l2 fib,
+    container ip table, LB 5-tuple) actually take their hit paths.
+    """
+    plan = {}
+    for map_id in sorted(program.maps):
+        m = program.maps[map_id]
+        ops = []
+        n = data.draw(st.integers(min_value=0,
+                                  max_value=min(m.max_entries, 4)),
+                      label=f"map{map_id}.entries")
+        if isinstance(m, DevMap):  # includes XskMap
+            for i in range(n):
+                slot = data.draw(
+                    st.integers(min_value=0, max_value=m.max_entries - 1),
+                    label=f"map{map_id}.slot{i}")
+                ifindex = data.draw(st.integers(min_value=1, max_value=9),
+                                    label=f"map{map_id}.ifindex{i}")
+                ops.append(("dev", slot, ifindex))
+        elif isinstance(m, HashMap):
+            for i in range(n):
+                from_pkt = data.draw(st.booleans(),
+                                     label=f"map{map_id}.frompkt{i}")
+                if from_pkt:
+                    key = (bytes(pkt) + bytes(m.key_size))[:m.key_size]
+                else:
+                    key = data.draw(
+                        st.binary(min_size=m.key_size, max_size=m.key_size),
+                        label=f"map{map_id}.key{i}")
+                value = data.draw(
+                    st.binary(min_size=m.value_size,
+                              max_size=m.value_size),
+                    label=f"map{map_id}.value{i}")
+                ops.append(("hash", key, value))
+        plan[map_id] = ops
+    return plan
+
+
+def _apply_map_plan(plan, program):
+    for map_id, ops in plan.items():
+        m = program.maps[map_id]
+        for op in ops:
+            if op[0] == "dev":
+                m.set_dev(op[1], op[2])
+            else:
+                m.update(op[1], op[2])
+
+
+def _dump_maps(program):
+    """Full observable state of every map: version + contents."""
+    out = {}
+    for map_id in sorted(program.maps):
+        m = program.maps[map_id]
+        if isinstance(m, DevMap):
+            state = tuple(sorted(m._slots.items()))
+        elif isinstance(m, HashMap):
+            state = tuple(sorted(m._table.items()))
+        elif isinstance(m, ArrayMap):
+            state = tuple(m._slots)
+        else:
+            state = tuple(sorted(getattr(m, "_entries", {}).items()))
+        out[map_id] = (m.version, state)
+    return out
+
+
+def _norm_redirect(redirect, program):
+    """Replace the map object with its program-local id so redirect
+    targets compare across two independent program instances."""
+    if redirect is None:
+        return None
+    if redirect[0] == "ifindex":
+        return redirect
+    _, bpf_map, slot = redirect
+    for map_id, m in program.maps.items():
+        if m is bpf_map:
+            return ("map", map_id, slot)
+    return ("map", "?", slot)
+
+
+def _fault_plan(seed, nth):
+    return faults.FaultPlan(
+        seed=seed,
+        rules=[faults.FaultRule("ebpf.map_lookup_fault",
+                                nth=nth, max_fires=2)],
+    )
+
+
+def _observe(factory, map_plan, pkt, ktime, ifindex, queue, fault, jit_on):
+    """Run one engine over a fresh program instance; return everything
+    the outside world could notice."""
+    program = factory()
+    _apply_map_plan(map_plan, program)
+    ctx = XdpContext(program)
+    log = _ChargeLog()
+    with contextlib.ExitStack() as stack:
+        if jit_on:
+            assert fastpath.ENABLED and jit.ENABLED
+        else:
+            stack.enter_context(fastpath.disabled())
+        if fault is not None:
+            stack.enter_context(faults.injecting(_fault_plan(*fault)))
+        rec = stack.enter_context(trace.recording())
+        verdict = ctx.run(pkt, exec_ctx=log, ingress_ifindex=ifindex,
+                          rx_queue_index=queue, ktime_ns=ktime)
+        counters = dict(rec.counters)
+        ledger = rec.ledger()
+    return {
+        "action": verdict.action,
+        "data": bytes(verdict.data),
+        "redirect": _norm_redirect(verdict.redirect, program),
+        "insns": verdict.insns_executed,
+        "touched": verdict.touched_data,
+        "charges": log.charges,
+        "counters": counters,
+        "ledger": ledger,
+        "maps": _dump_maps(program),
+    }
+
+
+# --------------------------------------------------------------------------
+# The differential property
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_jit_matches_interpreter(name, data):
+    factory = FACTORIES[name]
+    pkt = data.draw(_packets, label="packet")
+    ktime = data.draw(st.integers(min_value=0, max_value=10**9),
+                      label="ktime")
+    ifindex = data.draw(st.integers(min_value=0, max_value=7),
+                        label="ifindex")
+    queue = data.draw(st.integers(min_value=0, max_value=3), label="queue")
+    fault = None
+    if data.draw(st.booleans(), label="inject_fault"):
+        fault = (data.draw(st.integers(min_value=0, max_value=2**16),
+                           label="fault_seed"),
+                 data.draw(st.integers(min_value=1, max_value=3),
+                           label="fault_nth"))
+    map_plan = _draw_map_plan(data, factory(), pkt)
+
+    jit_side = _observe(factory, map_plan, pkt, ktime, ifindex, queue,
+                        fault, jit_on=True)
+    interp_side = _observe(factory, map_plan, pkt, ktime, ifindex, queue,
+                           fault, jit_on=False)
+    assert jit_side == interp_side
+
+
+@pytest.mark.parametrize(
+    "name", ["hostile_oob_load", "hostile_oob_store", "hostile_ptr_return"])
+def test_hostile_programs_abort_identically(name):
+    """Faulting programs compile, run, and abort the same on both
+    engines.  A mid-run fault (the OOB accesses) retires no
+    instructions; a bad *verdict* (pointer return) faults only after
+    the run's counters have flushed — on both engines alike."""
+    factory = FACTORIES[name]
+    assert jit.compiled_for(factory()) is not None
+    for jit_on in (True, False):
+        obs = _observe(factory, {}, bytes(64), 0, 0, 0, None, jit_on)
+        assert obs["action"] == XdpAction.ABORTED
+        if name != "hostile_ptr_return":
+            assert "ebpf.insns_retired" not in obs["counters"]
+    jit_side = _observe(factory, {}, bytes(64), 0, 0, 0, None, True)
+    interp_side = _observe(factory, {}, bytes(64), 0, 0, 0, None, False)
+    assert jit_side == interp_side
+
+
+def test_lookup_fault_path_is_shared(capsys):
+    """The injected map-lookup fault is consulted before either engine
+    dispatches, so both sides see the same PASS + charge shape."""
+    program = programs.parse_lookup_drop_program()[0]
+    obs = []
+    for jit_on in (True, False):
+        obs.append(_observe(lambda: programs.parse_lookup_drop_program()[0],
+                            {}, bytes(64), 0, 0, 0, (3, 1), jit_on))
+    assert obs[0] == obs[1]
+    assert obs[0]["action"] == XdpAction.PASS
+    assert obs[0]["counters"].get("ebpf.map_lookup_faults") == 1

@@ -176,6 +176,33 @@ def test_trace_rolls_back_openflow_counters(world):
 
 
 # ---------------------------------------------------------------------------
+# fastpath/show.
+# ---------------------------------------------------------------------------
+def test_fastpath_show_lists_layers_and_jit_counts(world):
+    from repro.ebpf import jit
+    from repro.ebpf.programs import drop_program
+    from repro.ebpf.xdp import XdpContext
+
+    host, vs, _p1, _p2 = world
+    appctl = OvsAppctl(vs)
+    out = appctl.fastpath_show()
+    assert "batch-classify: on" in out
+    assert "wall-clock memos: on" in out
+    assert "ebpf-jit: on" in out
+
+    jit.reset_stats()
+    assert "(no eBPF programs run yet)" in appctl.fastpath_show()
+    program = drop_program()
+    XdpContext(program).run(bytes(60))
+    out = appctl.fastpath_show()
+    assert program.name in out
+    st = jit.stats_for(program.name)
+    assert st.jit_runs == 1 and st.compiled
+    with jit.disabled():
+        assert "ebpf-jit: off (EBPF_JIT=0)" in appctl.fastpath_show()
+
+
+# ---------------------------------------------------------------------------
 # metrics/show and coverage/show.
 # ---------------------------------------------------------------------------
 def test_metrics_show_renders_attached_sampler(world):
