@@ -41,14 +41,21 @@ EXPERIMENTS = {
               "repro.experiments.fig12_multiqueue"),
     "degradation": ("Robustness: degradation under injected faults",
                     "repro.experiments.degradation"),
+    "matrix": ("Performance matrix: lossless-rate sweep "
+               "(own flags; see `matrix --help`)",
+               "repro.perfmatrix.matrix"),
 }
 
 
 USAGE = """\
 usage: python -m repro [--list] [--trace] [--profile] [experiment ...]
+       python -m repro matrix [--quick|--full] [--out PATH] [...]
 
 Reproduce the paper's tables and figures.  With no arguments, runs
-every experiment.
+every experiment.  The ``matrix`` subcommand sweeps the automated
+performance matrix (packet size x flows x datapath x topology) and
+binary-searches each cell's maximum lossless rate; it takes its own
+flags — see ``python -m repro matrix --help``.
 
 options:
   -h, --help     show this message and exit
@@ -64,6 +71,12 @@ options:
 
 
 def main(argv: "list[str]") -> int:
+    if argv and argv[0] == "matrix":
+        # The matrix harness owns its argv (grid subsetting, --out, ...);
+        # everything after the subcommand is forwarded verbatim.
+        from repro.perfmatrix.matrix import main as matrix_main
+
+        return matrix_main(argv[1:])
     if "--help" in argv or "-h" in argv:
         print(USAGE)
         for key, (title, _module) in EXPERIMENTS.items():

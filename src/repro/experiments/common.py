@@ -14,10 +14,24 @@ The measurement methodology mirrors the paper's:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.sim.cpu import CpuCategory, CpuModel
 from repro.sim.stats import line_rate_mpps, smt_effective_lanes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hosts.host import Host
+    from repro.net.packet import Packet
+    from repro.traffic.trex import TrexStream
+
+WARMUP_PACKETS = 64
+
+
+def warmup_count(stream: "TrexStream") -> int:
+    """Enough warmup to install every flow's caches before measuring
+    (the paper measures steady state: per-flow setup is amortised over
+    minutes of traffic, not over our short measured window)."""
+    return max(WARMUP_PACKETS, 2 * stream.flows.n_flows)
 
 
 @dataclass
@@ -121,3 +135,49 @@ def reduce_run(
         cpu_util={k: round(v, 2) for k, v in util.items()},
         capped_by_line=capped,
     )
+
+
+def measured_drive(
+    host: "Host",
+    inject: "Callable[[Packet], None]",
+    pump: Callable[[], None],
+    link_gbps: float,
+    pmd_cpus: "tuple[int, ...]" = (),
+    chunk: int = 32,
+    warmup_pump: Optional[Callable[[], None]] = None,
+    prepare: "Optional[Callable[[TrexStream], None]]" = None,
+) -> "Callable[[TrexStream, int], PipelineMeasurement]":
+    """Build the canonical measured drive loop of every forwarding bench.
+
+    All the P2P/PVP/PCP benches (and the matrix cells layered on them)
+    share one measurement shape: optional per-stream ``prepare``, a
+    warmup long enough to install every flow's caches (pumped after each
+    packet with ``warmup_pump``, default ``pump``), a CPU snapshot, then
+    the measured window injected in ``chunk``-sized bursts with ``pump``
+    run after each burst, reduced by :func:`reduce_run`.  The knobs are
+    exactly where the benches differ: the injection point, the service
+    discipline, the burst size, and which CPUs are poll-mode lanes.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be at least one packet")
+
+    def drive(stream: "TrexStream", n_packets: int) -> PipelineMeasurement:
+        if prepare is not None:
+            prepare(stream)
+        warm = warmup_pump or pump
+        for pkt in stream.burst(warmup_count(stream)):
+            inject(pkt)
+            warm()
+        before = CpuSnapshot.take(host.cpu)
+        sent = 0
+        while sent < n_packets:
+            n = min(chunk, n_packets - sent)
+            for pkt in stream.burst(n):
+                inject(pkt)
+            sent += n
+            pump()
+        return reduce_run(host.cpu, before, n_packets,
+                          link_gbps=link_gbps, frame_len=stream.frame_len,
+                          pmd_cpus=pmd_cpus)
+
+    return drive

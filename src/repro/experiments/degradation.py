@@ -25,7 +25,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.afxdp.driver import AfxdpOptions
 from repro.experiments.common import CpuSnapshot, reduce_run
-from repro.experiments.p2p import _base_host, warmup_count
+from repro.experiments.common import warmup_count
+from repro.experiments.p2p import _base_host
 from repro.ovs.match import Match
 from repro.ovs.ofactions import OutputAction
 from repro.ovs.openflow import OpenFlowConnection

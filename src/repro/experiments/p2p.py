@@ -29,16 +29,11 @@ from repro.ovs.openflow import OpenFlowConnection
 from repro.ovs.pmd import PmdThread
 from repro.sim.cpu import ExecContext
 from repro.traffic.trex import TrexStream
-from repro.experiments.common import CpuSnapshot, PipelineMeasurement, reduce_run
-
-WARMUP_PACKETS = 64
-
-
-def warmup_count(stream: TrexStream) -> int:
-    """Enough warmup to install every flow's caches before measuring
-    (the paper measures steady state: per-flow setup is amortised over
-    minutes of traffic, not over our short measured window)."""
-    return max(WARMUP_PACKETS, 2 * stream.flows.n_flows)
+from repro.experiments.common import (
+    PipelineMeasurement,
+    measured_drive,
+    warmup_count,  # noqa: F401  (re-exported; historic home of the helper)
+)
 
 
 @dataclass
@@ -89,24 +84,17 @@ def kernel_p2p(
     of = OpenFlowConnection(vs.bridge("br0"))
     of.add_flow(0, 10, Match(in_port=p_in.ofport), [OutputAction("ens2")])
 
-    def drive(stream: TrexStream, n_packets: int) -> PipelineMeasurement:
-        for pkt in stream.burst(warmup_count(stream)):
-            nic_in.host_receive(pkt)
-            while nic_in.pending():
-                host.kernel.service_nic(nic_in, budget=napi_budget)
-        before = CpuSnapshot.take(host.cpu)
-        sent = 0
-        while sent < n_packets:
-            chunk = min(64, n_packets - sent)
-            for pkt in stream.burst(chunk):
-                nic_in.host_receive(pkt)
-            sent += chunk
-            while nic_in.pending():
-                host.kernel.service_nic(nic_in, budget=napi_budget,
-                                        interrupt_mode=True)
-        return reduce_run(host.cpu, before, n_packets,
-                          link_gbps=link_gbps, frame_len=stream.frame_len)
+    def pump_warmup() -> None:
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=napi_budget)
 
+    def pump() -> None:
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=napi_budget,
+                                    interrupt_mode=True)
+
+    drive = measured_drive(host, nic_in.host_receive, pump, link_gbps,
+                           chunk=64, warmup_pump=pump_warmup)
     return P2PBench(host, nic_in, nic_out, link_gbps, drive)
 
 
@@ -117,27 +105,18 @@ def ebpf_p2p(link_gbps: float = 10.0) -> P2PBench:
     program, fib = l2_forward_program()
     TcIngressHook(nic_in, program, host.kernel.init_ns)
 
-    def drive(stream: TrexStream, n_packets: int) -> PipelineMeasurement:
+    def prepare(stream: TrexStream) -> None:
         fib.update(
             l2_key(stream.next_packet().data[0:6]),
             nic_out.ifindex.to_bytes(4, "little"),
         )
-        for pkt in stream.burst(warmup_count(stream)):
-            nic_in.host_receive(pkt)
-            while nic_in.pending():
-                host.kernel.service_nic(nic_in, budget=8)
-        before = CpuSnapshot.take(host.cpu)
-        sent = 0
-        while sent < n_packets:
-            chunk = min(64, n_packets - sent)
-            for pkt in stream.burst(chunk):
-                nic_in.host_receive(pkt)
-            sent += chunk
-            while nic_in.pending():
-                host.kernel.service_nic(nic_in, budget=8)
-        return reduce_run(host.cpu, before, n_packets,
-                          link_gbps=link_gbps, frame_len=stream.frame_len)
 
+    def pump() -> None:
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=8)
+
+    drive = measured_drive(host, nic_in.host_receive, pump, link_gbps,
+                           chunk=64, prepare=prepare)
     return P2PBench(host, nic_in, nic_out, link_gbps, drive)
 
 
@@ -174,33 +153,18 @@ def afxdp_p2p(
                                      (n_queues + q) % host.cpu.n_cpus)
     interrupt_service = options.interrupt_mode
 
-    def drive(stream: TrexStream, n_packets: int) -> PipelineMeasurement:
-        def pump_all() -> None:
-            while nic_in.pending():
-                host.kernel.service_nic(nic_in, budget=options.batch_size,
-                                        interrupt_mode=interrupt_service)
-                for pmd in pmds:
-                    pmd.run_iteration()
+    def pump_all() -> None:
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=options.batch_size,
+                                    interrupt_mode=interrupt_service)
             for pmd in pmds:
-                pmd.run_until_idle()
+                pmd.run_iteration()
+        for pmd in pmds:
+            pmd.run_until_idle()
 
-        for pkt in stream.burst(warmup_count(stream)):
-            nic_in.host_receive(pkt)
-            pump_all()
-        before = CpuSnapshot.take(host.cpu)
-        sent = 0
-        while sent < n_packets:
-            chunk = min(options.batch_size, n_packets - sent)
-            for pkt in stream.burst(chunk):
-                nic_in.host_receive(pkt)
-            sent += chunk
-            pump_all()
-        return reduce_run(
-            host.cpu, before, n_packets,
-            link_gbps=link_gbps, frame_len=stream.frame_len,
-            pmd_cpus=tuple(range(n_queues)),
-        )
-
+    drive = measured_drive(host, nic_in.host_receive, pump_all, link_gbps,
+                           pmd_cpus=tuple(range(n_queues)),
+                           chunk=options.batch_size)
     return P2PBench(host, nic_in, nic_out, link_gbps, drive)
 
 
@@ -227,26 +191,10 @@ def dpdk_p2p(
         pmd.add_rxq(dp_port, q)
         pmds.append(pmd)
 
-    def drive(stream: TrexStream, n_packets: int) -> PipelineMeasurement:
-        def pump_all() -> None:
-            for pmd in pmds:
-                pmd.run_until_idle()
+    def pump_all() -> None:
+        for pmd in pmds:
+            pmd.run_until_idle()
 
-        for pkt in stream.burst(warmup_count(stream)):
-            nic_in.host_receive(pkt)
-            pump_all()
-        before = CpuSnapshot.take(host.cpu)
-        sent = 0
-        while sent < n_packets:
-            chunk = min(32, n_packets - sent)
-            for pkt in stream.burst(chunk):
-                nic_in.host_receive(pkt)
-            sent += chunk
-            pump_all()
-        return reduce_run(
-            host.cpu, before, n_packets,
-            link_gbps=link_gbps, frame_len=stream.frame_len,
-            pmd_cpus=tuple(range(n_queues)),
-        )
-
+    drive = measured_drive(host, nic_in.host_receive, pump_all, link_gbps,
+                           pmd_cpus=tuple(range(n_queues)), chunk=32)
     return P2PBench(host, nic_in, nic_out, link_gbps, drive)

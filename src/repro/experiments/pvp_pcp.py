@@ -22,8 +22,12 @@ from repro.afxdp.driver import AfxdpOptions
 from repro.dpdk.ethdev import bind_device
 from repro.ebpf.programs import container_ip_key, container_redirect_program
 from repro.ebpf.xdp import XdpContext
-from repro.experiments.common import CpuSnapshot, PipelineMeasurement, reduce_run
-from repro.experiments.p2p import _base_host, warmup_count
+from repro.experiments.common import (
+    PipelineMeasurement,
+    measured_drive,
+    warmup_count,
+)
+from repro.experiments.p2p import _base_host
 from repro.hosts.container import Container
 from repro.hosts.host import Host
 from repro.hosts.vm import VirtualMachine
@@ -84,23 +88,9 @@ class ContainerForwarder:
 
 
 def _measured_drive(host, inject, pump_all, link_gbps, pmd_cpus):
-    def drive(stream: TrexStream, n_packets: int) -> PipelineMeasurement:
-        for pkt in stream.burst(warmup_count(stream)):
-            inject(pkt)
-            pump_all()
-        before = CpuSnapshot.take(host.cpu)
-        sent = 0
-        while sent < n_packets:
-            chunk = min(32, n_packets - sent)
-            for pkt in stream.burst(chunk):
-                inject(pkt)
-            sent += chunk
-            pump_all()
-        return reduce_run(host.cpu, before, n_packets,
-                          link_gbps=link_gbps, frame_len=stream.frame_len,
-                          pmd_cpus=pmd_cpus)
-
-    return drive
+    """The loopback benches' drive: the canonical loop at chunk=32."""
+    return measured_drive(host, inject, pump_all, link_gbps,
+                          pmd_cpus=pmd_cpus, chunk=32)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,202 @@
+"""Matrix cells: one (datapath, topology, frame, flows) measurement.
+
+A cell reuses the paper experiments' topology builders (the
+:mod:`repro.experiments.p2p` / :mod:`repro.experiments.pvp_pcp`
+factories) and the shared
+:func:`repro.experiments.common.measured_drive` loop, then runs the
+TRex-style :class:`~repro.traffic.lossless.LosslessSearch` against the
+measured capacity.  The result is a plain JSON-ready dict, fully
+deterministic: building the same cell twice yields byte-identical
+canonical JSON.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.afxdp.driver import AfxdpOptions
+from repro.experiments.p2p import (
+    P2PBench,
+    afxdp_p2p,
+    dpdk_p2p,
+    ebpf_p2p,
+    kernel_p2p,
+)
+from repro.experiments.pvp_pcp import (
+    afxdp_pcp,
+    afxdp_pvp,
+    dpdk_pcp,
+    dpdk_pvp,
+    kernel_pcp,
+    kernel_pvp,
+)
+from repro.sim import trace
+from repro.sim.stats import line_rate_mpps
+from repro.traffic.lossless import LosslessSearch, capacity_loss_model
+from repro.traffic.trex import FlowSpec, TrexStream
+
+#: The datapath axis, ordered slowest-to-fastest per the paper's Fig. 9.
+DATAPATHS = ("kernel", "ebpf", "afxdp_copy", "afxdp_zc", "dpdk")
+TOPOLOGIES = ("P2P", "PVP", "PCP")
+
+#: Nominal core frequency used to express per-packet cost in cycles
+#: (the paper's testbed runs Xeon cores around this clock).
+CPU_GHZ = 2.6
+
+#: Ledger counters that are packet-drop sinks: anything a cell sheds on
+#: the floor shows up here (AF_XDP ring overruns, upcall shedding, ...).
+_DROP_SINK_RE = re.compile(
+    r"drop|lost|discard|shortfall|overrun|leak|no_fill|no_umem|ring_full"
+)
+
+
+class UnsupportedCell(Exception):
+    """Raised for grid points with no physical analogue (e.g. eBPF PVP)."""
+
+
+def _afxdp(copy_mode: bool) -> AfxdpOptions:
+    return AfxdpOptions(force_copy_mode=copy_mode)
+
+
+#: (datapath, topology) -> bench factory taking link_gbps.  A missing
+#: key is an unsupported combination; ``cell_support`` explains why.
+_FACTORIES: Dict[Tuple[str, str], Callable[[float], object]] = {
+    ("kernel", "P2P"): lambda link: kernel_p2p(n_queues=10, link_gbps=link),
+    ("ebpf", "P2P"): lambda link: ebpf_p2p(link_gbps=link),
+    ("afxdp_copy", "P2P"): lambda link: afxdp_p2p(
+        options=_afxdp(True), link_gbps=link),
+    ("afxdp_zc", "P2P"): lambda link: afxdp_p2p(
+        options=_afxdp(False), link_gbps=link),
+    ("dpdk", "P2P"): lambda link: dpdk_p2p(link_gbps=link),
+    ("kernel", "PVP"): lambda link: kernel_pvp(link_gbps=link),
+    ("afxdp_copy", "PVP"): lambda link: afxdp_pvp(
+        "vhostuser", options=_afxdp(True), link_gbps=link),
+    ("afxdp_zc", "PVP"): lambda link: afxdp_pvp(
+        "vhostuser", options=_afxdp(False), link_gbps=link),
+    ("dpdk", "PVP"): lambda link: dpdk_pvp(link_gbps=link),
+    ("kernel", "PCP"): lambda link: kernel_pcp(link_gbps=link),
+    ("afxdp_zc", "PCP"): lambda link: afxdp_pcp(link_gbps=link),
+    ("dpdk", "PCP"): lambda link: dpdk_pcp(link_gbps=link),
+}
+
+_UNSUPPORTED_REASONS = {
+    ("ebpf", "PVP"): "the tc eBPF datapath has no VM attachment here",
+    ("ebpf", "PCP"): "the tc eBPF datapath has no container attachment here",
+    ("afxdp_copy", "PCP"): (
+        "PCP AF_XDP is the in-kernel XDP-redirect path (Fig. 5 C); "
+        "no XSK is bound, so copy vs zero-copy does not apply"
+    ),
+}
+
+
+def cell_support(datapath: str, topology: str) -> Optional[str]:
+    """None when the combination is runnable, else the reason it is not."""
+    if datapath not in DATAPATHS:
+        raise ValueError(f"unknown datapath {datapath!r}")
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}")
+    if (datapath, topology) in _FACTORIES:
+        return None
+    return _UNSUPPORTED_REASONS[(datapath, topology)]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One point of the sweep surface."""
+
+    topology: str
+    datapath: str
+    frame_len: int
+    n_flows: int
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.datapath not in DATAPATHS:
+            raise ValueError(f"unknown datapath {self.datapath!r}")
+        if self.frame_len < 64 or self.frame_len > 9000:
+            raise ValueError(f"implausible frame length {self.frame_len}")
+        if self.n_flows < 1:
+            raise ValueError("need at least one flow")
+
+    @property
+    def cell_id(self) -> str:
+        return (f"{self.topology.lower()}/{self.datapath}"
+                f"/{self.frame_len}B/{self.n_flows}f")
+
+
+def _drive(bench, stream: TrexStream, packets: int):
+    """Run a bench's drive, collecting drop-sink counter deltas.
+
+    Tracing is read-only observability (it never charges time), so the
+    measurement is identical whether a recorder is attached or not; if
+    the caller already has one attached we ride it via counter deltas
+    instead of nesting (the trace layer forbids nested attach).
+    """
+    active = trace.ACTIVE
+    if active is not None:
+        before = dict(active.counters)
+        measurement = bench.drive(stream, packets)
+        counters = {
+            k: v - before.get(k, 0)
+            for k, v in active.counters.items()
+            if v != before.get(k, 0)
+        }
+    else:
+        with trace.recording() as rec:
+            measurement = bench.drive(stream, packets)
+        counters = dict(rec.counters)
+    drops = {
+        k: v for k, v in counters.items() if v and _DROP_SINK_RE.search(k)
+    }
+    return measurement, drops
+
+
+def run_cell(
+    spec: CellSpec,
+    packets: int = 400,
+    link_gbps: float = 25.0,
+    resolution_mpps: float = 0.01,
+    loss_tolerance: float = 0.0,
+) -> dict:
+    """Measure one cell and binary-search its maximum lossless rate."""
+    reason = cell_support(spec.datapath, spec.topology)
+    if reason is not None:
+        raise UnsupportedCell(reason)
+    if packets < 1:
+        raise ValueError("measure at least one packet")
+    bench = _FACTORIES[(spec.datapath, spec.topology)](link_gbps)
+    # PCP streams must target the container's IP (fig9 does the same):
+    # the loopback path needs packets delivered *to* it, sources still
+    # vary for flow diversity.
+    stream = TrexStream(
+        FlowSpec(n_flows=spec.n_flows, vary_dst=(spec.topology != "PCP")),
+        frame_len=spec.frame_len,
+    )
+    measurement, drops = _drive(bench, stream, packets)
+    search = LosslessSearch(
+        max_rate_mpps=line_rate_mpps(link_gbps, spec.frame_len),
+        resolution_mpps=resolution_mpps,
+        loss_tolerance=loss_tolerance,
+    )
+    result = search.run(capacity_loss_model(measurement.mpps))
+    return {
+        "id": spec.cell_id,
+        "topology": spec.topology,
+        "datapath": spec.datapath,
+        "frame_len": spec.frame_len,
+        "n_flows": spec.n_flows,
+        "packets": packets,
+        "link_gbps": link_gbps,
+        "rate_mpps": result.rate_mpps,
+        "capacity_mpps": measurement.mpps,
+        "ns_per_packet": measurement.ns_per_packet,
+        "cycles_per_packet": measurement.ns_per_packet * CPU_GHZ,
+        "capped_by_line": measurement.capped_by_line,
+        "n_busy_lanes": measurement.n_busy_lanes,
+        "cpu_util": dict(measurement.cpu_util),
+        "drops": drops,
+        "search": result.as_dict(),
+    }

@@ -1,0 +1,144 @@
+"""CI gate: fresh matrix.json vs the committed BASELINE_matrix.json.
+
+Every baseline cell must exist in the fresh run and agree on its
+maximum lossless rate within a per-cell relative tolerance; cells the
+fresh run adds that the baseline lacks are also an error (the baseline
+must be regenerated deliberately, never drift silently).  Because the
+simulator is deterministic, an *unchanged* tree reproduces the baseline
+exactly — the tolerance only gives intentional cost-model tweaks room
+to land without re-baselining every cell they brush.
+
+Per-cell tolerances: a baseline cell may carry a ``"tolerance"`` key
+(relative, e.g. ``0.02``); cells without one use ``--tolerance``
+(default 5%, so an injected 10% regression always trips the gate).
+
+Usage::
+
+    PYTHONPATH=src python -m repro matrix --quick --out matrix.json
+    PYTHONPATH=src python -m repro.tools.matrix_gate matrix.json
+    PYTHONPATH=src python -m repro.tools.matrix_gate --write-baseline
+
+Exit status 0 when every cell is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import List, Optional, Tuple
+
+from repro.perfmatrix.matrix import QUICK_GRID, canonical_json, run_matrix
+from repro.perfmatrix.schema import validate_matrix
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE = REPO_ROOT / "BASELINE_matrix.json"
+DEFAULT_TOLERANCE = 0.05
+
+
+def _load(path: pathlib.Path, what: str) -> Tuple[Optional[dict], List[str]]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return None, [f"{what}: cannot load {path}: {exc}"]
+    problems = [f"{what}: {p}" for p in validate_matrix(doc)]
+    return (None, problems) if problems else (doc, [])
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """All the ways ``fresh`` fails the gate against ``baseline``."""
+    problems: List[str] = []
+    base_cells = {c["id"]: c for c in baseline["cells"]}
+    fresh_cells = {c["id"]: c for c in fresh["cells"]}
+    for cell_id in sorted(set(base_cells) - set(fresh_cells)):
+        problems.append(f"{cell_id}: missing from the fresh run")
+    for cell_id in sorted(set(fresh_cells) - set(base_cells)):
+        problems.append(
+            f"{cell_id}: not in the baseline (regenerate it with "
+            f"--write-baseline to adopt new cells)"
+        )
+    for cell_id in sorted(set(base_cells) & set(fresh_cells)):
+        base, new = base_cells[cell_id], fresh_cells[cell_id]
+        tolerance = float(base.get("tolerance", default_tolerance))
+        if base["rate_mpps"] <= 0:
+            if new["rate_mpps"] > 0:
+                problems.append(f"{cell_id}: baseline rate is zero but "
+                                f"fresh is {new['rate_mpps']:.4f}")
+            continue
+        rel = (new["rate_mpps"] - base["rate_mpps"]) / base["rate_mpps"]
+        if rel < -tolerance:
+            problems.append(
+                f"{cell_id}: rate regressed {-rel:.1%} "
+                f"({base['rate_mpps']:.4f} -> {new['rate_mpps']:.4f} Mpps, "
+                f"tolerance {tolerance:.1%})"
+            )
+        elif rel > tolerance:
+            problems.append(
+                f"{cell_id}: rate improved {rel:.1%} beyond tolerance "
+                f"({base['rate_mpps']:.4f} -> {new['rate_mpps']:.4f} Mpps) "
+                f"— real wins must be adopted with --write-baseline"
+            )
+        for field in ("frame_len", "n_flows", "datapath", "topology",
+                      "packets", "link_gbps"):
+            if base[field] != new[field]:
+                problems.append(
+                    f"{cell_id}: {field} changed "
+                    f"({base[field]!r} -> {new[field]!r}); cells are only "
+                    f"comparable at identical coordinates"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", nargs="?", default=None, metavar="MATRIX",
+                        help="fresh matrix.json (omit to run the quick "
+                             "grid in-process)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        metavar="PATH")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="REL",
+                        help="default per-cell relative rate tolerance")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="run the quick grid and (re)write the "
+                             "baseline instead of gating")
+    args = parser.parse_args(argv)
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.write_baseline:
+        doc = run_matrix(QUICK_GRID)
+        baseline_path.write_text(canonical_json(doc))
+        print(f"wrote {len(doc['cells'])} cells to {baseline_path}")
+        return 0
+
+    baseline, problems = _load(baseline_path, "baseline")
+    if problems:
+        for p in problems:
+            print(p)
+        return 1
+    if args.fresh is not None:
+        fresh, problems = _load(pathlib.Path(args.fresh), "fresh")
+        if problems:
+            for p in problems:
+                print(p)
+            return 1
+    else:
+        fresh = run_matrix(QUICK_GRID)
+
+    problems = compare(baseline, fresh, default_tolerance=args.tolerance)
+    for p in problems:
+        print(f"FAIL  {p}")
+    n = len(baseline["cells"])
+    if problems:
+        print(f"matrix gate: {len(problems)} problem(s) across {n} cells")
+        return 1
+    print(f"matrix gate: OK — {n} cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

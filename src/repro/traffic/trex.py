@@ -19,6 +19,12 @@ from repro.net.builder import make_udp_packet
 from repro.net.packet import Packet
 from repro.sim.rng import make_rng
 from repro.sim.stats import line_rate_mpps
+from repro.traffic.lossless import (
+    LosslessSearch,
+    SearchResult,
+    aggregate_capacity_mpps,
+    capacity_loss_model,
+)
 
 
 @dataclass(frozen=True)
@@ -148,16 +154,34 @@ def max_lossless_mpps(
 
     Each lane (a PMD thread, a softirq core) can sustain
     ``packets / busy_ns`` before its queue grows without bound; the
-    aggregate is their sum, capped by the wire.  This is the quantity the
-    TRex binary-search converges to on the real testbed.
+    aggregate is their sum, capped by the wire.  This is the closed form
+    of the quantity the TRex binary search converges to on the real
+    testbed; :class:`repro.traffic.lossless.LosslessSearch` finds the
+    same rate probe by probe and keeps the search trace.
     """
-    if len(per_lane_busy_ns) != len(packets_per_lane):
-        raise ValueError("lane arrays must align")
-    total = 0.0
-    for busy, pkts in zip(per_lane_busy_ns, packets_per_lane):
-        if pkts == 0:
-            continue
-        if busy <= 0:
-            raise ValueError("a lane that processed packets must have cost")
-        total += pkts / busy * 1e3  # Mpps
+    total = aggregate_capacity_mpps(per_lane_busy_ns, packets_per_lane)
     return min(total, line_rate_mpps(link_gbps, frame_len))
+
+
+def lossless_search_from_lanes(
+    per_lane_busy_ns: Sequence[float],
+    packets_per_lane: Sequence[int],
+    link_gbps: float,
+    frame_len: int,
+    resolution_mpps: float = 0.01,
+    loss_tolerance: float = 0.0,
+) -> "SearchResult":
+    """Run the TRex-style binary search against a measured pipeline.
+
+    The lanes define the capacity (as in :func:`max_lossless_mpps`); the
+    wire defines the search ceiling.  Returns the full
+    :class:`~repro.traffic.lossless.SearchResult`, whose ``rate_mpps``
+    agrees with the closed form to within ``resolution_mpps``.
+    """
+    capacity = aggregate_capacity_mpps(per_lane_busy_ns, packets_per_lane)
+    search = LosslessSearch(
+        max_rate_mpps=line_rate_mpps(link_gbps, frame_len),
+        resolution_mpps=resolution_mpps,
+        loss_tolerance=loss_tolerance,
+    )
+    return search.run(capacity_loss_model(capacity))

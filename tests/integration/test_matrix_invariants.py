@@ -1,0 +1,152 @@
+"""Cross-datapath invariants of ``matrix.json`` (the paper's ordering).
+
+Asserted over a freshly swept quick grid *and* over the committed
+``BASELINE_matrix.json``:
+
+* §5.2 / Fig. 9 ordering at 64B single-flow cells:
+  DPDK >= AF_XDP zero-copy >= AF_XDP copy >= kernel;
+* flow diversity never makes a *lane* faster: the per-busy-lane rate is
+  non-increasing in flow count.  (The total rate may legitimately rise
+  for the kernel datapath — RSS spreads 1000 flows over 10 IRQ lanes —
+  so the total-rate version of the invariant only binds when the lane
+  count does not grow.)
+* the emitted document is schema-valid and covers the advertised grid.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.perfmatrix.matrix import QUICK_GRID, MatrixGrid, run_matrix
+from repro.perfmatrix.schema import validate_matrix
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "BASELINE_matrix.json"
+
+#: The exact CI grid — same budget as the baseline, so the fresh sweep
+#: must reproduce the committed rates bit-for-bit (determinism) and the
+#: gate comparator must find nothing to flag.
+GRID = QUICK_GRID
+
+
+@pytest.fixture(scope="module")
+def fresh_doc():
+    return run_matrix(GRID)
+
+
+@pytest.fixture(scope="module")
+def baseline_doc():
+    return json.loads(BASELINE.read_text())
+
+
+@pytest.fixture(scope="module", params=["fresh", "baseline"])
+def doc(request, fresh_doc, baseline_doc):
+    return fresh_doc if request.param == "fresh" else baseline_doc
+
+
+def _cells(doc):
+    return {c["id"]: c for c in doc["cells"]}
+
+
+def test_schema_valid(doc):
+    assert validate_matrix(doc) == []
+
+
+def test_grid_coverage(doc):
+    """The acceptance floor: >= 3 datapaths x 2 topologies x 2 packet
+    sizes x 2 flow counts, every supported grid point present."""
+    cells = doc["cells"]
+    assert len({c["datapath"] for c in cells}) >= 3
+    assert len({c["topology"] for c in cells}) >= 2
+    assert len({c["frame_len"] for c in cells}) >= 2
+    assert len({c["n_flows"] for c in cells}) >= 2
+    grid = doc["grid"]
+    expected = (len(grid["datapaths"]) * len(grid["topologies"])
+                * len(grid["frame_lens"]) * len(grid["flow_counts"]))
+    skipped_pairs = {(s["datapath"], s["topology"])
+                     for s in doc["skipped"]}
+    expected -= (len(skipped_pairs)
+                 * len(grid["frame_lens"]) * len(grid["flow_counts"]))
+    assert len(cells) == expected
+
+
+def test_paper_ordering_at_64b_single_flow(doc):
+    """DPDK >= AF_XDP zc >= AF_XDP copy >= kernel (Fig. 9, §5.2)."""
+    cells = _cells(doc)
+    ranking = ("dpdk", "afxdp_zc", "afxdp_copy", "kernel")
+    checked = 0
+    for topo in {c["topology"] for c in doc["cells"]}:
+        rates = []
+        for dp in ranking:
+            cell = cells.get(f"{topo.lower()}/{dp}/64B/1f")
+            if cell is not None:
+                rates.append((dp, cell["rate_mpps"]))
+        if len(rates) < 2:
+            continue
+        checked += 1
+        for (fast_dp, fast), (slow_dp, slow) in zip(rates, rates[1:]):
+            assert fast >= slow, (
+                f"{topo}: {fast_dp} ({fast:.3f} Mpps) should not be "
+                f"slower than {slow_dp} ({slow:.3f} Mpps)"
+            )
+    assert checked, "no 64B/1-flow cells to rank"
+
+
+def test_per_lane_rate_non_increasing_in_flow_count(doc):
+    cells = _cells(doc)
+    flow_counts = sorted(doc["grid"]["flow_counts"])
+    checked = 0
+    for cell in doc["cells"]:
+        if cell["n_flows"] != flow_counts[0]:
+            continue
+        for flows in flow_counts[1:]:
+            other = cells.get(
+                f"{cell['topology'].lower()}/{cell['datapath']}"
+                f"/{cell['frame_len']}B/{flows}f")
+            if other is None:
+                continue
+            checked += 1
+            lean = cell["rate_mpps"] / cell["n_busy_lanes"]
+            fat = other["rate_mpps"] / other["n_busy_lanes"]
+            assert fat <= lean + 1e-9, (
+                f"{other['id']}: per-lane rate rose with flow diversity "
+                f"({lean:.4f} -> {fat:.4f} Mpps/lane)"
+            )
+            if other["n_busy_lanes"] <= cell["n_busy_lanes"]:
+                assert other["rate_mpps"] <= cell["rate_mpps"] + 1e-9, (
+                    f"{other['id']}: total rate rose with flow count "
+                    f"without extra lanes"
+                )
+    assert checked, "no flow-count pairs to compare"
+
+
+def test_search_traces_did_bisect(doc):
+    """Uncapped cells carry a real search trace (>= 2 probes, tight
+    bracket); line-capped cells converge on the first probe."""
+    for cell in doc["cells"]:
+        search = cell["search"]
+        assert search["converged"], cell["id"]
+        if cell["capped_by_line"]:
+            assert search["trace"][0]["lossless"], cell["id"]
+        else:
+            assert search["iterations"] >= 2, cell["id"]
+            lo, hi = search["bracket"]
+            assert hi - lo <= doc["grid"]["resolution_mpps"] + 1e-9, (
+                cell["id"])
+
+
+def test_fresh_matches_baseline_through_the_gate(fresh_doc, baseline_doc):
+    """The in-repo sweep reproduces the committed baseline through the
+    gate's own comparator — the same check CI's perf-matrix job runs."""
+    from repro.tools.matrix_gate import compare
+
+    assert compare(baseline_doc, fresh_doc) == []
+
+
+def test_fresh_rates_are_bit_identical_to_baseline(fresh_doc,
+                                                   baseline_doc):
+    """Determinism, end to end: same grid, same budget, same floats."""
+    fresh = {c["id"]: c["rate_mpps"] for c in fresh_doc["cells"]}
+    base = {c["id"]: c["rate_mpps"] for c in baseline_doc["cells"]}
+    assert fresh == base

@@ -1,0 +1,137 @@
+"""The matrix regression gate: passes clean runs, trips on injected
+regressions, refuses malformed or divergent documents."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.perfmatrix.cells import CellSpec, run_cell
+from repro.perfmatrix.matrix import (
+    MatrixGrid,
+    canonical_json,
+    run_matrix,
+)
+from repro.perfmatrix.schema import validate_matrix
+from repro.tools import matrix_gate
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+GRID = MatrixGrid(
+    label="quick",
+    frame_lens=(64,),
+    flow_counts=(1, 1000),
+    datapaths=("kernel", "dpdk"),
+    topologies=("P2P",),
+    packets=200,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_matrix(GRID)
+
+
+def _regress(doc, cell_index=0, factor=0.88):
+    """A schema-valid copy with one cell's rate regressed."""
+    bad = copy.deepcopy(doc)
+    cell = bad["cells"][cell_index]
+    cell["rate_mpps"] *= factor
+    search = cell["search"]
+    search["rate_mpps"] = cell["rate_mpps"]
+    search["bracket"][0] = cell["rate_mpps"]
+    search["trace"] = [
+        {"offered_mpps": cell["rate_mpps"], "loss": 0.0, "lossless": True},
+        {"offered_mpps": search["bracket"][1], "loss": 0.1,
+         "lossless": False},
+    ]
+    assert validate_matrix(bad) == []
+    return bad
+
+
+def test_identical_documents_pass(doc):
+    assert matrix_gate.compare(doc, doc) == []
+
+
+def test_injected_regression_fails(doc):
+    problems = matrix_gate.compare(doc, _regress(doc))
+    assert len(problems) == 1
+    assert "regressed 12.0%" in problems[0]
+
+
+def test_improvement_beyond_tolerance_also_fails(doc):
+    """A silent speedup is a stale baseline — the gate forces adoption."""
+    problems = matrix_gate.compare(_regress(doc), doc)
+    assert len(problems) == 1
+    assert "improved" in problems[0]
+
+
+def test_per_cell_tolerance_overrides_default(doc):
+    loose = copy.deepcopy(doc)
+    loose["cells"][0]["tolerance"] = 0.25
+    assert matrix_gate.compare(loose, _regress(doc)) == []
+    # ... and a tight per-cell tolerance trips where the default passes.
+    tight = copy.deepcopy(doc)
+    tight["cells"][0]["tolerance"] = 0.005
+    nudged = _regress(doc, factor=0.99)
+    assert matrix_gate.compare(doc, nudged) == []
+    assert len(matrix_gate.compare(tight, nudged)) == 1
+
+
+def test_missing_and_extra_cells_fail(doc):
+    fewer = copy.deepcopy(doc)
+    dropped = fewer["cells"].pop()
+    problems = matrix_gate.compare(doc, fewer)
+    assert any(dropped["id"] in p and "missing" in p for p in problems)
+    problems = matrix_gate.compare(fewer, doc)
+    assert any(dropped["id"] in p and "not in the baseline" in p
+               for p in problems)
+
+
+def test_coordinate_drift_fails(doc):
+    moved = copy.deepcopy(doc)
+    moved["cells"][0]["link_gbps"] = 100.0
+    assert any("link_gbps changed" in p
+               for p in matrix_gate.compare(doc, moved))
+
+
+def test_main_end_to_end(tmp_path, doc):
+    baseline = tmp_path / "BASELINE_matrix.json"
+    fresh = tmp_path / "matrix.json"
+    baseline.write_text(canonical_json(doc))
+    fresh.write_text(canonical_json(doc))
+    assert matrix_gate.main(
+        [str(fresh), "--baseline", str(baseline)]) == 0
+
+    fresh.write_text(canonical_json(_regress(doc)))
+    assert matrix_gate.main(
+        [str(fresh), "--baseline", str(baseline)]) == 1
+
+    fresh.write_text("{not json")
+    assert matrix_gate.main(
+        [str(fresh), "--baseline", str(baseline)]) == 1
+
+    fresh.write_text(json.dumps({"schema": "bogus"}))
+    assert matrix_gate.main(
+        [str(fresh), "--baseline", str(baseline)]) == 1
+
+
+def test_committed_baseline_is_schema_valid():
+    committed = json.loads(
+        (REPO_ROOT / "BASELINE_matrix.json").read_text())
+    assert validate_matrix(committed) == []
+    assert matrix_gate.compare(committed, committed) == []
+
+
+def test_schema_rejects_tampered_search_evidence(doc):
+    """A rate not backed by its own search trace is schema-invalid —
+    the gate cannot be fooled by editing the headline number alone."""
+    tampered = copy.deepcopy(doc)
+    tampered["cells"][0]["rate_mpps"] *= 0.5
+    assert validate_matrix(tampered)
+
+
+def test_cell_runner_rejects_bad_budget():
+    with pytest.raises(ValueError):
+        run_cell(CellSpec("P2P", "dpdk", 64, 1), packets=0)

@@ -1,0 +1,141 @@
+"""Property suite for the TRex-style lossless-rate binary search.
+
+The three contract properties (DESIGN §12):
+
+1. the search converges to within the requested resolution of the true
+   capacity,
+2. the found rate is monotone non-increasing in per-packet cost,
+3. the search trace brackets the returned rate: the rate *is* the
+   highest lossless probe, every lossy probe sits strictly above it,
+   and the final bracket is no wider than the resolution.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.lossless import (
+    LosslessSearch,
+    aggregate_capacity_mpps,
+    capacity_loss_model,
+)
+from repro.traffic.trex import lossless_search_from_lanes, max_lossless_mpps
+
+MAX_RATE = 37.2  # ~64B line rate at 25 GbE
+
+capacities = st.floats(min_value=0.05, max_value=50.0,
+                       allow_nan=False, allow_infinity=False)
+resolutions = st.floats(min_value=1e-4, max_value=1.0,
+                        allow_nan=False, allow_infinity=False)
+
+
+def _search(resolution=0.01):
+    return LosslessSearch(max_rate_mpps=MAX_RATE,
+                          resolution_mpps=resolution)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=capacities, resolution=resolutions)
+def test_converges_within_resolution(capacity, resolution):
+    result = _search(resolution).run(capacity_loss_model(capacity))
+    assert result.converged
+    true_rate = min(capacity, MAX_RATE)
+    assert result.rate_mpps <= true_rate + 1e-9
+    assert true_rate - result.rate_mpps <= resolution + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    cost_a=st.floats(min_value=20.0, max_value=20_000.0),
+    cost_b=st.floats(min_value=20.0, max_value=20_000.0),
+)
+def test_monotone_non_increasing_in_per_packet_cost(cost_a, cost_b):
+    """A DUT that burns more ns per packet can never search higher."""
+    lo_cost, hi_cost = sorted((cost_a, cost_b))
+    search = _search()
+
+    def rate_at(cost_ns):
+        return search.run(capacity_loss_model(1e3 / cost_ns)).rate_mpps
+
+    assert rate_at(lo_cost) >= rate_at(hi_cost)
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=capacities, resolution=resolutions)
+def test_trace_brackets_the_returned_rate(capacity, resolution):
+    result = _search(resolution).run(capacity_loss_model(capacity))
+    lossless = [p.offered_mpps for p in result.trace if p.lossless]
+    lossy = [p.offered_mpps for p in result.trace if not p.lossless]
+    if lossless:
+        assert max(lossless) == pytest.approx(result.rate_mpps)
+    else:
+        assert result.rate_mpps == 0.0
+    for rate in lossy:
+        assert rate > result.rate_mpps
+    assert result.bracket_lo <= result.rate_mpps <= result.bracket_hi
+    if lossy:  # bisection ran: the final bracket is tight
+        assert result.bracket_hi - result.bracket_lo <= resolution + 1e-9
+    assert result.iterations == len(result.trace)
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacity=capacities)
+def test_search_is_deterministic(capacity):
+    a = _search().run(capacity_loss_model(capacity))
+    b = _search().run(capacity_loss_model(capacity))
+    assert a.as_dict() == b.as_dict()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lanes=st.lists(
+        st.tuples(st.floats(min_value=1.0, max_value=1e6),
+                  st.integers(min_value=1, max_value=10_000)),
+        min_size=1, max_size=8,
+    ),
+)
+def test_search_agrees_with_closed_form(lanes):
+    """The probe-based search lands within one resolution of the
+    closed-form ``max_lossless_mpps`` it generalizes."""
+    busy = [b for b, _ in lanes]
+    pkts = [p for _, p in lanes]
+    closed = max_lossless_mpps(busy, pkts, link_gbps=25.0, frame_len=64)
+    result = lossless_search_from_lanes(busy, pkts, link_gbps=25.0,
+                                        frame_len=64)
+    assert result.converged
+    assert abs(closed - result.rate_mpps) <= 0.01 + 1e-9
+
+
+def test_loss_model_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        capacity_loss_model(0.0)
+
+
+def test_lane_mismatch_rejected():
+    with pytest.raises(ValueError):
+        aggregate_capacity_mpps([1.0], [1, 2])
+
+
+def test_invalid_loss_model_rejected():
+    with pytest.raises(ValueError):
+        _search().run(lambda rate: 1.5)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_rate_mpps": 0.0},
+    {"max_rate_mpps": 10.0, "min_rate_mpps": 10.0},
+    {"max_rate_mpps": 10.0, "resolution_mpps": 0.0},
+    {"max_rate_mpps": 10.0, "loss_tolerance": 1.0},
+    {"max_rate_mpps": 10.0, "max_iterations": 0},
+])
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        LosslessSearch(**kwargs)
+
+
+def test_line_rate_dut_converges_on_first_probe():
+    """A DUT faster than the wire is lossless at the first (line) probe."""
+    result = _search().run(capacity_loss_model(1000.0))
+    assert result.rate_mpps == MAX_RATE
+    assert result.iterations == 1
+    assert result.converged
