@@ -16,6 +16,12 @@ The PR 5 gate drives the ``pr5`` workload (fig9 AF_XDP configs plus the
 diverse-flow table5 column) and fails unless the JIT beats the full
 reference mode by 1.5x / 2x respectively; its report lands as
 ``BENCH_pr5.json`` (override with ``BENCH_PR5_OUT``).
+
+The PR 7 gate drives the ``pr7`` workload (the dp-heavy multi-action
+chain workload plus the diverse-flow table5 column) and fails unless
+the dp-JIT-compiled fastpath beats the full reference mode by 2x on
+both, with the dp-JIT itself dispatching and its own marginal positive;
+its report lands as ``BENCH_pr7.json`` (override with ``BENCH_PR7_OUT``).
 """
 
 import json
@@ -77,6 +83,38 @@ def test_pr5_jit_wallclock_speedup():
     assert fig9["speedup"] >= fig9["target_speedup"], (
         f"fig9 afxdp aggregate speedup {fig9['speedup']:.2f}x is below "
         f"the {fig9['target_speedup']:.1f}x bar"
+    )
+    t5 = report["table5"]
+    assert t5["ledger_identical"]
+    assert t5["speedup"] >= t5["target_speedup"], (
+        f"table5 diverse-flow speedup {t5['speedup']:.2f}x is below "
+        f"the {t5['target_speedup']:.1f}x bar"
+    )
+    assert report["meets_target"]
+
+
+def test_pr7_dpjit_wallclock_speedup():
+    out = os.environ.get("BENCH_PR7_OUT", str(REPO_ROOT / "BENCH_pr7.json"))
+    reps = int(os.environ.get("BENCH_REPS", "5"))
+    # Raises AssertionError itself if any virtual observable (local
+    # time, tx bytes, pipeline stats, ledgers) diverges across the
+    # reference / dp-JIT / dp-JIT-off modes, or if no compiled megaflow
+    # ever dispatched (a vacuous measurement).
+    bench_report.main(["--workload", "pr7", "--out", out,
+                       "--reps", str(reps)])
+
+    report = json.loads(pathlib.Path(out).read_text())
+    assert report["workload"] == "pr7"
+    dp = report["dp_multiaction"]
+    assert dp["ledger_identical"]
+    assert dp["dpjit_dispatched"] > 0
+    assert dp["speedup"] >= dp["target_speedup"], (
+        f"dp multi-action speedup {dp['speedup']:.2f}x is below "
+        f"the {dp['target_speedup']:.1f}x bar"
+    )
+    assert dp["dpjit_marginal_speedup"] > 1.0, (
+        f"the dp-JIT made the fastpath slower "
+        f"({dp['dpjit_marginal_speedup']:.2f}x vs generic walk)"
     )
     t5 = report["table5"]
     assert t5["ledger_identical"]

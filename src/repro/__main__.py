@@ -67,6 +67,9 @@ options:
   --no-jit       run eBPF programs through the interpreter instead of
                  the JIT (same observables, slower wall-clock; equal to
                  EBPF_JIT=0)
+  --no-dpjit     run megaflow action chains through the generic datapath
+                 walk instead of compiled closures (same observables,
+                 slower wall-clock; equal to DP_JIT=0)
 """
 
 
@@ -92,11 +95,15 @@ def main(argv: "list[str]") -> int:
         from repro.ebpf import jit
 
         jit.set_enabled(False)
+    if "--no-dpjit" in argv:
+        from repro.ovs import dpjit
+
+        dpjit.set_enabled(False)
     flags = [a for a in argv if a.startswith("-")]
     unknown_flags = [
         f for f in flags if f not in ("--trace", "-t", "--profile", "-p",
                                       "--list", "-l", "--help", "-h",
-                                      "--no-jit")
+                                      "--no-jit", "--no-dpjit")
     ]
     if unknown_flags:
         print(f"unknown option(s): {', '.join(unknown_flags)}",

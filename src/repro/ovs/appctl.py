@@ -233,7 +233,7 @@ class OvsAppctl:
         translator refused it.
         """
         from repro.ebpf import jit
-        from repro.ovs import dpif_netdev
+        from repro.ovs import dpif_netdev, dpjit
         from repro.sim import fastpath
 
         def onoff(flag: bool) -> str:
@@ -245,6 +245,10 @@ class OvsAppctl:
             "ebpf-jit: "
             + onoff(fastpath.ENABLED and jit.ENABLED)
             + ("" if jit.ENABLED else " (EBPF_JIT=0)"),
+            "dp-jit: "
+            + onoff(fastpath.ENABLED and dpjit.ENABLED)
+            + ("" if dpjit.ENABLED else " (DP_JIT=0)"),
+            dpjit.render(),
         ]
         stats = jit.stats()
         if not stats:

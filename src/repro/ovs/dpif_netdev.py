@@ -51,9 +51,11 @@ from repro.net.flow import FlowKey, extract_flow
 from repro.net.packet import Packet
 from repro.net.tunnel import decapsulate, encapsulate
 from repro.ovs import odp
+from repro.ovs import dpjit
 from repro.ovs.ct_userspace import UserspaceConntrack
 from repro.ovs.emc import ExactMatchCache
 from repro.ovs.megaflow import MegaflowCache
+from repro.sim import fastpath
 from repro.ovs.meter import MeterTable
 from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
 from repro.sim import faults, trace
@@ -346,6 +348,12 @@ class DpifNetdev:
         now_fn = self.now_ns_fn
         megaflows = self.megaflows
         flow_cache = emc.flow_cache
+        # dp-JIT gate, resolved once per burst (it cannot change
+        # mid-burst): compiled closures replay the exact interpreter
+        # charge sequence, so this changes wall-clock only.
+        use_dpjit = dpjit.ENABLED and fastpath.ENABLED
+        dpjit_stats = dpjit.STATS
+        dpjit_bind = dpjit.bind
         #: Per-burst memo: identical packet shapes share one FlowKey.
         burst_keys: Dict[Tuple, FlowKey] = {}
         #: Per-burst memo: each unique flow walks the classifier once.
@@ -429,6 +437,16 @@ class DpifNetdev:
                     if len(flow_cache) >= FLOW_CACHE_MAX:
                         flow_cache.clear()
                     flow_cache[token] = (key, entry, emc.displacements)
+            if use_dpjit:
+                cached = entry.jit
+                if cached is not None and cached[0] is entry.actions:
+                    fn = cached[1]
+                else:
+                    fn = dpjit_bind(entry)
+                if fn is not None:
+                    dpjit_stats.dispatched += 1
+                    fn(self, pkt, ctx, emc, tx_batches, 0, statses)
+                    continue
             out_port = entry.single_out
             if out_port is not None:
                 # Inlined _execute for the dominant one-Output case.
@@ -492,6 +510,19 @@ class DpifNetdev:
                         s.dropped += 1
                     return
                 self._emc_insert(emc, key, entry, ctx)
+        if dpjit.ENABLED and fastpath.ENABLED:
+            # Recirculated passes of the batched pipeline (and the
+            # per-packet path under a live fastpath) dispatch compiled
+            # closures too; reference mode (fastpath off) never does.
+            cached = entry.jit
+            if cached is not None and cached[0] is entry.actions:
+                fn = cached[1]
+            else:
+                fn = dpjit.bind(entry)
+            if fn is not None:
+                dpjit.STATS.dispatched += 1
+                fn(self, pkt, ctx, emc, tx_batches, depth, statses)
+                return
         self._execute(pkt, entry.actions, ctx, emc, tx_batches, depth,
                       statses)
 
@@ -549,6 +580,10 @@ class DpifNetdev:
             from repro.ovs.megaflow import MegaflowEntry
 
             entry = MegaflowEntry(actions=tuple(actions), key=key, mask=mask)
+            # Transient entries live for exactly one packet: compiling a
+            # closure for each would pay translation per packet under
+            # flow-limit pressure.  Pin them to the interpreter.
+            dpjit.decline_entry(entry)
         return entry
 
     def _emc_insert(self, emc: ExactMatchCache, key: FlowKey, entry,

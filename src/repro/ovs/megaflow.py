@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.flow import FlowKey, FlowMask, MaskSpec, N_FLOW_FIELDS
-from repro.ovs import odp
+from repro.ovs import dpjit, odp
 from repro.sim import trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
@@ -48,6 +48,13 @@ class MegaflowEntry:
     #: the batched executor's fast path.  Derived, so excluded from
     #: comparison/repr.
     single_out: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: dp-JIT cache: ``(actions_ref, exec_fn_or_None, compiled)`` set by
+    #: :func:`repro.ovs.dpjit.bind`.  Honored only while ``actions_ref``
+    #: is the very tuple that was compiled.  Derived, excluded from
+    #: comparison/repr.
+    jit: Optional[Tuple] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -196,8 +203,14 @@ class MegaflowCache:
         if table is None:
             return False
         masked = self._spec_for(mask).project(key)
-        if masked not in table:
+        entry = table.get(masked)
+        if entry is None:
             return False
+        if entry.jit is not None and entry.jit[1] is not None:
+            # Flow-mod / revalidation / eviction retired a compiled
+            # closure; the entry (and with it the closure) becomes
+            # unreachable, so the stale code can never dispatch again.
+            dpjit.note_closure_dropped()
         del table[masked]
         if not table:
             del self._tables[mask]
@@ -208,6 +221,12 @@ class MegaflowCache:
         return True
 
     def flush(self) -> None:
+        dropped = sum(
+            1 for t in self._tables.values() for e in t.values()
+            if e.jit is not None and e.jit[1] is not None
+        )
+        if dropped:
+            dpjit.note_closure_dropped(dropped)
         self._masks.clear()
         self._walk.clear()
         self._tables.clear()

@@ -139,3 +139,7 @@ def validate_actions(actions: Actions) -> None:
             }
             if act.field not in allowed:
                 raise ValueError(f"cannot set field {act.field!r}")
+        if isinstance(act, Trunc) and act.max_len <= 0:
+            raise ValueError(f"trunc to {act.max_len} bytes is not a packet")
+        if isinstance(act, Meter) and act.meter_id < 0:
+            raise ValueError(f"negative meter id {act.meter_id}")

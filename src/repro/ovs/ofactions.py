@@ -81,6 +81,14 @@ class MeterAction(OfAction):
 
 
 @dataclass(frozen=True)
+class TruncAction(OfAction):
+    """Truncate the packet to ``max_len`` bytes (ovs-actions' output
+    truncation, the sampling/mirror-port pattern)."""
+
+    max_len: int
+
+
+@dataclass(frozen=True)
 class ControllerAction(OfAction):
     reason: str = "action"
 

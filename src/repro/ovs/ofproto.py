@@ -355,6 +355,8 @@ class Ofproto:
                 return out
             elif isinstance(act, ofp.MeterAction):
                 out.append(odp.Meter(act.meter_id))
+            elif isinstance(act, ofp.TruncAction):
+                out.append(odp.Trunc(act.max_len))
             elif isinstance(act, ofp.ControllerAction):
                 out.append(odp.Userspace(act.reason))
             elif isinstance(act, ofp.DropAction):

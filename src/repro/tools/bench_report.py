@@ -47,6 +47,13 @@ TARGET_SPEEDUP = 2.0
 PR5_FIG9_AFXDP_TARGET = 1.5
 PR5_TABLE5_TARGET = 2.0
 
+#: PR 7 (dp-JIT) acceptance bars vs the full reference mode: the
+#: diverse-flow table5 column again (the ruleset-scale eBPF workload)
+#: and a dp-heavy multi-action workload where every packet executes a
+#: compiled megaflow closure.
+PR7_TABLE5_TARGET = 2.0
+PR7_DP_TARGET = 2.0
+
 
 def _set_mode(batched: bool) -> None:
     dpif_netdev.BATCH_CLASSIFY = batched
@@ -248,6 +255,172 @@ def run_pr5_bench(fig9_packets: int = 6000, table5_packets: int = 6000,
     }
 
 
+def _pr7_dp_world(n_flows: int):
+    """A table3-style datapath: every flow translates to a multi-action
+    chain (header rewrite + VLAN push + output), so the generic walk —
+    not the single-output shortcut — is the baseline being compiled."""
+    from repro.net.addresses import MacAddress
+    from repro.net.builder import make_udp_packet
+    from repro.net.flow import mask_from_fields
+    from repro.ovs import odp
+    from repro.ovs.dpif_netdev import DpifNetdev
+    from repro.ovs.emc import ExactMatchCache
+    from repro.ovs.netdevs import SimAdapter
+    from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+
+    dpif = DpifNetdev()
+    rx, out_a, out_b = SimAdapter(), SimAdapter(), SimAdapter()
+    p_rx = dpif.add_port("rx", rx)
+    p_a = dpif.add_port("a", out_a)
+    p_b = dpif.add_port("b", out_b)
+    mask = mask_from_fields(eth_type=-1, nw_dst=-1)
+
+    def upcall(key, ctx):
+        out = p_a.port_no if key.nw_dst & 1 else p_b.port_no
+        return ((odp.SetField("nw_ttl", 17), odp.PushVlan(7, 1),
+                 odp.Output(out)), mask)
+
+    dpif.upcall_fn = upcall
+    frames = [
+        make_udp_packet(
+            MacAddress.local(1), MacAddress.local(2), "192.168.31.1",
+            f"10.{(i >> 16) & 0xFF}.{(i >> 8) & 0xFF}.{i & 0xFF}",
+            1000 + (i & 0xFF), 2000,
+        ).data
+        for i in range(n_flows)
+    ]
+    ctx = ExecContext(CpuModel(1), 0, CpuCategory.USER)
+    emc = ExactMatchCache()
+    return dpif, ctx, emc, p_rx, (out_a, out_b), frames
+
+
+def _drive_pr7_dp(packets: int, n_flows: int) -> Tuple:
+    """Run the dp workload once; returns the virtual observables."""
+    from repro.net.packet import Packet
+
+    dpif, ctx, emc, p_rx, outs, frames = _pr7_dp_world(n_flows)
+    burst_size = 32
+    sent = 0
+    i = 0
+    while sent < packets:
+        burst = [Packet(frames[(i + j) % n_flows])
+                 for j in range(min(burst_size, packets - sent))]
+        dpif.process_batch(burst, p_rx.port_no, ctx, emc)
+        sent += len(burst)
+        i += len(burst)
+    s = dpif.stats
+    tx = tuple(sum(len(p.data) for p in o.take_transmitted())
+               for o in outs)
+    return (ctx.local_time_ns, tx,
+            (s.packets, s.passes, s.emc_hits, s.megaflow_hits,
+             s.upcalls, s.dropped))
+
+
+def _time_pr7_dp(packets: int, n_flows: int, reps: int,
+                 batched: bool, dpjit_on: bool = True) -> Tuple[float, Tuple, str]:
+    """Best-of-``reps`` wall seconds for the dp workload plus the
+    virtual observables and one recorded trace ledger."""
+    from repro.ovs import dpjit
+
+    _set_mode(batched)
+    best = float("inf")
+    observed = None
+    with contextlib.ExitStack() as stack:
+        if not dpjit_on:
+            stack.enter_context(dpjit.disabled())
+        for _ in range(reps):
+            with _gc_paused():
+                t0 = time.perf_counter()
+                virt = _drive_pr7_dp(packets, n_flows)
+                best = min(best, time.perf_counter() - t0)
+            if observed is None:
+                observed = virt
+            elif observed != virt:
+                raise AssertionError(
+                    f"pr7-dp virtual results varied across repetitions: "
+                    f"{observed!r} vs {virt!r}"
+                )
+        with trace.recording() as rec:
+            _drive_pr7_dp(packets, n_flows)
+    return best, observed, rec.ledger()
+
+
+def run_pr7_bench(dp_packets: int = 24000, dp_flows: int = 0,
+                  table5_packets: int = 6000, reps: int = 3) -> Dict:
+    """The PR 7 dp-JIT report: the dp-heavy multi-action workload and
+    the diverse-flow table5 column, fastpath mode against the full
+    reference mode, plus the dp-JIT's own marginal (fastpath on, dp-JIT
+    off) for attribution."""
+    from repro.ovs import dpjit
+
+    # ~48 packets per flow: the steady-state regime where a megaflow
+    # (and its closure) is reused, as under the paper's lossless-rate
+    # search — not the install-churn regime, which the flow-limit tests
+    # cover functionally.
+    dp_flows = dp_flows or max(50, dp_packets // 48)
+    dp_ref, dp_virt_ref, dp_led_ref = _time_pr7_dp(
+        dp_packets, dp_flows, reps, batched=False)
+    dispatched_before = dpjit.STATS.dispatched
+    dp_jit, dp_virt_jit, dp_led_jit = _time_pr7_dp(
+        dp_packets, dp_flows, reps, batched=True)
+    dispatched = dpjit.STATS.dispatched - dispatched_before
+    if not dispatched:
+        raise AssertionError(
+            "pr7-dp: no compiled megaflow dispatched — the bench is "
+            "not measuring the dp-JIT")
+    dp_nojit, dp_virt_nojit, _ = _time_pr7_dp(
+        dp_packets, dp_flows, reps, batched=True, dpjit_on=False)
+    if dp_virt_ref != dp_virt_jit or dp_virt_ref != dp_virt_nojit:
+        raise AssertionError(
+            f"pr7-dp: virtual results diverged across modes: "
+            f"{dp_virt_ref!r} / {dp_virt_jit!r} / {dp_virt_nojit!r}"
+        )
+    if dp_led_ref != dp_led_jit:
+        raise AssertionError("pr7-dp: dp-JIT ledger diverged from reference")
+    t5_flows = table5_packets  # every frame its own flow: no memo hits
+    t5_ref, t5_virt_ref, t5_led_ref = _time_table5(
+        table5_packets, t5_flows, reps, batched=False)
+    t5_jit, t5_virt_jit, t5_led_jit = _time_table5(
+        table5_packets, t5_flows, reps, batched=True)
+    if t5_virt_ref != t5_virt_jit:
+        raise AssertionError(
+            f"table5: fastpath Mpps diverged from the reference: "
+            f"{t5_virt_jit!r} vs {t5_virt_ref!r}"
+        )
+    if t5_led_ref != t5_led_jit:
+        raise AssertionError("table5: fastpath ledger diverged from reference")
+    dp_speedup = dp_ref / dp_jit
+    table5_speedup = t5_ref / t5_jit
+    return {
+        "workload": "pr7",
+        "reps": reps,
+        "dp_multiaction": {
+            "packets": dp_packets,
+            "n_flows": dp_flows,
+            "ref_wall_s": dp_ref,
+            "jit_wall_s": dp_jit,
+            "nodpjit_wall_s": dp_nojit,
+            "speedup": dp_speedup,
+            "dpjit_marginal_speedup": dp_nojit / dp_jit,
+            "dpjit_dispatched": dispatched,
+            "target_speedup": PR7_DP_TARGET,
+            "ledger_identical": True,
+        },
+        "table5": {
+            "packets": table5_packets,
+            "n_flows": t5_flows,
+            "ref_wall_s": t5_ref,
+            "jit_wall_s": t5_jit,
+            "speedup": table5_speedup,
+            "target_speedup": PR7_TABLE5_TARGET,
+            "virtual_mpps": dict(t5_virt_ref),
+            "ledger_identical": True,
+        },
+        "meets_target": (dp_speedup >= PR7_DP_TARGET
+                         and table5_speedup >= PR7_TABLE5_TARGET),
+    }
+
+
 def _ledger_workload(workload: str, packets: int) -> Callable[[], str]:
     def run() -> str:
         with trace.recording() as rec:
@@ -308,13 +481,16 @@ def run_bench(workload: str = "fig9", packets: int = 0,
     if workload == "pr5":
         return run_pr5_bench(fig9_packets=packets or 6000,
                              table5_packets=packets or 6000, reps=reps)
+    if workload == "pr7":
+        return run_pr7_bench(dp_packets=(packets or 6000) * 4,
+                             table5_packets=packets or 6000, reps=reps)
     return run_ledger_bench(workload, packets=packets or 800, reps=reps)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="fig9",
-                        choices=["fig9", "fig2", "table2", "pr5"])
+                        choices=["fig9", "fig2", "table2", "pr5", "pr7"])
     parser.add_argument("--packets", type=int, default=0,
                         help="stream length (0 = workload default)")
     parser.add_argument("--reps", type=int, default=3)
@@ -334,7 +510,21 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
-    if args.workload == "pr5":
+    if args.workload == "pr7":
+        dp = report["dp_multiaction"]
+        print(f"{'dp multi-action':18s} ref={dp['ref_wall_s'] * 1e3:8.1f}ms "
+              f"jit={dp['jit_wall_s'] * 1e3:8.1f}ms "
+              f"speedup={dp['speedup']:.2f}x "
+              f"(target {dp['target_speedup']:.1f}x; "
+              f"dp-jit marginal {dp['dpjit_marginal_speedup']:.2f}x, "
+              f"{dp['dpjit_dispatched']} dispatches)")
+        t5 = report["table5"]
+        print(f"{'table5 diverse':18s} ref={t5['ref_wall_s'] * 1e3:8.1f}ms "
+              f"jit={t5['jit_wall_s'] * 1e3:8.1f}ms "
+              f"speedup={t5['speedup']:.2f}x "
+              f"(target {t5['target_speedup']:.1f}x)")
+        print(f"meets_target: {report['meets_target']}")
+    elif args.workload == "pr5":
         fig9 = report["fig9_afxdp"]
         for name, cfg in fig9["configs"].items():
             print(f"{name:18s} ref={cfg['ref_wall_s'] * 1e3:8.1f}ms "

@@ -1,11 +1,13 @@
-"""CI gate: the eBPF JIT must be invisible to every observable.
+"""CI gate: the eBPF JIT and the dp-JIT must be invisible to every
+observable.
 
 For each experiment (fig2, fig9, table2, table5) this runs the workload
-twice — once with the JIT enabled (the default fastpath) and once with
-it disabled (interpreter + verdict memo) — and byte-diffs the trace
-ledger, the counter map, and the collapsed-stack flamegraph.  Any
-difference is a charge-exactness bug in the translator and fails the
-build.
+three times — once with every compiler enabled (the default fastpath),
+once with the eBPF JIT disabled (interpreter + verdict memo), and once
+with the megaflow dp-JIT disabled (generic action walk) — and byte-diffs
+the trace ledger, the counter map, and the collapsed-stack flamegraph.
+Any difference is a charge-exactness bug in one of the translators and
+fails the build.
 
 Usage::
 
@@ -21,10 +23,14 @@ import contextlib
 from typing import Dict, Tuple
 
 from repro.ebpf import jit
+from repro.ovs import dpjit
 from repro.sim import profile
 from repro.sim.profile import collapse
 
 PACKETS = {"fig2": 400, "fig9": 300, "table2": 400, "table5": 500}
+#: Experiments that exercise DpifNetdev (table5 is pure XDP: no megaflow
+#: dispatch happens there, so no dp-JIT vacuousness check applies).
+DP_EXPERIMENTS = {"fig2", "fig9", "table2"}
 
 
 def _run_experiment(experiment: str, packets: int) -> None:
@@ -46,34 +52,56 @@ def _run_experiment(experiment: str, packets: int) -> None:
         run_table5(packets=packets)
 
 
-def _observe(experiment: str, jit_on: bool) -> Tuple[str, Dict, str]:
+def _observe(experiment: str, jit_on: bool = True,
+             dpjit_on: bool = True) -> Tuple[str, Dict, str]:
     with contextlib.ExitStack() as stack:
         if not jit_on:
             stack.enter_context(jit.disabled())
+        if not dpjit_on:
+            stack.enter_context(dpjit.disabled())
         rec = stack.enter_context(profile.profiling())
         _run_experiment(experiment, PACKETS[experiment])
     return rec.ledger(), dict(rec.counters), collapse(rec.profiler.root)
 
 
-def check_experiment(experiment: str) -> Tuple[bool, str]:
-    """(ok, detail) for one experiment's JIT-on vs JIT-off diff."""
-    led_on, counters_on, flame_on = _observe(experiment, jit_on=True)
-    led_off, counters_off, flame_off = _observe(experiment, jit_on=False)
+def _diff(label, on, off):
+    led_on, counters_on, flame_on = on
+    led_off, counters_off, flame_off = off
     if led_on != led_off:
-        return False, "trace ledger differs"
+        return f"{label}: trace ledger differs"
     if counters_on != counters_off:
         diff = {
             k: (counters_on.get(k), counters_off.get(k))
             for k in set(counters_on) | set(counters_off)
             if counters_on.get(k) != counters_off.get(k)
         }
-        return False, f"counters differ: {diff!r}"
+        return f"{label}: counters differ: {diff!r}"
     if flame_on != flame_off:
-        return False, "collapsed-stack flamegraph differs"
+        return f"{label}: collapsed-stack flamegraph differs"
+    return None
+
+
+def check_experiment(experiment: str) -> Tuple[bool, str]:
+    """(ok, detail): both-compilers-on vs each compiler disabled."""
+    dispatched_before = dpjit.STATS.dispatched
+    on = _observe(experiment)
+    dispatched = dpjit.STATS.dispatched - dispatched_before
+    no_ebpf = _observe(experiment, jit_on=False)
+    no_dpjit = _observe(experiment, dpjit_on=False)
+    for label, other in (("ebpf-jit off", no_ebpf),
+                         ("dp-jit off", no_dpjit)):
+        detail = _diff(label, on, other)
+        if detail is not None:
+            return False, detail
+    led_on, counters_on, flame_on = on
     if not (led_on and flame_on and counters_on.get("ebpf.runs")):
         return False, "vacuous run: no ledger/flame/ebpf activity"
+    if experiment in DP_EXPERIMENTS and not dispatched:
+        return False, "vacuous run: no compiled megaflow dispatched"
     return True, (f"ledger {len(led_on)}B, {len(counters_on)} counters, "
-                  f"flame {len(flame_on)}B identical")
+                  f"flame {len(flame_on)}B identical across 3 configs"
+                  + (f"; {dispatched} dp-jit dispatches"
+                     if experiment in DP_EXPERIMENTS else ""))
 
 
 def main(argv=None) -> int:

@@ -15,7 +15,7 @@ import contextlib
 import pytest
 
 from repro.ebpf import jit
-from repro.ovs import dpif_netdev
+from repro.ovs import dpif_netdev, dpjit
 from repro.sim import fastpath, profile
 from repro.sim.profile import collapse
 
@@ -53,11 +53,13 @@ def _reference_mode():
         dpif_netdev.BATCH_CLASSIFY = prev
 
 
-def _observe(experiment: str, jit_on: bool):
+def _observe(experiment: str, jit_on: bool = True, dpjit_on: bool = True):
     """One profiled run -> (ledger, counters, collapsed flamegraph)."""
     with contextlib.ExitStack() as stack:
         if not jit_on:
             stack.enter_context(jit.disabled())
+        if not dpjit_on:
+            stack.enter_context(dpjit.disabled())
         rec = stack.enter_context(profile.profiling())
         _run_experiment(experiment, PACKETS[experiment])
     return rec.ledger(), dict(rec.counters), collapse(rec.profiler.root)
@@ -83,6 +85,34 @@ def test_table5_jit_matches_full_reference_mode():
         led_ref, counters_ref, _ = _observe("table5", jit_on=True)
     assert led_jit == led_ref
     assert counters_jit == counters_ref
+
+
+@pytest.mark.parametrize("experiment", sorted(PACKETS))
+def test_dpjit_run_is_byte_identical_to_generic_walk(experiment):
+    """Same contract for the megaflow dp-JIT: compiled action closures
+    must be invisible to the ledger, counters, and flames."""
+    dispatched_before = dpjit.STATS.dispatched
+    led_on, counters_on, flame_on = _observe(experiment)
+    dispatched = dpjit.STATS.dispatched - dispatched_before
+    led_off, counters_off, flame_off = _observe(experiment,
+                                                dpjit_on=False)
+    assert led_on == led_off
+    assert counters_on == counters_off
+    assert flame_on == flame_off
+    assert led_on and flame_on
+    if experiment != "table5":
+        # table5 is pure XDP — no DpifNetdev, so no dp dispatch there.
+        assert dispatched > 0
+
+
+def test_dpjit_actually_compiled_the_dp_experiments():
+    """Vacuousness guard: fig2's datapath flows must run through
+    compiled closures, not fall back to the generic walk."""
+    dpjit.reset_stats()
+    _run_experiment("fig2", PACKETS["fig2"])
+    s = dpjit.STATS
+    assert s.compiled > 0 and s.dispatched > 0, (
+        s.compiled, s.declined, s.dispatched, s.decline_reasons)
 
 
 def test_jit_actually_ran_the_experiments():

@@ -1,0 +1,195 @@
+"""Invalidation: every channel that retires a megaflow decision must
+retire its compiled closure too.
+
+The dp-JIT caches one closure per installed megaflow, honored only while
+``entry.jit[0] is entry.actions``.  These tests exercise each mutation
+channel — flow-mod removal, the revalidator sweep (both decision-change
+and idle expiry), flush, eviction under flow-limit pressure, and an
+in-place action rebind — and prove that (a) the *old* closure never
+dispatches again (spy-wrapped), (b) the invalidation counters move, and
+(c) post-mutation forwarding matches the interpreter byte-for-byte.
+"""
+
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_udp_packet
+from repro.net.flow import mask_from_fields
+from repro.ovs import dpjit, odp
+from repro.ovs.dpif_netdev import DpifNetdev
+from repro.ovs.emc import ExactMatchCache
+from repro.ovs.netdevs import SimAdapter
+from repro.sim import faults
+from repro.sim.cpu import CpuCategory, CpuModel, ExecContext
+from repro.sim.faults import FaultPlan
+
+MASK = mask_from_fields(eth_type=-1, nw_dst=-1)
+
+
+def _world(n_dsts=1, out_port_idx=0):
+    dpif = DpifNetdev()
+    rx = SimAdapter()
+    out_a = SimAdapter()
+    out_b = SimAdapter()
+    p_rx = dpif.add_port("rx", rx)
+    p_a = dpif.add_port("a", out_a)
+    p_b = dpif.add_port("b", out_b)
+    ports = (p_a.port_no, p_b.port_no)
+    state = {"out": ports[out_port_idx]}
+
+    def upcall(key, ctx):
+        return ((odp.Output(state["out"]),), MASK)
+
+    dpif.upcall_fn = upcall
+    cpu = CpuModel(1)
+    ctx = ExecContext(cpu, 0, CpuCategory.USER)
+    emc = ExactMatchCache(n_entries=8)
+    return dpif, ctx, emc, p_rx, (out_a, out_b), state, ports
+
+
+def _send(dpif, ctx, emc, p_rx, dst="10.9.0.1", n=4):
+    pkts = [
+        make_udp_packet(MacAddress.local(1), MacAddress.local(2),
+                        "192.168.9.1", dst, 1000 + i, 2000)
+        for i in range(n)
+    ]
+    dpif.process_batch(pkts, p_rx.port_no, ctx, emc)
+
+
+def _compiled_entries(dpif):
+    return [e for e in dpif.megaflows.entries()
+            if e.jit is not None and e.jit[1] is not None]
+
+
+def _spy(entry):
+    """Wrap the entry's bound closure; returns the call log."""
+    calls = []
+    real = entry.jit[1]
+
+    def spy(*args):
+        calls.append(1)
+        return real(*args)
+
+    entry.jit = (entry.jit[0], spy, entry.jit[2])
+    return calls
+
+
+def test_flow_mod_removal_retires_the_closure():
+    dpjit.reset_stats()
+    dpif, ctx, emc, p_rx, outs, _state, _ports = _world()
+    _send(dpif, ctx, emc, p_rx)
+    (entry,) = _compiled_entries(dpif)
+    calls = _spy(entry)
+    invalidated = dpjit.STATS.invalidated
+    # The flow-mod path: ofproto deletes the rule, the datapath flow
+    # referencing it is removed.
+    assert dpif.megaflows.remove(entry.key, entry.mask)
+    assert dpjit.STATS.invalidated == invalidated + 1
+    # Same traffic reinstalls a *fresh* entry with a fresh closure; the
+    # retired closure never runs again.
+    emc.flush()
+    _send(dpif, ctx, emc, p_rx)
+    assert calls == []
+    (fresh,) = _compiled_entries(dpif)
+    assert fresh is not entry and fresh.jit[1] is not entry.jit[1]
+    assert sum(len(p.data) for o in outs for p in o.take_transmitted()) > 0
+
+
+def test_revalidator_decision_change_retires_the_closure():
+    dpjit.reset_stats()
+    dpif, ctx, emc, p_rx, outs, state, ports = _world()
+    _send(dpif, ctx, emc, p_rx)
+    (entry,) = _compiled_entries(dpif)
+    calls = _spy(entry)
+    outs[0].take_transmitted()
+    # The controller repoints the rule at port b; the revalidator's
+    # re-translation notices and drops the stale megaflow.
+    state["out"] = ports[1]
+    invalidated = dpjit.STATS.invalidated
+    result = dpif.revalidate(emcs=[emc])
+    assert result["removed_changed"] == 1
+    assert dpjit.STATS.invalidated == invalidated + 1
+    _send(dpif, ctx, emc, p_rx)
+    assert calls == []
+    # Traffic now leaves via port b only, compiled and interpreted alike.
+    assert outs[0].take_transmitted() == []
+    assert len(outs[1].take_transmitted()) == 4
+    with dpjit.disabled():
+        _send(dpif, ctx, emc, p_rx)
+    assert len(outs[1].take_transmitted()) == 4
+
+
+def test_revalidator_idle_expiry_retires_the_closure():
+    dpjit.reset_stats()
+    dpif, ctx, emc, p_rx, _outs, _state, _ports = _world()
+    _send(dpif, ctx, emc, p_rx)
+    (entry,) = _compiled_entries(dpif)
+    calls = _spy(entry)
+    invalidated = dpjit.STATS.invalidated
+    # Advance virtual time past the idle budget so the sweep expires it.
+    dpif.now_ns_fn = lambda: 60_000_000_000
+    result = dpif.revalidate(max_idle_ns=1_000_000_000, emcs=[emc])
+    assert result["removed_idle"] == 1
+    assert dpjit.STATS.invalidated == invalidated + 1
+    assert _compiled_entries(dpif) == []
+    _send(dpif, ctx, emc, p_rx)
+    assert calls == []
+
+
+def test_flush_retires_every_closure():
+    dpjit.reset_stats()
+    dpif, ctx, emc, p_rx, _outs, _state, _ports = _world()
+    for i in range(1, 4):
+        _send(dpif, ctx, emc, p_rx, dst=f"10.9.{i}.1")
+    live = _compiled_entries(dpif)
+    assert len(live) >= 1
+    spies = [_spy(e) for e in live]
+    invalidated = dpjit.STATS.invalidated
+    version = dpif.megaflows.version
+    dpif.flow_flush()
+    assert dpif.megaflows.version > version
+    assert dpjit.STATS.invalidated == invalidated + len(live)
+    emc.flush()
+    for i in range(1, 4):
+        _send(dpif, ctx, emc, p_rx, dst=f"10.9.{i}.1")
+    assert all(calls == [] for calls in spies)
+
+
+def test_flow_limit_transient_entries_pin_to_the_interpreter():
+    """Over the flow limit the upcall executes through a transient entry;
+    compiling per packet would pay translation for every packet, so the
+    transient is pinned (``jit = (actions, None, None)``) and the
+    compile counter must not grow with traffic volume."""
+    dpjit.reset_stats()
+    dpif, ctx, emc, p_rx, outs, _state, _ports = _world()
+    _send(dpif, ctx, emc, p_rx, dst="10.9.0.1")
+    compiled = dpjit.STATS.compiled
+    with faults.injecting(FaultPlan(seed=0, flow_limit=1)):
+        for i in range(2, 8):
+            _send(dpif, ctx, emc, p_rx, dst=f"10.9.0.{i}", n=2)
+    assert len(dpif.megaflows) == 1  # nothing installed past the limit
+    assert dpjit.STATS.compiled == compiled
+    # Every packet still flowed.
+    assert len([p for o in outs for p in o.take_transmitted()]) == 4 + 12
+
+
+def test_stale_closure_on_rebind_recompiles_at_dispatch():
+    """An in-place actions rebind (no table mutation) is the one channel
+    the removal hooks cannot see; the dispatch-time identity check
+    ``jit[0] is entry.actions`` must catch it."""
+    dpjit.reset_stats()
+    dpif, ctx, emc, p_rx, outs, _state, ports = _world()
+    _send(dpif, ctx, emc, p_rx)
+    (entry,) = _compiled_entries(dpif)
+    calls = _spy(entry)
+    outs[0].take_transmitted()
+    entry.actions = (odp.Output(ports[1]),)  # rebind, same installed entry
+    invalidated = dpjit.STATS.invalidated
+    _send(dpif, ctx, emc, p_rx)
+    assert calls == []  # the stale closure never ran
+    assert dpjit.STATS.invalidated == invalidated + 1
+    assert outs[0].take_transmitted() == []
+    assert len(outs[1].take_transmitted()) == 4
+    # The recompiled closure is cached again: further traffic dispatches
+    # without another invalidation.
+    _send(dpif, ctx, emc, p_rx)
+    assert dpjit.STATS.invalidated == invalidated + 1
+    assert len(outs[1].take_transmitted()) == 4

@@ -202,6 +202,25 @@ def test_fastpath_show_lists_layers_and_jit_counts(world):
         assert "ebpf-jit: off (EBPF_JIT=0)" in appctl.fastpath_show()
 
 
+def test_fastpath_show_lists_dpjit_counts(world):
+    import re
+
+    from repro.ovs import dpjit
+
+    host, vs, _p1, _p2 = world
+    appctl = OvsAppctl(vs)
+    out = appctl.fastpath_show()
+    assert "dp-jit: on" in out
+    m = re.search(r"dp-jit megaflows: compiled (\d+)\s+declined (\d+)"
+                  r"\s+invalidated (\d+)\s+dispatched (\d+)", out)
+    assert m, out
+    s = dpjit.STATS
+    assert tuple(int(x) for x in m.groups()) == (
+        s.compiled, s.declined, s.invalidated, s.dispatched)
+    with dpjit.disabled():
+        assert "dp-jit: off (DP_JIT=0)" in appctl.fastpath_show()
+
+
 # ---------------------------------------------------------------------------
 # metrics/show and coverage/show.
 # ---------------------------------------------------------------------------
