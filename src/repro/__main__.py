@@ -41,6 +41,8 @@ EXPERIMENTS = {
               "repro.experiments.fig12_multiqueue"),
     "degradation": ("Robustness: degradation under injected faults",
                     "repro.experiments.degradation"),
+    "upgrade": ("Robustness: crash-recovery downtime per datapath",
+                "repro.experiments.upgrade"),
     "matrix": ("Performance matrix: lossless-rate sweep "
                "(own flags; see `matrix --help`)",
                "repro.perfmatrix.matrix"),

@@ -73,10 +73,45 @@ class AfxdpDriver:
         #: Set when the (injected) verifier rejected the native program
         #: and the port degraded to generic copy mode instead of failing.
         self.verifier_rejected = False
+        #: Counters folded in from sockets of previous daemon
+        #: generations (teardown or crash), so the conservation ledger
+        #: still balances after a restart replaced the live sockets.
+        self.retired: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def setup(self) -> None:
-        """Create per-queue XSKs, load and attach the XDP program."""
+    def setup_cost_ns(self, copy_mode: Optional[bool] = None) -> float:
+        """Virtual cost of :meth:`setup`: per-queue umem registration +
+        page pinning + socket bind (zero-copy restarts the hw queue
+        pair), plus one XDP program load/attach.  Used both to charge a
+        real ``ctx`` and by the supervisor to schedule the port-rebind
+        recovery phase."""
+        costs = DEFAULT_COSTS
+        opts = self.options
+        if copy_mode is None:
+            if opts.force_copy_mode is None:
+                copy_mode = not self.nic.features.afxdp_zerocopy
+            else:
+                copy_mode = opts.force_copy_mode
+        per_queue = (costs.afxdp_umem_create_ns
+                     + opts.n_frames * costs.afxdp_frame_pin_ns
+                     + costs.afxdp_socket_bind_ns)
+        if not copy_mode:
+            per_queue += costs.afxdp_zc_queue_restart_ns
+        return self.nic.n_queues * per_queue + costs.xdp_attach_ns
+
+    def teardown_cost_ns(self) -> float:
+        """Virtual cost of a *graceful* :meth:`teardown` (a crash pays
+        nothing: the kernel reaps the fds for free as the process
+        exits)."""
+        return len(self.sockets) * DEFAULT_COSTS.afxdp_socket_unbind_ns
+
+    def setup(self, ctx: Optional[ExecContext] = None) -> None:
+        """Create per-queue XSKs, load and attach the XDP program.
+
+        With ``ctx`` (the supervisor's control context during recovery)
+        the rebind is charged through the cost model; without it the
+        work is free setup-time plumbing, exactly as before.
+        """
         opts = self.options
         if opts.force_copy_mode is None:
             copy_mode = not self.nic.features.afxdp_zerocopy
@@ -90,6 +125,9 @@ class AfxdpDriver:
             self.verifier_rejected = True
             copy_mode = True
             trace.count("ebpf.verifier_rejected")
+        if ctx is not None:
+            ctx.charge(self.setup_cost_ns(copy_mode),
+                       label="afxdp_rebind")
         bind_mode = BindMode.COPY if copy_mode else BindMode.ZEROCOPY
         if opts.mgmt_steering_ports:
             program, xsk_map = steering_program(
@@ -120,13 +158,49 @@ class AfxdpDriver:
             xsk_map.set_dev(queue, queue + 1)  # non-zero marker
         self.nic.attach_xdp(XdpContext(program))
 
-    def teardown(self) -> None:
+    def teardown(self, ctx: Optional[ExecContext] = None) -> None:
         """Detach the program and unbind (an OVS restart needs only this —
-        no kernel module unload, no reboot)."""
+        no kernel module unload, no reboot).  With ``ctx`` the graceful
+        unbind is charged; a crash calls this without one (the kernel
+        closes the fds as the process exits, costing the dead process
+        nothing)."""
+        if ctx is not None:
+            ctx.charge(self.teardown_cost_ns(), label="afxdp_unbind")
         self.nic.detach_xdp()
         for queue in list(self.sockets):
             self.nic.unbind_xsk(queue)
+        self._retire_socket_counters()
         self.sockets.clear()
+
+    _RETIRED_COUNTERS = ("tx_sent", "rx_dropped_no_fill",
+                         "rx_dropped_overrun", "tx_dropped_no_umem",
+                         "tx_dropped_ring_full", "tx_dropped_kick")
+
+    def _retire_socket_counters(self) -> None:
+        for sock in self.sockets.values():
+            for name in self._RETIRED_COUNTERS:
+                self.retired[name] = (self.retired.get(name, 0)
+                                      + getattr(sock, name))
+
+    def drop_sockets_on_crash(self) -> "Dict[str, int]":
+        """The process died: the kernel closes every XSK fd, which
+        unbinds the sockets — but the XDP program stays attached to the
+        netdev (its attachment holds a reference), so subsequent
+        redirects fail at dispatch and count in
+        ``nic.xdp_redirect_failed``.  Frames already delivered into the
+        dead process's rx rings (and any produced-but-unkicked tx
+        descriptors) are gone with the umem; they are returned as named
+        sinks so the packet-conservation ledger balances through the
+        crash."""
+        sinks = {"crash.xsk_rx_inflight": 0, "crash.xsk_tx_inflight": 0}
+        for sock in self.sockets.values():
+            sinks["crash.xsk_rx_inflight"] += len(sock.rx_ring)
+            sinks["crash.xsk_tx_inflight"] += len(sock.tx_ring)
+        for queue in list(self.sockets):
+            self.nic.unbind_xsk(queue)
+        self._retire_socket_counters()
+        self.sockets.clear()
+        return {k: v for k, v in sinks.items() if v}
 
     # ------------------------------------------------------------------
     def rx_burst(self, queue: int, ctx: ExecContext) -> List[Packet]:

@@ -33,14 +33,19 @@ from repro.ovs.openflow import OpenFlowConnection
 from repro.ovs.pmd import PmdThread
 from repro.sim import faults, trace
 from repro.sim.faults import FaultPlan, FaultRule
+from repro.sim.supervisor import Supervisor
 from repro.tools.conservation import afxdp_packet_ledger
 from repro.traffic.trex import FlowSpec, TrexStream
 
-#: The fault points the sweep drives, all at the same rate.
+#: The fault points the sweep drives, all at the same rate.  The crash
+#: point is consulted once per burst (a process dies per event, not per
+#: packet); the supervised restart it triggers loses the in-flight burst
+#: at the failed-redirect dispatch and brings the caches back cold.
 SWEPT_POINTS: Tuple[str, ...] = (
     "afxdp.tx_kick_eagain",
     "afxdp.fill_ring_overrun",
     "dp.upcall_overload",
+    "vswitchd.crash",
 )
 
 DEFAULT_RATES: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2)
@@ -148,12 +153,24 @@ def _run_point_traced(
         pmd = PmdThread(dpif, host.cpu, core=0,
                         batch_size=options.batch_size)
         pmd.add_rxq(dpif.ports[dpif.port_no("ens1")], 0)
+        # Passive unless the plan fires ``vswitchd.crash``: a plan
+        # without that rule (or at rate 0) leaves every byte of the
+        # ledger unchanged.
+        supervisor = Supervisor(host.user_ctx(host.cpu.n_cpus - 1),
+                                host.clock, vs=vs, pmds=[pmd])
 
         def pump_all() -> None:
             while nic_in.pending():
                 host.kernel.service_nic(nic_in, budget=options.batch_size)
                 pmd.run_iteration()
             pmd.run_until_idle()
+
+        def pump_while_down() -> None:
+            # The kernel's XDP dispatch outlives the daemon, but the
+            # XSKs died with it: the burst drains at the failed
+            # redirect (nic.xdp_redirect_failed).
+            while nic_in.pending():
+                host.kernel.service_nic(nic_in, budget=options.batch_size)
 
         warmup = warmup_count(stream)
         for pkt in stream.burst(warmup):
@@ -168,6 +185,13 @@ def _run_point_traced(
             for pkt in stream.burst(chunk):
                 nic_in.host_receive(pkt)
             sent += chunk
+            if supervisor.maybe_crash():
+                # The daemon died with this burst in flight; the burst
+                # is lost at dispatch, then the supervised restart runs
+                # to completion (charged, clock advances) and the
+                # datapath resumes with cold caches.
+                pump_while_down()
+                supervisor.finish()
             pump_all()
             # Revalidator pass between bursts, as real udpif runs
             # continuously: under lost-upcall pressure it tightens the
@@ -178,11 +202,16 @@ def _run_point_traced(
             link_gbps=link_gbps, frame_len=stream.frame_len,
             pmd_cpus=(0,),
         )
-        delivered = sum(
-            s.tx_sent for s in driver_out.sockets.values()
-        ) - delivered_before
+        # Sockets retired by a supervised restart carry the pre-crash
+        # transmissions; count them or a crash under-reports delivery.
+        delivered = (
+            sum(s.tx_sent for s in driver_out.sockets.values())
+            + driver_out.retired.get("tx_sent", 0)
+            - delivered_before
+        )
         ledger = afxdp_packet_ledger(
-            warmup + packets, nic_in, driver_in, driver_out, dpif)
+            warmup + packets, nic_in, driver_in, driver_out, dpif,
+            extra_sinks=supervisor.crash_sinks)
         backoff_entry = rec.waits.get("tx_kick_backoff")
         backoff_wait_ns = backoff_entry[1] if backoff_entry else 0.0
     ratio = delivered / packets if packets else 0.0

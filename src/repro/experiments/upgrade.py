@@ -1,0 +1,406 @@
+"""Crash-recovery / hot-upgrade downtime under live traffic (§6).
+
+The paper's operational case for the userspace datapath is that an
+upgrade (or a crash) is a daemon restart — no module reload, no reboot.
+This experiment prices that restart per datapath flavor: a supervised
+ovs-vswitchd is killed mid-traffic by the seeded ``vswitchd.crash``
+fault, the :class:`~repro.sim.supervisor.Supervisor` drives the charged
+recovery sequence on the virtual clock, and continuous offered load
+(fixed-rate bursts) measures what the dataplane actually lost.
+
+What each flavor keeps across the crash decides its disruption:
+
+==========  ========================================================
+kernel      megaflows + netfilter conntrack live in the kernel; warm
+            flows forward through the whole outage, only new-flow
+            upcalls are ``lost:``
+ebpf (tc)   program + maps pinned in the kernel; zero dataplane loss,
+            the restart is purely control-plane
+afxdp       XSK fds die with the process: every redirect fails until
+            the supervisor re-creates umem + sockets, then the caches
+            (EMC/megaflow) and userspace conntrack restart cold
+dpdk        the process owned the device; hw rings fill while nobody
+            polls and are discarded by the re-init's queue reset, and
+            EAL init dominates the downtime
+==========  ========================================================
+
+Runs are deterministic per seed (the CI upgrade job runs each seed
+twice and diffs the JSON)::
+
+    python -m repro upgrade
+    python -m repro.experiments.upgrade --json --seed 7 \
+        --scenarios kernel,afxdp_zc
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.afxdp.driver import AfxdpOptions
+from repro.dpdk.ethdev import bind_device
+from repro.ebpf.programs import l2_forward_program, l2_key
+from repro.experiments.common import warmup_count
+from repro.experiments.p2p import _base_host
+from repro.kernel.tc import TcIngressHook
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.ovs.pmd import PmdThread
+from repro.sim import faults, trace
+from repro.sim.clock import MSEC
+from repro.sim.faults import FaultPlan, FaultRule
+from repro.sim.supervisor import Supervisor
+from repro.tools.conservation import PacketLedger, afxdp_packet_ledger
+from repro.traffic.trex import FlowSpec, TrexStream
+
+SCENARIOS: Tuple[str, ...] = (
+    "kernel", "ebpf", "afxdp_copy", "afxdp_zc", "dpdk")
+
+PACKETS = 9_600
+BURST = 32
+#: Offered-load cadence: one burst per virtual millisecond.
+BURST_INTERVAL_NS = 1 * MSEC
+N_FLOWS = 16
+LINK_GBPS = 25.0
+#: Retry-stretch odds for the recovery-path faults (seeded, so the two
+#: CI seeds exercise different retry counts).
+RETRY_FAULT_RATE = 0.3
+
+
+@dataclass
+class ScenarioResult:
+    """One datapath flavor's crash-and-recover under load."""
+
+    scenario: str
+    offered: int
+    delivered: int
+    restarts: int
+    crashed_at_ns: float
+    downtime_ns: float
+    detect_ns: float
+    backoff_ns: float
+    ovsdb_retries: int
+    netlink_redumps: int
+    phase_ns: Dict[str, float] = field(default_factory=dict)
+    sinks: Dict[str, int] = field(default_factory=dict)
+    conserved: bool = True
+
+    @property
+    def lost(self) -> int:
+        return self.offered - self.delivered
+
+    def to_json(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "restarts": self.restarts,
+            "crashed_at_ms": round(self.crashed_at_ns / MSEC, 6),
+            "downtime_ms": round(self.downtime_ns / MSEC, 6),
+            "detect_ms": round(self.detect_ns / MSEC, 6),
+            "backoff_ms": round(self.backoff_ns / MSEC, 6),
+            "ovsdb_retries": self.ovsdb_retries,
+            "netlink_redumps": self.netlink_redumps,
+            "phase_ms": {k: round(v / MSEC, 6)
+                         for k, v in sorted(self.phase_ns.items())},
+            "sinks": dict(sorted(self.sinks.items())),
+            "conserved": self.conserved,
+        }
+
+
+@dataclass
+class _World:
+    """One built scenario: its hooks for the shared drive loop."""
+
+    host: object
+    nic_in: object
+    nic_out: object
+    vs: object                      # None for the daemon-less eBPF world
+    pmds: list
+    #: pump(daemon_up): drain offered frames as far as the still-alive
+    #: layers allow.  The kernel side keeps running through a crash; the
+    #: dead process's PMD threads must not.
+    pump: Callable[[bool], None]
+    ledger: Callable[[int, Dict[str, int]], PacketLedger]
+    revalidate: Optional[Callable[[], None]] = None
+
+
+def _sink(sinks: Dict[str, int], name: str, n: int) -> None:
+    if n:
+        sinks[name] = sinks.get(name, 0) + n
+
+
+# ----------------------------------------------------------------------
+# Scenario builders.  Each wires the same P2P topology (trex -> ens1 ->
+# br0 -> ens2 -> trex) on a different datapath flavor.
+# ----------------------------------------------------------------------
+def _build_kernel(stream: TrexStream) -> _World:
+    host, nic_in, nic_out = _base_host(1, LINK_GBPS)
+    vs = host.install_ovs("system")
+    vs.add_bridge("br0")
+    p_in = vs.add_system_port("br0", nic_in)
+    vs.add_system_port("br0", nic_out)
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport), [OutputAction("ens2")])
+
+    def pump(up: bool) -> None:
+        # The kernel module keeps forwarding warm megaflows whether or
+        # not the daemon lives; only misses need the (dead) handler.
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=BURST)
+
+    def ledger(offered: int, crash_sinks: Dict[str, int]) -> PacketLedger:
+        sinks: Dict[str, int] = dict(crash_sinks)
+        _sink(sinks, "nic.rx_missed", nic_in.rx_missed)
+        _sink(sinks, "dp.lost_upcalls", vs.dpif_netlink.dp.n_lost)
+        return PacketLedger(offered=offered,
+                            forwarded=nic_out.wire_peer.stats.rx_packets,
+                            sinks=sinks)
+
+    return _World(host, nic_in, nic_out, vs, [], pump, ledger)
+
+
+def _build_ebpf(stream: TrexStream) -> _World:
+    host, nic_in, nic_out = _base_host(1, LINK_GBPS)
+    program, fib = l2_forward_program()
+    TcIngressHook(nic_in, program, host.kernel.init_ns)
+    fib.update(
+        l2_key(stream.next_packet().data[0:6]),
+        nic_out.ifindex.to_bytes(4, "little"),
+    )
+
+    def pump(up: bool) -> None:
+        # Program + maps are pinned in the kernel: forwarding survives
+        # the control process completely.
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=BURST)
+
+    def ledger(offered: int, crash_sinks: Dict[str, int]) -> PacketLedger:
+        sinks: Dict[str, int] = dict(crash_sinks)
+        _sink(sinks, "nic.rx_missed", nic_in.rx_missed)
+        _sink(sinks, "nic.xdp_drops", nic_in.xdp_drops)
+        _sink(sinks, "nic.xdp_passes_to_stack", nic_in.xdp_passes)
+        return PacketLedger(offered=offered,
+                            forwarded=nic_out.wire_peer.stats.rx_packets,
+                            sinks=sinks)
+
+    # vs=None: the supervised daemon has no datapath attachments here —
+    # recovery is detect + backoff + exec only.
+    return _World(host, nic_in, nic_out, None, [], pump, ledger)
+
+
+def _build_afxdp(stream: TrexStream, zerocopy: bool) -> _World:
+    options = AfxdpOptions(force_copy_mode=None if zerocopy else True)
+    host, nic_in, nic_out = _base_host(1, LINK_GBPS)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    p_in = vs.add_afxdp_port("br0", nic_in, options)
+    vs.add_afxdp_port("br0", nic_out, options)
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport), [OutputAction("ens2")])
+    dpif = vs.dpif_netdev
+    driver_in = dpif.ports[dpif.port_no("ens1")].adapter.driver
+    driver_out = dpif.ports[dpif.port_no("ens2")].adapter.driver
+    pmd = PmdThread(dpif, host.cpu, core=0, batch_size=options.batch_size)
+    pmd.add_rxq(dpif.ports[dpif.port_no("ens1")], 0)
+
+    def pump(up: bool) -> None:
+        # Softirq XDP dispatch belongs to the kernel and keeps running;
+        # with the XSKs gone its redirects fail at dispatch.  The PMD
+        # threads died with the daemon.
+        while nic_in.pending():
+            host.kernel.service_nic(nic_in, budget=options.batch_size)
+            if up:
+                pmd.run_iteration()
+        if up:
+            pmd.run_until_idle()
+
+    def ledger(offered: int, crash_sinks: Dict[str, int]) -> PacketLedger:
+        return afxdp_packet_ledger(offered, nic_in, driver_in, driver_out,
+                                   dpif, extra_sinks=crash_sinks)
+
+    return _World(host, nic_in, nic_out, vs, [pmd], pump, ledger,
+                  revalidate=lambda: dpif.revalidate(emcs=[pmd.emc]))
+
+
+def _build_dpdk(stream: TrexStream) -> _World:
+    host, nic_in, nic_out = _base_host(1, LINK_GBPS)
+    eth_in = bind_device(host.kernel.init_ns, "ens1")
+    eth_out = bind_device(host.kernel.init_ns, "ens2")
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    p_in = vs.add_dpdk_port("br0", eth_in)
+    vs.add_dpdk_port("br0", eth_out)
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(in_port=p_in.ofport), [OutputAction("ens2")])
+    dpif = vs.dpif_netdev
+    pmd = PmdThread(dpif, host.cpu, core=0)
+    pmd.add_rxq(dpif.ports[dpif.port_no("ens1")], 0)
+
+    def pump(up: bool) -> None:
+        # The dead process owned the device: nobody polls while it is
+        # down, the hardware rings fill, overflow counts in rx_missed
+        # and whatever sits in the rings is discarded by the re-init's
+        # queue reset (crash.dpdk_ring_reset).
+        if up:
+            pmd.run_until_idle()
+
+    def ledger(offered: int, crash_sinks: Dict[str, int]) -> PacketLedger:
+        sinks: Dict[str, int] = dict(crash_sinks)
+        _sink(sinks, "nic.rx_missed", nic_in.rx_missed)
+        _sink(sinks, "dp.dropped", dpif.stats.dropped)
+        return PacketLedger(offered=offered,
+                            forwarded=nic_out.wire_peer.stats.rx_packets,
+                            sinks=sinks)
+
+    return _World(host, nic_in, nic_out, vs, [pmd], pump, ledger,
+                  revalidate=lambda: dpif.revalidate(emcs=[pmd.emc]))
+
+
+_BUILDERS: Dict[str, Callable[[TrexStream], _World]] = {
+    "kernel": _build_kernel,
+    "ebpf": _build_ebpf,
+    "afxdp_copy": lambda s: _build_afxdp(s, zerocopy=False),
+    "afxdp_zc": lambda s: _build_afxdp(s, zerocopy=True),
+    "dpdk": _build_dpdk,
+}
+
+
+# ----------------------------------------------------------------------
+def _run_scenario(name: str, packets: int, seed: int) -> ScenarioResult:
+    """Build one flavor's world and crash it once under load."""
+    n_bursts = max(1, (packets + BURST - 1) // BURST)
+    crash_nth = max(2, n_bursts // 5)
+    plan = FaultPlan(seed=seed, rules=[
+        FaultRule("vswitchd.crash", nth=crash_nth, max_fires=1),
+        FaultRule("ovsdb.disconnect", rate=RETRY_FAULT_RATE),
+        FaultRule("netlink.enobufs", rate=RETRY_FAULT_RATE),
+    ])
+    outer = trace.ACTIVE
+    if outer is not None:
+        trace.detach()
+    try:
+        return _run_scenario_traced(name, packets, plan)
+    finally:
+        if outer is not None:
+            trace.attach(outer)
+
+
+def _run_scenario_traced(name: str, packets: int,
+                         plan: FaultPlan) -> ScenarioResult:
+    stream = TrexStream(FlowSpec(n_flows=N_FLOWS))
+    with faults.injecting(plan), trace.recording():
+        world = _BUILDERS[name](stream)
+        host = world.host
+        sup = Supervisor(host.user_ctx(host.cpu.n_cpus - 1), host.clock,
+                         vs=world.vs, pmds=world.pmds)
+        warmup = warmup_count(stream)
+        for pkt in stream.burst(warmup):
+            world.nic_in.host_receive(pkt)
+            world.pump(True)
+        start = host.clock.now
+        sent = 0
+        burst_no = 0
+        while sent < packets:
+            host.clock.advance_to(start + burst_no * BURST_INTERVAL_NS)
+            sup.poll()
+            sup.maybe_crash()
+            chunk = min(BURST, packets - sent)
+            for pkt in stream.burst(chunk):
+                world.nic_in.host_receive(pkt)
+            sent += chunk
+            world.pump(sup.up)
+            if sup.up and world.revalidate is not None:
+                world.revalidate()
+            burst_no += 1
+        # A recovery that outlives the offered window (DPDK's EAL init)
+        # still completes; drain whatever the reborn daemon can forward.
+        sup.finish()
+        world.pump(sup.up)
+        ledger = world.ledger(warmup + packets, sup.crash_sinks)
+    rec0 = sup.history[0] if sup.history else None
+    return ScenarioResult(
+        scenario=name,
+        offered=packets,
+        delivered=ledger.forwarded - warmup,
+        restarts=sup.restarts,
+        crashed_at_ns=(rec0.crashed_at_ns - start) if rec0 else 0.0,
+        downtime_ns=rec0.downtime_ns if rec0 else 0.0,
+        detect_ns=(rec0.detected_at_ns - rec0.crashed_at_ns) if rec0
+        else 0.0,
+        backoff_ns=rec0.backoff_ns if rec0 else 0.0,
+        ovsdb_retries=rec0.ovsdb_retries if rec0 else 0,
+        netlink_redumps=rec0.netlink_redumps if rec0 else 0,
+        phase_ns=dict(rec0.phase_ns) if rec0 else {},
+        sinks={k: v for k, v in ledger.sinks.items() if v},
+        conserved=ledger.conserved(),
+    )
+
+
+def run_upgrade(
+    packets: int = PACKETS,
+    seed: int = 0,
+    scenarios: Sequence[str] = SCENARIOS,
+) -> List[ScenarioResult]:
+    results = []
+    for name in scenarios:
+        if name not in _BUILDERS:
+            known = ", ".join(SCENARIOS)
+            raise ValueError(f"unknown scenario {name!r}; known: {known}")
+        result = _run_scenario(name, packets, seed)
+        if not result.conserved:
+            raise AssertionError(
+                f"packet conservation violated in {name!r}: "
+                f"{result.to_json()}")
+        results.append(result)
+    return results
+
+
+def render(results: Sequence[ScenarioResult]) -> str:
+    lines = [
+        f"{'scenario':<12} {'downtime':>10} {'detect':>8} {'lost':>7} "
+        f"{'delivered':>9} {'retries':>8}",
+    ]
+    for r in results:
+        retries = r.ovsdb_retries + r.netlink_redumps
+        lines.append(
+            f"{r.scenario:<12} {r.downtime_ns / MSEC:>8.1f}ms "
+            f"{r.detect_ns / MSEC:>6.1f}ms {r.lost:>7} "
+            f"{r.delivered:>9} {retries:>8}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: "List[str] | None" = None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    as_json = "--json" in argv
+    seed = 0
+    packets = PACKETS
+    scenarios: Sequence[str] = SCENARIOS
+    if "--seed" in argv:
+        seed = int(argv[argv.index("--seed") + 1])
+    if "--packets" in argv:
+        packets = int(argv[argv.index("--packets") + 1])
+    if "--scenarios" in argv:
+        scenarios = tuple(
+            argv[argv.index("--scenarios") + 1].split(","))
+    results = run_upgrade(packets=packets, seed=seed, scenarios=scenarios)
+    if as_json:
+        print(json.dumps({
+            "seed": seed,
+            "packets": packets,
+            "scenarios": {r.scenario: r.to_json() for r in results},
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"supervised crash-recovery (seed={seed}, {packets} packets "
+              f"offered as {BURST}-packet bursts every "
+              f"{BURST_INTERVAL_NS / MSEC:g} ms):")
+        print(render(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,8 @@ from repro.nsx.ruleset import PortMap, RulesetStats, collect_stats, install_rule
 from repro.nsx.topology import LogicalTopology, build_topology
 from repro.ovs.ofproto import OfPort
 from repro.ovs.vswitchd import VSwitchd
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.cpu import ExecContext
 
 
 class NsxAgent:
@@ -108,3 +110,19 @@ class NsxAgent:
     def bind_vif(self, vif_id: int, port: OfPort,
                  vif_ports: Dict[int, OfPort]) -> None:
         vif_ports[vif_id] = port
+
+    def resync(self, ctx: ExecContext) -> int:
+        """Desired-state re-sync after a vswitchd restart.
+
+        NSX reconciles declaratively: on OpenFlow reconnect it replays
+        the full desired rule set as bundled flow_mods.  The rules are
+        already present in ofproto (our restart model keeps them — the
+        controller re-installs identical state), so the observable cost
+        is the per-rule programming time, charged to the supervisor's
+        control context.  Returns the number of rules replayed.
+        """
+        n_rules = sum(bridge.n_flows()
+                      for bridge in self.vs.ofproto.bridges.values())
+        ctx.charge(n_rules * DEFAULT_COSTS.nsx_resync_per_rule_ns,
+                   label="nsx_resync")
+        return n_rules

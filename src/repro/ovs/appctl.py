@@ -17,6 +17,8 @@ operator actually runs:
   JIT compile/run/fallback counts,
 * ``ofproto/trace`` — inject a synthetic packet and narrate every
   decision the datapath would take, without taking any of them,
+* ``supervisor/show`` — the crash-recovery watchdog: uptime, restart
+  history with per-phase recovery timings, backoff state,
 * ``fdb/stats`` equivalents come from the bridges' OpenFlow dumps.
 
 ``pmd-perf-show`` and ``coverage/show`` read the active
@@ -290,6 +292,16 @@ class OvsAppctl:
             dp = self.vs.dpif_netlink.dp
             lines.append(f"datapath system@{dp.name}: lost:{dp.n_lost}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def supervisor_show(self, supervisor) -> str:
+        """``ovs-appctl supervisor/show``: the crash-recovery watchdog's
+        view — uptime, restart history with per-phase timings, last
+        crash cause, backoff state and the crash packet sinks (see
+        :class:`~repro.sim.supervisor.Supervisor`)."""
+        if supervisor is None:
+            return "(no supervisor attached)"
+        return supervisor.render()
 
     # ------------------------------------------------------------------
     def dpctl_dump_conntrack(self, max_conns: int = 50) -> str:

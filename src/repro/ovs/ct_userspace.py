@@ -74,5 +74,26 @@ class UserspaceConntrack:
         datapath, where netfilter state survives a vswitchd restart)."""
         self._table.flush()
 
+    def restart(self, ctx: ExecContext) -> int:
+        """A *charged* restart of the conntrack subsystem.
+
+        A graceful hot-upgrade tears down each tracked connection
+        (timers, hash unlink) before the new process allocates its empty
+        table; a crash skips the per-connection part — the state simply
+        vanishes with the process — but the new daemon still pays the
+        table allocation (call with ``len(ct) == 0`` after a flush, or
+        charge :data:`~repro.sim.costs.CostModel.conntrack_init_ns`
+        directly).  Returns the number of connections destroyed.
+        """
+        costs = DEFAULT_COSTS
+        n = len(self._table)
+        ctx.charge(
+            costs.conntrack_init_ns
+            + n * costs.conntrack_destroy_per_conn_ns,
+            label="ct_restart",
+        )
+        self._table.flush()
+        return n
+
     def connections(self):
         return self._table.connections()

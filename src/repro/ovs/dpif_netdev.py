@@ -191,6 +191,26 @@ class DpifNetdev:
     def flow_flush(self) -> None:
         self.megaflows.flush()
 
+    def cold_start(self, ctx: Optional[ExecContext] = None,
+                   emcs=()) -> None:
+        """The daemon process restarted: every userspace cache is rebuilt
+        from nothing — megaflows (and their compiled dp-JIT closures),
+        the per-PMD EMCs, and the userspace conntrack table, whose state
+        died with the old process (the §6 trade-off the kernel datapath
+        does not pay).  The first packets after recovery all miss and
+        upcall; the flow-limit controller governs the resulting storm.
+
+        With ``ctx`` the new process's conntrack table allocation is
+        charged; the caches themselves are empty allocations covered by
+        the exec cost."""
+        self.flow_flush()
+        for emc in emcs:
+            emc.flush()
+        self.conntrack.flush()
+        if ctx is not None:
+            ctx.charge(DEFAULT_COSTS.conntrack_init_ns, label="ct_restart")
+        trace.count("dpif.cold_start")
+
     def revalidate(self, max_idle_ns: int = 10_000_000_000,
                    emcs=()) -> Dict[str, int]:
         """The revalidator pass: expire idle megaflows and re-translate

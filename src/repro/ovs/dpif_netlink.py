@@ -52,6 +52,23 @@ class DpifNetlink:
     def flow_flush(self) -> None:
         self.dp.flow_flush()
 
+    # -- crash/restart ------------------------------------------------------
+    def detach_handler(self) -> Optional[Callable]:
+        """ovs-vswitchd died: its netlink sockets close, so misses have
+        nowhere to go — the kernel keeps forwarding megaflow hits and
+        counts new-flow misses in the ``lost:`` column (``dp.n_lost``).
+        Returns the detached handler so the supervisor can re-attach it
+        after recovery."""
+        fn, self.upcall_fn = self.upcall_fn, None
+        return fn
+
+    def attach_handler(self, fn: Callable) -> None:
+        """The restarted daemon re-registered its upcall sockets.  The
+        kernel flow table and netfilter conntrack were never touched —
+        a vswitchd restart with flow-restore keeps the megaflows warm
+        (the paper's §6 kernel-vs-userspace contrast)."""
+        self.upcall_fn = fn
+
     # -- upcalls -----------------------------------------------------------
     def _handle_upcall(self, upcall: Upcall, ctx: ExecContext) -> None:
         if self.upcall_fn is None:

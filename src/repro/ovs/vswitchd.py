@@ -231,3 +231,32 @@ class VSwitchd:
             # Kernel flows are flushed too, but netfilter conntrack
             # survives in the kernel.
             self.dpif_netlink.flow_flush()
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """The daemon process died (SIGSEGV, OOM-kill...).
+
+        Nothing is charged — dying is free — but the datapaths diverge
+        immediately: the kernel module keeps forwarding its installed
+        megaflows and counts new-flow misses as ``lost:`` (no handler
+        sockets), while the netdev datapath simply stops (its PMD
+        threads died with the process).  The supervisor
+        (:mod:`repro.sim.supervisor`) owns detection and the charged
+        recovery sequence; this method only severs the daemon's
+        datapath attachments.
+        """
+        if self.dpif_netlink is not None:
+            self.dpif_netlink.detach_handler()
+        if self.dpif_netdev is not None:
+            self.dpif_netdev.upcall_fn = None
+
+    def recover(self) -> None:
+        """The restarted daemon re-attaches to its datapath(s).
+
+        State divergence (what survived vs what comes back cold) is
+        handled by the supervisor's recovery phases; this re-wires the
+        upcall path of the new process."""
+        if self.dpif_netlink is not None:
+            self.dpif_netlink.attach_handler(self._upcall)
+        if self.dpif_netdev is not None:
+            self.dpif_netdev.upcall_fn = self._upcall

@@ -198,6 +198,61 @@ class CostModel:
     software_gso_per_segment_ns: float = 250.0
 
     # ------------------------------------------------------------------
+    # Crash recovery / restart (§6's upgrade story, repro.sim.supervisor).
+    #
+    # Sources: exec+link time is the dominant term of an ovs-vswitchd
+    # start (~100 ms to fork/exec, map ~40 shared objects and parse the
+    # schema — the same order `systemd-analyze blame` reports for
+    # openvswitch-switch).  OVSDB reconnect is one jsonrpc connect plus
+    # a monitor snapshot replayed row by row.  AF_XDP rebind costs are
+    # dominated by umem page pinning (~0.5–1 µs/page for get_user_pages)
+    # and, for zero-copy, the driver's queue-pair restart
+    # (ethtool-style channel reset, several ms per queue — the reason
+    # netdev-afxdp serializes queue reconfiguration).  DPDK pays EAL
+    # init (hugepage mapping + PCI scan, hundreds of ms) plus per-port
+    # dev_configure/start.  Kernel `system` ports only need a netlink
+    # vport dump/re-attach (tens of µs per port).  The supervisor's
+    # health probe is a unixctl round trip.
+    # ------------------------------------------------------------------
+    #: fork+exec ovs-vswitchd, dynamic linking, config parse — until the
+    #: daemon answers its first unixctl ping.
+    exec_restart_ns: float = 120_000_000.0
+    #: One OVSDB jsonrpc connect + schema/monitor handshake.
+    ovsdb_connect_ns: float = 2_000_000.0
+    #: Replaying one monitored row from the OVSDB snapshot.
+    ovsdb_row_read_ns: float = 15_000.0
+    #: Wait between OVSDB reconnect attempts (the client's backoff).
+    ovsdb_reconnect_wait_ns: float = 1_000_000.0
+    #: Fixed part of registering one umem region (XDP_UMEM_REG + rings).
+    afxdp_umem_create_ns: float = 1_000_000.0
+    #: Pinning one umem frame's page (get_user_pages, amortised).
+    afxdp_frame_pin_ns: float = 600.0
+    #: socket(AF_XDP) + bind() for one queue, copy mode.
+    afxdp_socket_bind_ns: float = 500_000.0
+    #: Extra per-queue cost of a zero-copy bind: the driver restarts the
+    #: queue pair (disable IRQ, free/refill hw rings, re-enable).
+    afxdp_zc_queue_restart_ns: float = 5_000_000.0
+    #: close() of one XSK (unpin pages, free rings) on graceful teardown.
+    afxdp_socket_unbind_ns: float = 200_000.0
+    #: Loading + verifying + attaching the XDP redirect program.
+    xdp_attach_ns: float = 2_000_000.0
+    #: rte_eal_init: hugepage mapping, PCI scan, memory zones.
+    dpdk_eal_init_ns: float = 500_000_000.0
+    #: rte_eth_dev_configure + queue setup + start for one port.
+    dpdk_port_config_ns: float = 50_000_000.0
+    #: Re-reading/re-attaching one datapath vport over netlink.
+    netlink_port_dump_ns: float = 30_000.0
+    #: Allocating a fresh userspace conntrack table (hash array, locks).
+    conntrack_init_ns: float = 2_000_000.0
+    #: Tearing down one tracked connection on a graceful restart.
+    conntrack_destroy_per_conn_ns: float = 150.0
+    #: Re-installing one OpenFlow rule during NSX desired-state re-sync
+    #: (bundled flow_mods, ~100k rules/s — the rate §4's agent sustains).
+    nsx_resync_per_rule_ns: float = 10_000.0
+    #: One supervisor health probe: a unixctl ping round trip.
+    heartbeat_probe_ns: float = 50_000.0
+
+    # ------------------------------------------------------------------
     # Misc pipeline costs.
     # ------------------------------------------------------------------
     #: Parse a packet's headers to a flow key (miniflow extract).

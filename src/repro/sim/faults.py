@@ -73,6 +73,16 @@ FAULT_POINTS: Dict[str, str] = {
     "ebpf.verifier_reject":
         "the verifier rejected the XDP program at load time; the port "
         "degrades to the generic copy-mode path instead of failing",
+    "vswitchd.crash":
+        "ovs-vswitchd dies mid-traffic (SIGSEGV/OOM-kill); the supervisor "
+        "detects the missed heartbeats and drives the charged restart "
+        "sequence (see repro.sim.supervisor)",
+    "ovsdb.disconnect":
+        "the OVSDB jsonrpc session drops during reconnect; the client "
+        "retries with its reconnect backoff, stretching recovery",
+    "netlink.enobufs":
+        "a netlink dump overflows the socket buffer (ENOBUFS) while "
+        "re-reading datapath ports; the whole dump restarts from scratch",
 }
 
 

@@ -65,19 +65,26 @@ def afxdp_packet_ledger(
     driver_in,
     driver_out,
     dpif,
+    extra_sinks: "Dict[str, int] | None" = None,
 ) -> PacketLedger:
     """Audit an AF_XDP P2P world after its queues have drained.
 
     ``driver_in``/``driver_out`` are the :class:`~repro.afxdp.driver.
     AfxdpDriver` instances on the ingress and egress NICs; ``offered``
     is the number of frames the traffic generator put on the wire
-    toward ``nic_in``.
+    toward ``nic_in``.  ``extra_sinks`` merges additional named
+    outcomes the drivers cannot see themselves — e.g. the supervisor's
+    ``crash.xsk_rx_inflight`` count of frames that died in a crashed
+    process's rings.
     """
     sinks: Dict[str, int] = {}
 
     def sink(name: str, n: int) -> None:
         if n:
             sinks[name] = sinks.get(name, 0) + n
+
+    for name, n in (extra_sinks or {}).items():
+        sink(name, n)
 
     sink("nic.rx_missed", nic_in.rx_missed)
     sink("nic.xdp_drops", nic_in.xdp_drops)
@@ -90,9 +97,14 @@ def afxdp_packet_ledger(
     for sock in driver_in.sockets.values():
         sink("xsk.rx_dropped_no_fill", sock.rx_dropped_no_fill)
         sink("xsk.rx_dropped_overrun", sock.rx_dropped_overrun)
+    sink("xsk.rx_dropped_no_fill",
+         driver_in.retired.get("rx_dropped_no_fill", 0))
+    sink("xsk.rx_dropped_overrun",
+         driver_in.retired.get("rx_dropped_overrun", 0))
     sink("dp.dropped", dpif.stats.dropped)
     # Tx-side outcomes on every distinct driver (a hairpin config reuses
-    # the ingress NIC for output; don't double-count it).
+    # the ingress NIC for output; don't double-count it).  Counters of
+    # sockets retired by a supervised restart live in ``driver.retired``.
     drivers = ([driver_in] if driver_in is driver_out
                else [driver_in, driver_out])
     for driver in drivers:
@@ -101,4 +113,11 @@ def afxdp_packet_ledger(
             sink("xsk.tx_dropped_ring_full", sock.tx_dropped_ring_full)
             sink("xsk.tx_dropped_kick", sock.tx_dropped_kick)
             forwarded += sock.tx_sent
+        sink("xsk.tx_dropped_no_umem",
+             driver.retired.get("tx_dropped_no_umem", 0))
+        sink("xsk.tx_dropped_ring_full",
+             driver.retired.get("tx_dropped_ring_full", 0))
+        sink("xsk.tx_dropped_kick",
+             driver.retired.get("tx_dropped_kick", 0))
+        forwarded += driver.retired.get("tx_sent", 0)
     return PacketLedger(offered=offered, forwarded=forwarded, sinks=sinks)

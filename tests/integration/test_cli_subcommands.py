@@ -5,8 +5,8 @@ Each experiment is driven through the real CLI dispatcher
 whole sweep fits in the tier-1 suite.  Experiment ``main()``s call their
 ``run_*`` entry point by module-global name, so shrinking the budget is
 a matter of rebinding that global to a :func:`functools.partial`;
-``fig9`` and ``degradation`` read a ``PACKETS`` module global at call
-time instead, so those two get the global patched.
+``fig9``, ``degradation`` and ``upgrade`` read a ``PACKETS`` module
+global at call time instead, so those get the global patched.
 """
 
 import functools
@@ -31,6 +31,7 @@ TINY = {
     "table5": ("run_table5", {"packets": 400}),
     "fig12": ("run_fig12", {"packets_per_queue": 150}),
     "degradation": ("PACKETS", 200),
+    "upgrade": ("PACKETS", 640),
 }
 
 

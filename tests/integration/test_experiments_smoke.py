@@ -140,6 +140,18 @@ def test_degradation_smoke():
     assert faulted.conserved and baseline.conserved
 
 
+def test_upgrade_smoke():
+    from repro.experiments.upgrade import run_upgrade
+
+    results = run_upgrade(packets=TINY["packets"],
+                          scenarios=("kernel", "ebpf"))
+    by_name = {r.scenario: r for r in results}
+    assert by_name["kernel"].restarts == 1
+    assert by_name["kernel"].lost == 0  # warm megaflows carry the outage
+    assert by_name["ebpf"].downtime_ns > 0
+    assert all(r.conserved for r in results)
+
+
 def test_p2p_benches_smoke():
     """The p2p bench module directly: every datapath flavour forwards."""
     from repro.experiments.p2p import (afxdp_p2p, dpdk_p2p, ebpf_p2p,

@@ -493,6 +493,7 @@ _PROPERTY_POINTS = (
     "dp.upcall_overload",
     "ebpf.map_lookup_fault",
     "ebpf.verifier_reject",
+    "vswitchd.crash",
 )
 
 

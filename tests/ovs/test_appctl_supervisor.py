@@ -1,0 +1,84 @@
+"""``appctl supervisor/show`` golden output + restart counters in
+``coverage/show``."""
+
+from repro.hosts.host import Host
+from repro.ovs.appctl import OvsAppctl
+from repro.ovs.match import Match
+from repro.ovs.ofactions import OutputAction
+from repro.ovs.openflow import OpenFlowConnection
+from repro.sim import trace
+from repro.sim.clock import MSEC
+from repro.sim.supervisor import Supervisor
+
+
+def _world():
+    host = Host("show", n_cpus=4)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    vs.add_sim_port("br0", "p1")
+    vs.add_sim_port("br0", "p2")
+    of = OpenFlowConnection(vs.bridge("br0"))
+    of.add_flow(0, 10, Match(), [OutputAction("p2")])
+    sup = Supervisor(host.user_ctx(3), host.clock, vs=vs)
+    return host, vs, sup
+
+
+def test_supervisor_show_while_up():
+    host, vs, sup = _world()
+    host.clock.advance(5 * MSEC)
+    out = OvsAppctl(vs).supervisor_show(sup)
+    assert "status: up" in out
+    assert "uptime: 5.000 ms" in out
+    assert "restarts: 0" in out
+    assert "heartbeat: every 10 ms, miss threshold 3" in out
+    assert "next backoff: 0 ms" in out
+    assert "last crash cause" not in out
+
+
+def test_supervisor_show_mid_recovery_names_the_pending_phase():
+    host, vs, sup = _world()
+    sup.crash()
+    host.clock.advance_to(35 * MSEC)  # detect done, exec pending
+    sup.poll()
+    out = OvsAppctl(vs).supervisor_show(sup)
+    assert "status: restarting" in out
+    assert "recovery: phase 'exec' ends at" in out
+    assert "(done: detect)" in out
+    assert "last crash cause: vswitchd.crash" in out
+    sup.finish()
+
+
+def test_supervisor_show_after_recovery_breaks_down_the_phases():
+    host, vs, sup = _world()
+    sup.crash("vswitchd.crash")
+    sup.finish()
+    out = OvsAppctl(vs).supervisor_show(sup)
+    assert "restarts: 1" in out
+    assert "restart[0]: cause=vswitchd.crash" in out
+    assert "downtime=" in out and "backoff=0ms" in out
+    assert "ovsdb_retries=0" in out and "netlink_redumps=0" in out
+    for phase in ("detect", "exec", "ovsdb", "state", "resync"):
+        assert f"  {phase:8s}" in out
+    # Doubled backoff is announced for the *next* crash.
+    assert "next backoff: 100 ms" in out
+
+
+def test_supervisor_show_without_a_supervisor():
+    _host, vs, _sup = _world()
+    assert OvsAppctl(vs).supervisor_show(None) == "(no supervisor attached)"
+
+
+def test_coverage_show_reports_truthful_restart_counters():
+    host, vs, sup = _world()
+    appctl = OvsAppctl(vs)
+    with trace.recording() as rec:
+        sup.crash()
+        sup.finish()
+        sup.crash()
+        sup.finish()
+        out = appctl.coverage_show(rec)
+    lines = {line.split()[0]: line for line in out.splitlines()[1:]}
+    assert lines["supervisor.crashes"].split()[1] == "2"
+    assert lines["supervisor.restarts"].split()[1] == "2"
+    assert "dpif.cold_start" in lines
+    assert sup.restarts == vs.restarts == 2

@@ -1,0 +1,284 @@
+"""Supervisor unit behaviour: detection math, backoff, phases, passivity.
+
+World-level behaviour (packet loss through a crash, per-datapath
+recovery divergence) lives in
+``tests/integration/test_upgrade_experiment.py``; these tests pin the
+watchdog mechanics in isolation.
+"""
+
+import pytest
+
+from repro.hosts.host import Host
+from repro.sim import faults, trace
+from repro.sim.clock import MSEC
+from repro.sim.costs import DEFAULT_COSTS
+from repro.sim.faults import FaultPlan, FaultRule
+from repro.sim.supervisor import (
+    MAX_RETRIES,
+    Supervisor,
+    SupervisorConfig,
+)
+
+
+def _netdev_world():
+    host = Host("sup", n_cpus=4)
+    vs = host.install_ovs("netdev")
+    vs.add_bridge("br0")
+    vs.add_sim_port("br0", "p1")
+    vs.add_sim_port("br0", "p2")
+    return host, vs
+
+
+def _supervisor(host, vs, **cfg):
+    config = SupervisorConfig(**cfg) if cfg else None
+    return Supervisor(host.user_ctx(3), host.clock, vs=vs, config=config)
+
+
+# ----------------------------------------------------------------------
+# Heartbeat detection.
+# ----------------------------------------------------------------------
+def test_detection_is_miss_threshold_probes_after_the_crash():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs)  # heartbeat 10 ms, 3 misses
+    sup.crash()
+    sup.finish()
+    rec = sup.history[0]
+    # Crash at t=0: first missed probe at 10 ms, third at 30 ms.
+    assert rec.detected_at_ns == 3 * 10 * MSEC
+
+
+def test_detection_snaps_to_the_absolute_probe_schedule():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs)
+    host.clock.advance(15 * MSEC)  # crash mid-interval
+    sup.crash()
+    sup.finish()
+    rec = sup.history[0]
+    # Probes tick at 10/20/30/40 ms; misses at 20, 30, 40.
+    assert rec.detected_at_ns == 40 * MSEC
+    assert rec.crashed_at_ns == 15 * MSEC
+
+
+def test_detection_charges_the_missed_probes():
+    host, vs = _netdev_world()
+    with trace.recording() as rec:
+        sup = _supervisor(host, vs)
+        sup.crash()
+        sup.finish()
+    count, ns = rec.spans["supervisor.detect"]
+    assert count == 1
+    assert ns == pytest.approx(3 * DEFAULT_COSTS.heartbeat_probe_ns)
+
+
+# ----------------------------------------------------------------------
+# Backoff schedule.
+# ----------------------------------------------------------------------
+def test_backoff_is_free_then_doubles_then_resets():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs)
+    backoffs = []
+    for _ in range(4):  # immediate crash loop: no stable uptime between
+        sup.crash()
+        sup.finish()
+        backoffs.append(sup.history[-1].backoff_ns)
+    assert backoffs == [0.0, 100 * MSEC, 200 * MSEC, 400 * MSEC]
+    # A stable-uptime stretch earns the counter back.
+    host.clock.advance(2_000 * MSEC)
+    sup.crash()
+    sup.finish()
+    assert sup.history[-1].backoff_ns == 0.0
+    assert sup.consecutive_crashes == 1
+
+
+def test_backoff_is_capped():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs, backoff_cap_ns=250 * MSEC)
+    for _ in range(5):
+        sup.crash()
+        sup.finish()
+    assert sup.history[-1].backoff_ns == 250 * MSEC
+
+
+def test_backoff_is_waited_not_charged():
+    host, vs = _netdev_world()
+    with trace.recording() as rec:
+        sup = _supervisor(host, vs)
+        sup.crash()
+        sup.finish()
+        sup.crash()  # second crash: 100 ms backoff
+        sup.finish()
+    assert "supervisor.backoff" in rec.waits
+    assert "supervisor.backoff" not in rec.spans
+    assert rec.waits["supervisor.backoff"][1] == pytest.approx(100 * MSEC)
+
+
+# ----------------------------------------------------------------------
+# Phase scheduling against the experiment's clock.
+# ----------------------------------------------------------------------
+def test_poll_executes_phases_only_as_their_end_times_pass():
+    host, vs = _netdev_world()
+    with trace.recording() as rec:
+        sup = _supervisor(host, vs)
+        sup.crash()
+        sup.poll()
+        assert "supervisor.detect" not in rec.spans  # nothing ended yet
+        host.clock.advance_to(35 * MSEC)  # past detect (30), before exec
+        sup.poll()
+        assert "supervisor.detect" in rec.spans
+        assert "supervisor.exec" not in rec.spans
+        assert not sup.up
+        host.clock.advance_to(2_000 * MSEC)
+        sup.poll()
+    assert sup.up
+    assert "supervisor.exec" in rec.spans
+    assert "supervisor.ovsdb" in rec.spans
+
+
+def test_finish_advances_the_clock_to_the_recovery_end():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs)
+    sup.crash()
+    sup.finish()
+    assert sup.up
+    assert host.clock.now >= sup.history[0].recovered_at_ns
+    # Restart bookkeeping is truthful on both sides.
+    assert sup.restarts == 1
+    assert vs.restarts == 1
+    assert sup.history[0].downtime_ns == (
+        sup.history[0].recovered_at_ns - sup.history[0].crashed_at_ns)
+
+
+def test_recovery_reattaches_the_upcall_path():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs)
+    assert vs.dpif_netdev.upcall_fn is not None
+    sup.crash()
+    assert vs.dpif_netdev.upcall_fn is None
+    sup.finish()
+    assert vs.dpif_netdev.upcall_fn is not None
+
+
+def test_crash_while_down_is_rejected():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs)
+    sup.crash()
+    with pytest.raises(RuntimeError):
+        sup.crash()
+    sup.finish()
+
+
+# ----------------------------------------------------------------------
+# Fault-stretched retries.
+# ----------------------------------------------------------------------
+def test_ovsdb_disconnect_faults_stretch_recovery_up_to_the_cap():
+    host, vs = _netdev_world()
+    plan = FaultPlan(seed=0, rules=[
+        FaultRule("ovsdb.disconnect", rate=1.0)])
+    with faults.injecting(plan):
+        sup = _supervisor(host, vs)
+        sup.crash()
+        sup.finish()
+    rec = sup.history[0]
+    assert rec.ovsdb_retries == MAX_RETRIES
+    assert plan.fired["ovsdb.disconnect"] == MAX_RETRIES
+
+
+def test_netlink_enobufs_faults_redump_the_kernel_ports():
+    host = Host("sup-k", n_cpus=4)
+    vs = host.install_ovs("system")
+    vs.add_bridge("br0")  # one internal kernel port
+    plan = FaultPlan(seed=0, rules=[
+        FaultRule("netlink.enobufs", rate=1.0)])
+    with faults.injecting(plan), trace.recording() as rec:
+        sup = Supervisor(host.user_ctx(3), host.clock, vs=vs)
+        sup.crash()
+        sup.finish()
+    record = sup.history[0]
+    assert record.netlink_redumps == MAX_RETRIES
+    # (redumps + 1) full dumps of the one port were charged.
+    _count, ns = rec.spans["netlink_port_dump"]
+    assert ns == pytest.approx(
+        (MAX_RETRIES + 1) * DEFAULT_COSTS.netlink_port_dump_ns)
+
+
+def test_maybe_crash_consults_the_plan_once_per_call():
+    host, vs = _netdev_world()
+    plan = FaultPlan(seed=0, rules=[
+        FaultRule("vswitchd.crash", nth=3, max_fires=1)])
+    with faults.injecting(plan):
+        sup = _supervisor(host, vs)
+        assert not sup.maybe_crash()
+        assert not sup.maybe_crash()
+        assert sup.maybe_crash()
+        assert not sup.up
+        # Dead daemons do not crash again (and consume no events).
+        assert not sup.maybe_crash()
+        assert plan.events["vswitchd.crash"] == 3
+        sup.finish()
+
+
+def test_maybe_crash_without_a_plan_is_inert():
+    host, vs = _netdev_world()
+    sup = _supervisor(host, vs)
+    assert not sup.maybe_crash()
+    assert sup.up and sup.restarts == 0
+
+
+# ----------------------------------------------------------------------
+# Zero-overhead-off: a supervisor that never fires changes nothing.
+# ----------------------------------------------------------------------
+def _charged_world_ledger(with_supervisor: bool) -> str:
+    from repro.ovs.pmd import PmdThread
+    from tests.ovs.conftest import udp_pkt
+
+    host, vs = _netdev_world()
+    pmd = PmdThread(vs.dpif_netdev, host.cpu, core=1)
+    p1 = vs.dpif_netdev.ports[vs.dpif_netdev.port_no("p1")]
+    pmd.add_rxq(p1, 0)
+    plan = FaultPlan(seed=9, rules=[
+        FaultRule("vswitchd.crash", rate=0.0)])  # inert rule
+    with faults.injecting(plan), trace.recording() as rec:
+        sup = None
+        if with_supervisor:
+            sup = Supervisor(host.user_ctx(3), host.clock, vs=vs,
+                             pmds=[pmd])
+        for _ in range(4):
+            p1.adapter.inject([udp_pkt() for _ in range(8)])
+            if sup is not None:
+                assert not sup.maybe_crash()
+            pmd.run_until_idle()
+        return rec.ledger()
+
+
+def test_inert_supervisor_leaves_the_ledger_byte_identical():
+    assert _charged_world_ledger(True) == _charged_world_ledger(False)
+
+
+# ----------------------------------------------------------------------
+# Daemon-less supervision (the eBPF flavor).
+# ----------------------------------------------------------------------
+def test_vs_none_recovery_is_detect_backoff_exec_only():
+    host = Host("sup-e", n_cpus=2)
+    sup = Supervisor(host.user_ctx(1), host.clock, vs=None)
+    sup.crash("vswitchd.crash")
+    sup.finish()
+    rec = sup.history[0]
+    assert set(rec.phase_ns) == {"detect", "exec"}
+    assert rec.downtime_ns == pytest.approx(
+        3 * 10 * MSEC + DEFAULT_COSTS.exec_restart_ns)
+
+
+# ----------------------------------------------------------------------
+# Trace counters feed coverage/show truthfully.
+# ----------------------------------------------------------------------
+def test_crash_and_restart_counters_are_counted():
+    host, vs = _netdev_world()
+    with trace.recording() as rec:
+        sup = _supervisor(host, vs)
+        sup.crash()
+        sup.finish()
+        sup.crash()
+        sup.finish()
+    assert rec.counters["supervisor.crashes"] == 2
+    assert rec.counters["supervisor.restarts"] == 2
+    assert rec.counters["dpif.cold_start"] == 2
