@@ -43,6 +43,9 @@ EXPERIMENTS = {
                     "repro.experiments.degradation"),
     "upgrade": ("Robustness: crash-recovery downtime per datapath",
                 "repro.experiments.upgrade"),
+    "observer-effect": ("Observability: telemetry's throughput cost "
+                        "by sampling rate",
+                        "repro.experiments.observer_effect"),
     "matrix": ("Performance matrix: lossless-rate sweep "
                "(own flags; see `matrix --help`)",
                "repro.perfmatrix.matrix"),

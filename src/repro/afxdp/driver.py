@@ -30,9 +30,15 @@ from repro.ebpf.xdp import XdpContext
 from repro.kernel.nic import PhysicalNic
 from repro.net.flow import extract_flow, rss_hash, rxhash_of
 from repro.net.packet import Packet
+from repro import telemetry
 from repro.sim import fastpath, faults, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
+from repro.telemetry.drops import (
+    DropReason,
+    XSK_RX_REASONS,
+    XSK_TX_REASONS,
+)
 
 #: How many dp_packet allocations one mmap covers in the pre-O4 scheme.
 MMAP_ALLOC_PERIOD = 512
@@ -172,9 +178,10 @@ class AfxdpDriver:
         self._retire_socket_counters()
         self.sockets.clear()
 
-    _RETIRED_COUNTERS = ("tx_sent", "rx_dropped_no_fill",
-                         "rx_dropped_overrun", "tx_dropped_no_umem",
-                         "tx_dropped_ring_full", "tx_dropped_kick")
+    #: Socket counters preserved across restarts, derived from the drop
+    #: taxonomy so the ledger and the enum can never drift apart.
+    _RETIRED_COUNTERS = ("tx_sent",) + tuple(
+        r.counter for r in XSK_RX_REASONS + XSK_TX_REASONS)
 
     def _retire_socket_counters(self) -> None:
         for sock in self.sockets.values():
@@ -192,14 +199,18 @@ class AfxdpDriver:
         descriptors) are gone with the umem; they are returned as named
         sinks so the packet-conservation ledger balances through the
         crash."""
-        sinks = {"crash.xsk_rx_inflight": 0, "crash.xsk_tx_inflight": 0}
+        rx_sink = DropReason.CRASH_XSK_RX_INFLIGHT
+        tx_sink = DropReason.CRASH_XSK_TX_INFLIGHT
+        sinks = {rx_sink.value: 0, tx_sink.value: 0}
         for sock in self.sockets.values():
-            sinks["crash.xsk_rx_inflight"] += len(sock.rx_ring)
-            sinks["crash.xsk_tx_inflight"] += len(sock.tx_ring)
+            sinks[rx_sink.value] += len(sock.rx_ring)
+            sinks[tx_sink.value] += len(sock.tx_ring)
         for queue in list(self.sockets):
             self.nic.unbind_xsk(queue)
         self._retire_socket_counters()
         self.sockets.clear()
+        for reason in (rx_sink, tx_sink):
+            telemetry.drop_event(reason, n=sinks[reason.value])
         return {k: v for k, v in sinks.items() if v}
 
     # ------------------------------------------------------------------

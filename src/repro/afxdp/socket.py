@@ -21,9 +21,11 @@ from repro.afxdp.rings import DescRing
 from repro.afxdp.umem import Umem
 from repro.afxdp.umempool import UmemPool
 from repro.net.packet import Packet
+from repro import telemetry
 from repro.sim import faults, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import CpuCategory, ExecContext
+from repro.telemetry.drops import DropReason
 
 #: Bounded retry budget after tx-kick EAGAIN, as netdev-afxdp retries
 #: ``sendto`` a fixed number of times before giving up on the batch.
@@ -81,6 +83,8 @@ class XskSocket:
                 self.rx_dropped_overrun += 1
                 if rec is not None:
                     rec.count("afxdp.rx_dropped_overrun")
+                telemetry.drop_event(DropReason.XSK_RX_OVERRUN,
+                                     octets=len(pkt))
                 return False
             if (self.bind_mode is BindMode.ZEROCOPY
                     and plan.should_fire("afxdp.zc_fallback")):
@@ -97,6 +101,8 @@ class XskSocket:
             self.rx_dropped_no_fill += 1
             if rec is not None:
                 rec.count("afxdp.rx_dropped_no_fill")
+            telemetry.drop_event(DropReason.XSK_RX_NO_FILL,
+                                 octets=len(pkt))
             return False
         addr, _ = desc
         if self.bind_mode is BindMode.COPY:
@@ -168,6 +174,8 @@ class XskSocket:
             self.tx_dropped_no_umem += len(pkts)
             if rec is not None:
                 rec.count("afxdp.tx_dropped_no_umem", len(pkts))
+            telemetry.drop_event(DropReason.XSK_TX_NO_UMEM, n=len(pkts),
+                                 octets=sum(len(p) for p in pkts))
             return 0
         addrs = self.pool.alloc(len(pkts), ctx, batched=True)
         n = len(addrs)
@@ -178,6 +186,9 @@ class XskSocket:
             self.tx_dropped_no_umem += len(pkts) - n
             if rec is not None:
                 rec.count("afxdp.tx_dropped_no_umem", len(pkts) - n)
+            telemetry.drop_event(DropReason.XSK_TX_NO_UMEM,
+                                 n=len(pkts) - n,
+                                 octets=sum(len(p) for p in pkts[n:]))
         for addr, pkt in zip(addrs, pkts[:n]):
             if self.bind_mode is BindMode.COPY:
                 ctx.charge(costs.copy_cost(len(pkt)), label="tx_copy")
@@ -195,6 +206,9 @@ class XskSocket:
             if rec is not None:
                 rec.count("afxdp.tx_ring_full")
                 rec.count("afxdp.tx_dropped_ring_full", n - produced)
+            telemetry.drop_event(
+                DropReason.XSK_TX_RING_FULL, n=n - produced,
+                octets=sum(len(p) for p in pkts[produced:n]))
             self.pool.free(addrs[produced:], ctx, batched=True)
         ctx.charge(costs.ring_batch_ns + produced * costs.ring_op_ns,
                    label="tx_push")
@@ -228,6 +242,9 @@ class XskSocket:
                             self.tx_dropped_kick += len(descs)
                             trace.count("afxdp.tx_dropped_kick",
                                         len(descs))
+                            telemetry.drop_event(
+                                DropReason.XSK_TX_KICK, n=len(descs),
+                                octets=sum(ln for _, ln in descs))
                             self.umem.completion_ring.produce_batch(
                                 [(addr, 0) for addr, _ in descs])
                         ctx.charge(

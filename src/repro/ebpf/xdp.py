@@ -26,6 +26,7 @@ from repro.sim import fastpath
 from repro.sim import faults as _faults
 from repro.sim import trace as _trace
 from repro.sim.cpu import ExecContext
+from repro.telemetry.drops import DropReason
 
 
 class XdpAction(enum.IntEnum):
@@ -34,6 +35,21 @@ class XdpAction(enum.IntEnum):
     PASS = 2
     TX = 3
     REDIRECT = 4
+
+
+def verdict_drop_reason(action: XdpAction) -> Optional[DropReason]:
+    """Taxonomy reason when a verdict discards the frame, else None.
+
+    DROP and ABORTED both recycle the buffer in place; drivers do not
+    distinguish them in drop accounting and neither does the taxonomy.
+    Note the sampling hook for the "xdp" point lives at the *dispatch*
+    site (:meth:`repro.kernel.nic.PhysicalNic.service_queue`), never
+    inside :meth:`XdpContext.run` — runs are memoized and replayed, and
+    a replay must re-issue exactly the charges of a live run.
+    """
+    if action is XdpAction.DROP or action is XdpAction.ABORTED:
+        return DropReason.NIC_XDP_DROP
+    return None
 
 
 @dataclass(slots=True)

@@ -14,14 +14,16 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.ebpf.xdp import XdpAction, XdpContext
+from repro.ebpf.xdp import XdpAction, XdpContext, verdict_drop_reason
 from repro.net.addresses import MacAddress
 from repro.net.flow import extract_flow, rss_hash, rxhash_of
 from repro.net.packet import Packet
+from repro import telemetry
 from repro.sim import fastpath
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 from repro.kernel.netdev import NetDevice
+from repro.telemetry.drops import DropReason
 
 
 @dataclass
@@ -164,6 +166,8 @@ class PhysicalNic(NetDevice):
         ring = self.rx_rings[queue]
         if len(ring) >= self.ring_size:
             self.rx_missed += 1
+            telemetry.drop_event(DropReason.NIC_RX_MISSED,
+                                 octets=len(pkt.data))
             return False
         pkt = pkt.clone()
         pkt.meta.in_port = self.ifindex
@@ -192,6 +196,7 @@ class PhysicalNic(NetDevice):
         ring = self.rx_rings[queue]
         processed = 0
         costs = DEFAULT_COSTS
+        tele = telemetry.ACTIVE
         while ring and processed < budget:
             pkt = ring.popleft()
             processed += 1
@@ -209,6 +214,12 @@ class PhysicalNic(NetDevice):
                 self.deliver(pkt, ctx)
                 ctx.charge(costs.skb_free_ns, label="skb_path")
                 continue
+            if tele is not None:
+                # The "xdp" observation point: before the program runs,
+                # where real sFlow-on-XDP taps would sample.  It cannot
+                # live inside XdpContext.run — runs are memoized and
+                # replayed with a fixed charge sequence.
+                tele.observe("xdp", pkt, ctx)
             # The VM charges the first data touch itself (a program that
             # never reads the packet, like DROP-only, skips it — §5.4 A).
             verdict = xdp.run(
@@ -231,9 +242,15 @@ class PhysicalNic(NetDevice):
             pkt.meta.llc_warm = True
         if verdict.action == XdpAction.DROP or verdict.action == XdpAction.ABORTED:
             self.xdp_drops += 1
+            telemetry.drop_event(verdict_drop_reason(verdict.action),
+                                 octets=len(pkt.data))
             return  # buffer recycled in place
         if verdict.action == XdpAction.PASS:
             self.xdp_passes += 1
+            # A conservation sink for the AF_XDP datapath: the frame
+            # leaves it for the kernel stack.
+            telemetry.drop_event(DropReason.NIC_XDP_PASS_TO_STACK,
+                                 octets=len(verdict.data))
             self.deliver(pkt.with_data(verdict.data), ctx)
             return
         if verdict.action == XdpAction.TX:
@@ -252,14 +269,14 @@ class PhysicalNic(NetDevice):
         target = verdict.redirect
         out = pkt.with_data(verdict.data)
         if target is None:
-            self.xdp_redirect_failed += 1
+            self._redirect_failed(out)
             return
         if target[0] == "map":
             _, bpf_map, slot = target
             if bpf_map.map_type == "xskmap":
                 socket = self.xsk_sockets.get(slot)
                 if socket is None:
-                    self.xdp_redirect_failed += 1
+                    self._redirect_failed(out)
                     return  # no socket bound: drop
                 socket.kernel_rx(out, ctx)  # type: ignore[attr-defined]
                 return
@@ -275,13 +292,18 @@ class PhysicalNic(NetDevice):
         self, pkt: Packet, ifindex: Optional[int], ctx: ExecContext
     ) -> None:
         if ifindex is None or self.redirect_resolver is None:
-            self.xdp_redirect_failed += 1
+            self._redirect_failed(pkt)
             return
         device = self.redirect_resolver(ifindex)
         if device is None:
-            self.xdp_redirect_failed += 1
+            self._redirect_failed(pkt)
             return
         device.transmit(pkt, ctx)
+
+    def _redirect_failed(self, pkt: Packet) -> None:
+        self.xdp_redirect_failed += 1
+        telemetry.drop_event(DropReason.NIC_XDP_REDIRECT_FAILED,
+                             octets=len(pkt.data))
 
     # ------------------------------------------------------------------
     # Transmit to the wire.

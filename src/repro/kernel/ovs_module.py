@@ -20,7 +20,9 @@ from repro.net.packet import Packet
 from repro.net.tunnel import decapsulate, encapsulate
 from repro.ovs import odp
 from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
+from repro import telemetry
 from repro.sim import faults, trace
+from repro.telemetry.drops import DropReason
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
 
@@ -209,14 +211,25 @@ class KernelDatapath:
     def receive(self, port_no: int, pkt: Packet, ctx: ExecContext) -> None:
         port = self.ports.get(port_no)
         if port is None:
+            telemetry.drop_event(DropReason.KERNEL_RX_NO_PORT,
+                                 octets=len(pkt.data))
             return
         port.stats_rx += 1
         pkt.meta.in_port = port_no
+        tele = telemetry.ACTIVE
+        if tele is not None:
+            # The kernel-path observation point: after the vport resolved
+            # and in_port is stamped, before lookup.  Recirculation and
+            # tunnel decap re-enter _lookup_and_execute directly, so a
+            # packet is observed once per datapath entry.
+            tele.observe("kernel", pkt, ctx)
         self._lookup_and_execute(pkt, ctx, depth=0)
 
     def _lookup_and_execute(self, pkt: Packet, ctx: ExecContext, depth: int) -> None:
         costs = DEFAULT_COSTS
         if depth > MAX_RECIRC_DEPTH:
+            telemetry.drop_event(DropReason.KERNEL_RECIRC_LIMIT,
+                                 octets=len(pkt.data))
             return  # loop mitigation, as the real module does
         ctx.charge(costs.flow_extract_ns, label="flow_extract")
         key = extract_flow(
@@ -246,9 +259,13 @@ class KernelDatapath:
             # never reaches userspace, so no flow gets installed either).
             self.n_lost += 1
             trace.count("kernel.upcall_lost")
+            telemetry.drop_event(DropReason.KERNEL_UPCALL_LOST,
+                                 octets=len(pkt.data))
             return
         if self.upcall_handler is None:
             self.n_lost += 1
+            telemetry.drop_event(DropReason.KERNEL_UPCALL_LOST,
+                                 octets=len(pkt.data))
             return
         # The packet and key cross to userspace and back: two context
         # switches, a netlink copy each way, a classifier lookup up there.
@@ -298,6 +315,9 @@ class KernelDatapath:
                 try:
                     ttype, vni, src, dst, inner = decapsulate(data)
                 except ValueError:
+                    telemetry.drop_event(
+                        DropReason.KERNEL_TUNNEL_DECAP_FAILED,
+                        octets=len(data))
                     return  # not a tunnel packet after all: drop
                 out = Packet(inner)
                 out.meta.in_port = act.vport
@@ -344,6 +364,8 @@ class KernelDatapath:
     def _output(self, pkt: Packet, port_no: int, ctx: ExecContext) -> None:
         port = self.ports.get(port_no)
         if port is None or port.device is None:
+            telemetry.drop_event(DropReason.KERNEL_OUTPUT_NO_PORT,
+                                 octets=len(pkt.data))
             return
         port.stats_tx += 1
         if port.kind == "internal":

@@ -57,6 +57,7 @@ from repro.ovs.ofproto import TranslationError
 from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
 from repro.ovs.pmd import PmdThread
 from repro.ovs.vswitchd import VSwitchd
+from repro import telemetry
 from repro.sim import faults, trace
 from repro.sim.trace import TraceRecorder
 
@@ -291,6 +292,67 @@ class OvsAppctl:
         if self.vs.dpif_netlink is not None:
             dp = self.vs.dpif_netlink.dp
             lines.append(f"datapath system@{dp.name}: lost:{dp.n_lost}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def sflow_show(self) -> str:
+        """``ovs-appctl sflow/show``: the active sampling session —
+        rate, header length and per-dispatch-point observed/sampled
+        tallies."""
+        session = telemetry.ACTIVE
+        if session is None:
+            return "(no telemetry session installed)"
+        sampler = session.sflow
+        if sampler is None:
+            return "sflow: disabled"
+        cfg = sampler.config
+        lines = [f"sflow: sampling 1/{cfg.rate} "
+                 f"(header {cfg.header_bytes} bytes, seed {cfg.seed})"]
+        for point in cfg.points:
+            lines.append(
+                f"  {point:8s} observed:{sampler.observed[point]} "
+                f"sampled:{sampler.sampled[point]}")
+        lines.append(f"  total    observed:{sampler.total_observed} "
+                     f"sampled:{sampler.total_sampled}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def ipfix_show(self) -> str:
+        """``ovs-appctl ipfix/show``: the flow exporter — timeouts,
+        cache occupancy, export/loss totals and the per-reason drop
+        tallies of the unified taxonomy."""
+        session = telemetry.ACTIVE
+        if session is None:
+            return "(no telemetry session installed)"
+        exporter = session.ipfix
+        if exporter is None:
+            return "ipfix: disabled"
+        cfg = exporter.config
+        lines = [
+            f"ipfix: point {cfg.point} "
+            f"active-timeout {cfg.active_timeout_ns} ns "
+            f"idle-timeout {cfg.idle_timeout_ns} ns",
+            f"  cached flows: {len(exporter.cache)}",
+            f"  exported: {exporter.exported_flow_records} flow records "
+            f"({exporter.exported_flow_packets} packets, "
+            f"{exporter.exported_flow_octets} octets)",
+            f"  exported: {exporter.exported_drop_records} drop records "
+            f"({exporter.exported_drop_packets} packets, "
+            f"{exporter.exported_drop_octets} octets)",
+            f"  lost to collector: "
+            f"{exporter.lost_flow_records + exporter.lost_drop_records} "
+            f"records",
+        ]
+        if exporter.drop_packets:
+            lines.append("  drop reasons:")
+            for reason in sorted(exporter.drop_packets,
+                                 key=lambda r: r.value):
+                lines.append(
+                    f"    {reason.value:26s} "
+                    f"packets:{exporter.drop_packets[reason]} "
+                    f"octets:{exporter.drop_octets.get(reason, 0)}")
+        else:
+            lines.append("  drop reasons: (none recorded)")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

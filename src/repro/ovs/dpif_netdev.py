@@ -61,6 +61,8 @@ from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
 from repro.sim import faults, trace
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
+from repro import telemetry
+from repro.telemetry.drops import DropReason
 
 MAX_RECIRC_PASSES = 8
 
@@ -374,6 +376,7 @@ class DpifNetdev:
         use_dpjit = dpjit.ENABLED and fastpath.ENABLED
         dpjit_stats = dpjit.STATS
         dpjit_bind = dpjit.bind
+        tele = telemetry.ACTIVE
         #: Per-burst memo: identical packet shapes share one FlowKey.
         burst_keys: Dict[Tuple, FlowKey] = {}
         #: Per-burst memo: each unique flow walks the classifier once.
@@ -381,6 +384,8 @@ class DpifNetdev:
         for pkt in pkts:
             for s in statses:
                 s.passes += 1
+            if tele is not None:
+                tele.observe("dpif", pkt, ctx)
             ctx.charge(extract_ns, label="flow_extract")
             meta = pkt.meta
             tun = meta.tunnel
@@ -492,9 +497,17 @@ class DpifNetdev:
         if depth > MAX_RECIRC_PASSES:
             for s in statses:
                 s.dropped += 1
+            telemetry.drop_event(DropReason.DP_RECIRC_LIMIT,
+                                 octets=len(pkt.data))
             return
         for s in statses:
             s.passes += 1
+        if depth == 0:
+            # The reference path's observation hook; recirculated passes
+            # (depth > 0) were already observed on their first pass.
+            tele = telemetry.ACTIVE
+            if tele is not None:
+                tele.observe("dpif", pkt, ctx)
         ctx.charge(costs.flow_extract_ns, label="flow_extract")
         key = extract_flow(
             pkt.data,
@@ -564,10 +577,12 @@ class DpifNetdev:
                 for s in statses:
                     s.lost += 1
                 trace.count("dp.upcall_lost")
+                telemetry.drop_event(DropReason.DP_UPCALL_LOST)
                 return None
         if self.upcall_fn is None:
             for s in statses:
                 s.failed_upcalls += 1
+            telemetry.drop_event(DropReason.DP_UPCALL_FAILED)
             return None
         # Unlike the kernel datapath's netlink round trip, this is a
         # function call within ovs-vswitchd.  The nested span groups the
@@ -579,6 +594,7 @@ class DpifNetdev:
         if result is None:
             for s in statses:
                 s.failed_upcalls += 1
+            telemetry.drop_event(DropReason.DP_UPCALL_FAILED)
             return None
         actions, mask = result
         limit = self.flow_limit
@@ -640,6 +656,8 @@ class DpifNetdev:
         if not actions:
             for s in statses:
                 s.dropped += 1
+            telemetry.drop_event(DropReason.DP_EMPTY_ACTIONS,
+                                 octets=len(data))
             return
         for act in actions:
             ctx.charge(costs.action_ns, label="odp_action")
@@ -674,6 +692,9 @@ class DpifNetdev:
                 except ValueError:
                     for s in statses:
                         s.dropped += 1
+                    telemetry.drop_event(
+                        DropReason.DP_TUNNEL_DECAP_FAILED,
+                        octets=len(data))
                     return
                 out = Packet(inner)
                 out.meta.in_port = act.vport
@@ -689,6 +710,8 @@ class DpifNetdev:
                                          self.now_ns_fn()):
                     for s in statses:
                         s.dropped += 1
+                    telemetry.drop_event(DropReason.DP_METER_DROP,
+                                         octets=len(data))
                     return
             elif isinstance(act, odp.Userspace):
                 ctx.charge(costs.userspace_slowpath_ns, label="userspace")
@@ -718,6 +741,9 @@ class DpifNetdev:
             port = self.ports.get(port_no)
             if port is None:
                 self.stats.dropped += len(pkts)
+                telemetry.drop_event(DropReason.DP_TX_NO_PORT,
+                                     n=len(pkts),
+                                     octets=sum(len(p) for p in pkts))
                 continue
             sent = port.adapter.tx_burst(pkts, ctx, queue=tx_queue)
             if sent is None:

@@ -14,7 +14,9 @@ from repro.kernel.netdev import NetDevice
 from repro.kernel.ovs_module import KernelDatapath, Upcall
 from repro.net.addresses import MacAddress
 from repro.net.flow import FlowKey
+from repro import telemetry
 from repro.sim.cpu import ExecContext
+from repro.telemetry.drops import DropReason
 
 
 class DpifNetlink:
@@ -76,6 +78,8 @@ class DpifNetlink:
             # up dies here.  Real netlink accounts this in the
             # ``lost:`` column of dpctl/show rather than no-opping.
             self.dp.n_lost += 1
+            telemetry.drop_event(DropReason.KERNEL_UPCALL_LOST,
+                                 octets=len(upcall.pkt.data))
             return
         result = self.upcall_fn(upcall.key, ctx)
         if result is None:

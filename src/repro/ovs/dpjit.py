@@ -77,6 +77,8 @@ from repro.net.tunnel import encapsulate
 from repro.ovs import odp
 from repro.ovs.packet_ops import do_pop_vlan, do_push_vlan, set_field
 from repro.sim.costs import DEFAULT_COSTS
+from repro import telemetry as _telemetry
+from repro.telemetry.drops import DropReason as _DropReason
 
 #: ``DP_JIT=0`` in the environment is the escape hatch, mirroring
 #: ``EBPF_JIT=0`` for the PR 5 layer.
@@ -227,6 +229,12 @@ def _translate(entry) -> Tuple[str, Dict[str, object]]:
         "_pop_vlan": do_pop_vlan,
         "_encapsulate": encapsulate,
         "_Packet": Packet,
+        # Drop sites in generated code emit the same taxonomy events the
+        # interpreter does (uncharged bookkeeping, so charge-exactness
+        # is untouched; _TELE.ACTIVE is read at run time).
+        "_TELE": _telemetry,
+        "_DR_EMPTY": _DropReason.DP_EMPTY_ACTIONS,
+        "_DR_METER": _DropReason.DP_METER_DROP,
     })
     glb = w.glb
     _emit_match(w, entry)
@@ -238,6 +246,9 @@ def _translate(entry) -> Tuple[str, Dict[str, object]]:
         # as the interpreter's early-out.
         w("for s in statses:")
         w("    s.dropped += 1")
+        w("_t = _TELE.ACTIVE")
+        w("if _t is not None:")
+        w("    _t.drop(_DR_EMPTY, octets=len(pkt.data))")
         w("return")
         return w.source(), glb
 
@@ -321,6 +332,9 @@ def _translate(entry) -> Tuple[str, Dict[str, object]]:
               f"len({data}), dp.now_ns_fn()):")
             w("    for s in statses:")
             w("        s.dropped += 1")
+            w("    _t = _TELE.ACTIVE")
+            w("    if _t is not None:")
+            w(f"        _t.drop(_DR_METER, octets=len({data}))")
             w("    return")
         elif t is odp.TunnelPush:
             outer = f"_o{idx}"

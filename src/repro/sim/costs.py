@@ -265,6 +265,27 @@ class CostModel:
     #: Recirculation: re-inject the packet into the datapath pipeline.
     recirculate_ns: float = 120.0
 
+    # ------------------------------------------------------------------
+    # Telemetry (sFlow sampling + IPFIX export, repro.telemetry).
+    #
+    # Sampling is datapath work: real sFlow agents pay a per-packet rate
+    # test at every armed observation point, and each taken sample pays
+    # a header scrape plus datagram encode on the hot path.  The IPFIX
+    # flow cache adds a hash + counter bump per observed packet and an
+    # encode per flushed record.  These constants are what the
+    # observer-effect experiment sweeps into a degradation curve.
+    # ------------------------------------------------------------------
+    #: Per-packet sampling rate test (counter increment + PRNG draw).
+    sflow_sample_test_ns: float = 2.0
+    #: Copying a sampled frame's header into the sample buffer.
+    sflow_header_scrape_ns: float = 45.0
+    #: Encoding + queueing the sFlow datagram toward the collector.
+    sflow_encode_ns: float = 180.0
+    #: IPFIX flow-cache update (hash, lookup, counter bump) per packet.
+    ipfix_flow_update_ns: float = 30.0
+    #: Encoding one IPFIX record at flush time.
+    ipfix_encode_ns: float = 220.0
+
     def scaled(self, **overrides: float) -> "CostModel":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)

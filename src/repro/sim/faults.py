@@ -83,6 +83,10 @@ FAULT_POINTS: Dict[str, str] = {
     "netlink.enobufs":
         "a netlink dump overflows the socket buffer (ENOBUFS) while "
         "re-reading datapath ports; the whole dump restarts from scratch",
+    "telemetry.collector_loss":
+        "an exported sFlow/IPFIX record is lost on the way to the "
+        "collector (UDP transport); the exporter tallies the loss so "
+        "reconciliation stays exact",
 }
 
 

@@ -52,10 +52,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.sim import faults, trace
 from repro.sim.clock import Clock, MSEC
 from repro.sim.costs import DEFAULT_COSTS
 from repro.sim.cpu import ExecContext
+from repro.telemetry.drops import DropReason
 
 #: Cap on fault-stretched retries inside one recovery (ovsdb reconnects
 #: and netlink re-dumps).  A real init system would escalate to a human
@@ -290,9 +292,10 @@ class Supervisor:
                         stale += len(ring)
                         ring.clear()
                 if stale:
-                    self.crash_sinks["crash.dpdk_ring_reset"] = (
-                        self.crash_sinks.get("crash.dpdk_ring_reset", 0)
-                        + stale)
+                    reset = DropReason.CRASH_DPDK_RING_RESET
+                    self.crash_sinks[reset.value] = (
+                        self.crash_sinks.get(reset.value, 0) + stale)
+                    telemetry.drop_event(reset, n=stale)
             if n_kports:
                 ctx.charge((redumps + 1) * n_kports
                            * costs.netlink_port_dump_ns,

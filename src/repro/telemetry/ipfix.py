@@ -1,0 +1,248 @@
+"""IPFIX flow export: a flow cache on the virtual clock.
+
+Keyed on the existing miniflow machinery (``in_port`` + the 5-tuple of
+:func:`repro.net.flow.extract_flow`), with active/idle timeouts that
+expire on virtual time and flush deterministic records — packets,
+octets, first/last seen — to an in-sim collector.  Aggregated drop
+records (one per :class:`~repro.telemetry.drops.DropReason`) ride the
+same export path, so the collector's totals can be reconciled *exactly*
+against the conservation ledger (see
+:meth:`repro.telemetry.Telemetry.reconcile`).
+
+Export is lossy on purpose when the ``telemetry.collector_loss`` fault
+point is armed: each record consults the active
+:class:`~repro.sim.faults.FaultPlan` and a fired record lands in the
+exporter's lost-tallies instead of the collector, keeping the
+reconciliation exact under arbitrary fault plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.flow import extract_flow
+from repro.sim import costs as _costs
+from repro.sim import faults as _faults
+from repro.sim import trace as _trace
+from repro.telemetry.drops import DropReason
+
+#: Flow keys are (in_port, FiveTuple).
+FlowKeyT = Tuple[int, tuple]
+
+_NEVER = float("inf")
+
+
+@dataclass(frozen=True)
+class IpfixConfig:
+    """Cache-and-export policy for one observation point."""
+
+    point: str = "dpif"
+    #: Flush a flow this long after its *first* packet even while active.
+    active_timeout_ns: int = 4_000_000
+    #: Flush a flow this long after its *last* packet.
+    idle_timeout_ns: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.active_timeout_ns <= 0 or self.idle_timeout_ns <= 0:
+            raise ValueError("IPFIX timeouts must be positive")
+
+
+@dataclass
+class IpfixFlowRecord:
+    """One cache entry / exported flow record."""
+
+    key: FlowKeyT
+    packets: int
+    octets: int
+    start_ns: int
+    end_ns: int
+
+    def encode(self) -> bytes:
+        in_port, five = self.key
+        proto, src_ip, dst_ip, src_port, dst_port = five
+        return (
+            f"FLOW in_port={in_port} proto={proto} "
+            f"src={src_ip:08x}:{src_port} dst={dst_ip:08x}:{dst_port} "
+            f"packets={self.packets} octets={self.octets} "
+            f"start_ns={self.start_ns} end_ns={self.end_ns}\n"
+        ).encode()
+
+
+def encode_drop(reason: DropReason, packets: int, octets: int) -> bytes:
+    return (f"DROP reason={reason.value} packets={packets} "
+            f"octets={octets}\n").encode()
+
+
+class IpfixCollector:
+    """The in-sim collector: totals plus the raw export stream."""
+
+    def __init__(self) -> None:
+        self.flow_records = 0
+        self.flow_packets = 0
+        self.flow_octets = 0
+        self.drop_records = 0
+        self.drop_packets = 0
+        self.drop_octets = 0
+        self._stream: List[bytes] = []
+
+    def receive_flow(self, record: IpfixFlowRecord) -> None:
+        self.flow_records += 1
+        self.flow_packets += record.packets
+        self.flow_octets += record.octets
+        self._stream.append(record.encode())
+
+    def receive_drop(self, reason: DropReason, packets: int,
+                     octets: int) -> None:
+        self.drop_records += 1
+        self.drop_packets += packets
+        self.drop_octets += octets
+        self._stream.append(encode_drop(reason, packets, octets))
+
+    def stream_bytes(self) -> bytes:
+        """The received export stream, byte-deterministic per seed."""
+        return b"".join(self._stream)
+
+
+class IpfixExporter:
+    """The flow cache plus the (possibly lossy) path to the collector.
+
+    Expiry is lazy but exact on the virtual clock: the exporter keeps
+    the earliest deadline over all cached flows and sweeps the cache
+    only when an update's ``now`` has reached it, so the steady-state
+    per-packet work is one comparison.
+    """
+
+    def __init__(self, config: IpfixConfig,
+                 collector: Optional[IpfixCollector] = None) -> None:
+        self.config = config
+        self.collector = collector if collector is not None \
+            else IpfixCollector()
+        #: Insertion-ordered flow cache (export order is deterministic).
+        self.cache: Dict[FlowKeyT, IpfixFlowRecord] = {}
+        #: Internal drop-event tallies, by reason (export-loss immune;
+        #: these are what reconciliation checks against the ledger).
+        self.drop_packets: Dict[DropReason, int] = {}
+        self.drop_octets: Dict[DropReason, int] = {}
+        #: Everything flushed toward the collector (received + lost).
+        self.exported_flow_records = 0
+        self.exported_flow_packets = 0
+        self.exported_flow_octets = 0
+        self.exported_drop_records = 0
+        self.exported_drop_packets = 0
+        self.exported_drop_octets = 0
+        #: Records the ``telemetry.collector_loss`` fault point ate.
+        self.lost_flow_records = 0
+        self.lost_flow_packets = 0
+        self.lost_flow_octets = 0
+        self.lost_drop_records = 0
+        self.lost_drop_packets = 0
+        self.lost_drop_octets = 0
+        self._next_deadline_ns: float = _NEVER
+
+    # ------------------------------------------------------------------
+    # The per-packet path.
+    # ------------------------------------------------------------------
+    def update(self, pkt, now_ns: int, ctx) -> None:
+        """Fold one observed packet into the cache (charged)."""
+        if ctx is not None:
+            ctx.charge(_costs.DEFAULT_COSTS.ipfix_flow_update_ns,
+                       label="ipfix_update")
+        if now_ns >= self._next_deadline_ns:
+            self._sweep(now_ns, ctx)
+        in_port = getattr(pkt.meta, "in_port", 0) or 0
+        key = (in_port, tuple(extract_flow(pkt.data).five_tuple()))
+        record = self.cache.get(key)
+        n = len(pkt.data)
+        if record is None:
+            self.cache[key] = IpfixFlowRecord(key, 1, n, now_ns, now_ns)
+            cfg = self.config
+            deadline = now_ns + min(cfg.active_timeout_ns,
+                                    cfg.idle_timeout_ns)
+            if deadline < self._next_deadline_ns:
+                self._next_deadline_ns = deadline
+        else:
+            record.packets += 1
+            record.octets += n
+            record.end_ns = now_ns
+
+    def note_drop(self, reason: DropReason, n: int, octets: int) -> None:
+        """Tally a drop event (uncharged bookkeeping)."""
+        self.drop_packets[reason] = self.drop_packets.get(reason, 0) + n
+        self.drop_octets[reason] = \
+            self.drop_octets.get(reason, 0) + octets
+        _trace.count("drop." + reason.value, n)
+
+    # ------------------------------------------------------------------
+    # Expiry and export.
+    # ------------------------------------------------------------------
+    def _deadline(self, record: IpfixFlowRecord) -> int:
+        cfg = self.config
+        return min(record.start_ns + cfg.active_timeout_ns,
+                   record.end_ns + cfg.idle_timeout_ns)
+
+    def _sweep(self, now_ns: int, ctx) -> None:
+        """Flush every expired flow; recompute the earliest deadline.
+
+        A flow whose idle deadline moved forward since it set
+        ``_next_deadline_ns`` just makes the sweep early and empty —
+        correctness never depends on the stored deadline being tight.
+        """
+        expired = [key for key, record in self.cache.items()
+                   if self._deadline(record) <= now_ns]
+        for key in expired:
+            self._flush_flow(self.cache.pop(key), ctx)
+        self._next_deadline_ns = min(
+            (self._deadline(r) for r in self.cache.values()),
+            default=_NEVER)
+
+    def _flush_flow(self, record: IpfixFlowRecord, ctx) -> None:
+        if ctx is not None:
+            ctx.charge(_costs.DEFAULT_COSTS.ipfix_encode_ns,
+                       label="ipfix_export")
+        self.exported_flow_records += 1
+        self.exported_flow_packets += record.packets
+        self.exported_flow_octets += record.octets
+        _trace.count("ipfix.flows_exported")
+        if self._record_lost():
+            self.lost_flow_records += 1
+            self.lost_flow_packets += record.packets
+            self.lost_flow_octets += record.octets
+        else:
+            self.collector.receive_flow(record)
+
+    def _flush_drop(self, reason: DropReason, ctx) -> None:
+        packets = self.drop_packets.get(reason, 0)
+        octets = self.drop_octets.get(reason, 0)
+        if not packets:
+            return
+        if ctx is not None:
+            ctx.charge(_costs.DEFAULT_COSTS.ipfix_encode_ns,
+                       label="ipfix_export")
+        self.exported_drop_records += 1
+        self.exported_drop_packets += packets
+        self.exported_drop_octets += octets
+        if self._record_lost():
+            self.lost_drop_records += 1
+            self.lost_drop_packets += packets
+            self.lost_drop_octets += octets
+        else:
+            self.collector.receive_drop(reason, packets, octets)
+
+    def _record_lost(self) -> bool:
+        plan = _faults.ACTIVE
+        return (plan is not None
+                and plan.should_fire("telemetry.collector_loss"))
+
+    def flush_all(self, ctx=None) -> None:
+        """Flush every cached flow and all drop records.
+
+        Called once at the end of a run; with ``ctx=None`` the final
+        flush is uncharged bookkeeping (it sits outside the measured
+        window).
+        """
+        for key in list(self.cache):
+            self._flush_flow(self.cache.pop(key), ctx)
+        self._next_deadline_ns = _NEVER
+        for reason in sorted(self.drop_packets, key=lambda r: r.value):
+            self._flush_drop(reason, ctx)

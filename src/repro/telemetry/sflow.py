@@ -1,0 +1,117 @@
+"""sFlow-style packet sampling at the datapath dispatch points.
+
+Real OVS implements sFlow as a datapath action: every packet at an
+armed observation point pays a rate test, and 1-in-N of them has its
+header scraped and encoded toward a collector.  Both legs are charged
+in virtual time from the cost model, so sampling visibly taxes the hot
+path — the observer effect :mod:`repro.experiments.observer_effect`
+measures.
+
+Selection is deterministic: each observation point draws from its own
+:func:`repro.sim.rng.make_rng` stream, and the decision is the coupled
+form ``u < 1/N``.  Because the same seed yields the same draw sequence
+regardless of the configured rate, the packets sampled at rate 1/N are
+a superset of those sampled at any coarser rate — which is what makes
+the observer-effect curve monotone by construction rather than by
+luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim import costs as _costs
+from repro.sim import trace as _trace
+from repro.sim.rng import make_rng
+
+#: The observation points a sampler may arm (see
+#: :meth:`repro.telemetry.Telemetry.observe` call sites).
+SAMPLE_POINTS: Tuple[str, ...] = ("dpif", "kernel", "xdp")
+
+
+@dataclass(frozen=True)
+class SflowConfig:
+    """1-in-``rate`` sampling at each of ``points``."""
+
+    rate: int
+    points: Tuple[str, ...] = ("dpif",)
+    #: Bytes of each sampled frame kept (sFlow's header scrape).
+    header_bytes: int = 128
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate < 1:
+            raise ValueError(f"sampling rate must be >= 1, got {self.rate}")
+        unknown = [p for p in self.points if p not in SAMPLE_POINTS]
+        if unknown:
+            raise ValueError(
+                f"unknown sample point(s) {unknown}; "
+                f"known: {', '.join(SAMPLE_POINTS)}")
+
+
+@dataclass
+class SflowSample:
+    """One scraped sample, ready for the pcap writer."""
+
+    seq: int
+    point: str
+    ts_ns: int
+    frame_len: int
+    header: bytes
+
+
+@dataclass
+class SflowSampler:
+    """Per-session sampling state (counters, RNG streams, samples)."""
+
+    config: SflowConfig
+    rngs: Dict[str, object] = field(default_factory=dict)
+    observed: Dict[str, int] = field(default_factory=dict)
+    sampled: Dict[str, int] = field(default_factory=dict)
+    samples: List[SflowSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.probability = 1.0 / self.config.rate
+        for point in self.config.points:
+            self.rngs[point] = make_rng("telemetry", "sflow", point,
+                                        seed=self.config.seed)
+            self.observed[point] = 0
+            self.sampled[point] = 0
+
+    def observe(self, point: str, data: bytes, ctx,
+                now_ns_fn: Callable[[], int]) -> Optional[SflowSample]:
+        """Rate-test one packet at ``point``; scrape it if selected.
+
+        Callers guarantee ``point`` is armed (``point in self.rngs``).
+        The rate test is charged on every observed packet; the scrape
+        and encode only on taken samples.
+        """
+        costs = _costs.DEFAULT_COSTS
+        if ctx is not None:
+            ctx.charge(costs.sflow_sample_test_ns, label="sflow_sample")
+        self.observed[point] += 1
+        if self.rngs[point].random() >= self.probability:
+            return None
+        if ctx is not None:
+            ctx.charge(costs.sflow_header_scrape_ns, label="sflow_export")
+            ctx.charge(costs.sflow_encode_ns, label="sflow_export")
+        sample = SflowSample(
+            seq=len(self.samples),
+            point=point,
+            ts_ns=now_ns_fn(),
+            frame_len=len(data),
+            header=data[:self.config.header_bytes],
+        )
+        self.sampled[point] += 1
+        self.samples.append(sample)
+        _trace.count("sflow.sampled")
+        return sample
+
+    @property
+    def total_observed(self) -> int:
+        return sum(self.observed.values())
+
+    @property
+    def total_sampled(self) -> int:
+        return sum(self.sampled.values())

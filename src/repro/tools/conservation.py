@@ -23,6 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.telemetry.drops import (
+    DropReason,
+    XSK_RX_REASONS,
+    XSK_TX_REASONS,
+)
+
 
 @dataclass
 class PacketLedger:
@@ -86,22 +92,24 @@ def afxdp_packet_ledger(
     for name, n in (extra_sinks or {}).items():
         sink(name, n)
 
-    sink("nic.rx_missed", nic_in.rx_missed)
-    sink("nic.xdp_drops", nic_in.xdp_drops)
+    # Every sink name comes from the drop-reason taxonomy, so the
+    # ledger's vocabulary and the telemetry layer's can never drift:
+    # reconciliation matches them string-for-string.
+    sink(DropReason.NIC_RX_MISSED.value, nic_in.rx_missed)
+    sink(DropReason.NIC_XDP_DROP.value, nic_in.xdp_drops)
     # PASS verdicts leave the AF_XDP pipeline for the kernel stack; in
     # a P2P bench nothing consumes them, but they are *diverted*, not
     # lost: the dispatch accounted for them.
-    sink("nic.xdp_passes_to_stack", nic_in.xdp_passes)
-    sink("nic.xdp_redirect_failed", nic_in.xdp_redirect_failed)
+    sink(DropReason.NIC_XDP_PASS_TO_STACK.value, nic_in.xdp_passes)
+    sink(DropReason.NIC_XDP_REDIRECT_FAILED.value,
+         nic_in.xdp_redirect_failed)
     forwarded = 0
     for sock in driver_in.sockets.values():
-        sink("xsk.rx_dropped_no_fill", sock.rx_dropped_no_fill)
-        sink("xsk.rx_dropped_overrun", sock.rx_dropped_overrun)
-    sink("xsk.rx_dropped_no_fill",
-         driver_in.retired.get("rx_dropped_no_fill", 0))
-    sink("xsk.rx_dropped_overrun",
-         driver_in.retired.get("rx_dropped_overrun", 0))
-    sink("dp.dropped", dpif.stats.dropped)
+        for reason in XSK_RX_REASONS:
+            sink(reason.value, getattr(sock, reason.counter))
+    for reason in XSK_RX_REASONS:
+        sink(reason.value, driver_in.retired.get(reason.counter, 0))
+    sink(DropReason.DP_DROPPED.value, dpif.stats.dropped)
     # Tx-side outcomes on every distinct driver (a hairpin config reuses
     # the ingress NIC for output; don't double-count it).  Counters of
     # sockets retired by a supervised restart live in ``driver.retired``.
@@ -109,15 +117,10 @@ def afxdp_packet_ledger(
                else [driver_in, driver_out])
     for driver in drivers:
         for sock in driver.sockets.values():
-            sink("xsk.tx_dropped_no_umem", sock.tx_dropped_no_umem)
-            sink("xsk.tx_dropped_ring_full", sock.tx_dropped_ring_full)
-            sink("xsk.tx_dropped_kick", sock.tx_dropped_kick)
+            for reason in XSK_TX_REASONS:
+                sink(reason.value, getattr(sock, reason.counter))
             forwarded += sock.tx_sent
-        sink("xsk.tx_dropped_no_umem",
-             driver.retired.get("tx_dropped_no_umem", 0))
-        sink("xsk.tx_dropped_ring_full",
-             driver.retired.get("tx_dropped_ring_full", 0))
-        sink("xsk.tx_dropped_kick",
-             driver.retired.get("tx_dropped_kick", 0))
+        for reason in XSK_TX_REASONS:
+            sink(reason.value, driver.retired.get(reason.counter, 0))
         forwarded += driver.retired.get("tx_sent", 0)
     return PacketLedger(offered=offered, forwarded=forwarded, sinks=sinks)

@@ -32,6 +32,7 @@ TINY = {
     "fig12": ("run_fig12", {"packets_per_queue": 150}),
     "degradation": ("PACKETS", 200),
     "upgrade": ("PACKETS", 640),
+    "observer-effect": ("PACKETS", 150),
 }
 
 

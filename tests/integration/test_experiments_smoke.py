@@ -152,6 +152,19 @@ def test_upgrade_smoke():
     assert all(r.conserved for r in results)
 
 
+def test_observer_effect_smoke():
+    from repro.experiments.observer_effect import run_observer_effect
+
+    points = run_observer_effect(packets=TINY["packets"] // 2, n_flows=16,
+                                 rates=(0, 8), datapaths=("afxdp_zc",),
+                                 seed=0)
+    off, sampled = points
+    assert off.sampled == 0 and sampled.sampled > 0
+    assert sampled.ns_per_packet > off.ns_per_packet
+    assert all(p.reconciled and p.conserved for p in points)
+    assert off.flow_records == sampled.flow_records == 16
+
+
 def test_p2p_benches_smoke():
     """The p2p bench module directly: every datapath flavour forwards."""
     from repro.experiments.p2p import (afxdp_p2p, dpdk_p2p, ebpf_p2p,

@@ -1,0 +1,78 @@
+"""``appctl sflow/show`` and ``ipfix/show`` golden output."""
+
+from repro import telemetry
+from repro.hosts.host import Host
+from repro.net.addresses import MacAddress
+from repro.net.builder import make_udp_packet
+from repro.ovs.appctl import OvsAppctl
+from repro.telemetry import IpfixConfig, SflowConfig, Telemetry
+from repro.telemetry.drops import DropReason
+
+
+def _appctl():
+    host = Host("tele", n_cpus=2)
+    return OvsAppctl(host.install_ovs("netdev"))
+
+
+def _pkt(sport=1000):
+    return make_udp_packet(MacAddress.local(1), MacAddress.local(2),
+                           "10.0.0.1", "10.0.0.2", sport, 2000,
+                           frame_len=64)
+
+
+def test_shows_without_a_session():
+    appctl = _appctl()
+    assert appctl.sflow_show() == "(no telemetry session installed)"
+    assert appctl.ipfix_show() == "(no telemetry session installed)"
+
+
+def test_disabled_legs_say_so():
+    appctl = _appctl()
+    with telemetry.monitoring(Telemetry()):
+        assert appctl.sflow_show() == "sflow: disabled"
+        assert appctl.ipfix_show() == "ipfix: disabled"
+
+
+def test_all_zeros_render():
+    appctl = _appctl()
+    session = Telemetry(sflow=SflowConfig(rate=64, points=("dpif",),
+                                          seed=3),
+                        ipfix=IpfixConfig())
+    with telemetry.monitoring(session):
+        out = appctl.sflow_show()
+        assert "sflow: sampling 1/64 (header 128 bytes, seed 3)" in out
+        assert "dpif     observed:0 sampled:0" in out
+        assert "total    observed:0 sampled:0" in out
+        out = appctl.ipfix_show()
+        assert ("ipfix: point dpif active-timeout 4000000 ns "
+                "idle-timeout 1000000 ns") in out
+        assert "cached flows: 0" in out
+        assert "exported: 0 flow records (0 packets, 0 octets)" in out
+        assert "exported: 0 drop records (0 packets, 0 octets)" in out
+        assert "lost to collector: 0 records" in out
+        assert "drop reasons: (none recorded)" in out
+
+
+def test_live_session_renders_tallies():
+    appctl = _appctl()
+    session = Telemetry(sflow=SflowConfig(rate=1, points=("dpif",)),
+                        ipfix=IpfixConfig())
+    with telemetry.monitoring(session):
+        for i in range(4):
+            session.observe("dpif", _pkt(1000 + i), None)
+        session.drop(DropReason.NIC_RX_MISSED, n=2, octets=128)
+        out = appctl.sflow_show()
+        assert "dpif     observed:4 sampled:4" in out
+        assert "total    observed:4 sampled:4" in out
+        out = appctl.ipfix_show()
+        assert "cached flows: 4" in out
+        assert "drop reasons:" in out
+        assert "nic.rx_missed" in out
+        assert "packets:2 octets:128" in out
+        session.flush_all()
+        out = appctl.ipfix_show()
+        assert "cached flows: 0" in out
+        # 4 x 60-byte frames (the 64-byte wire size minus the FCS).
+        assert "exported: 4 flow records (4 packets, 240 octets)" in out
+        assert "exported: 1 drop records (2 packets, 128 octets)" in out
+        assert "lost to collector: 0 records" in out
