@@ -1,0 +1,51 @@
+"""Wall-clock scale-out gate for sharded execution (DESIGN §17).
+
+Not part of the tier-1 suite (wall-clock timing is machine-dependent);
+runs in the CI ``shard`` job.  Drives ``repro.tools.bench_report``'s
+``shard`` workload — the full fig9 cell set, 100k packets total, at
+1/2/4 workers — and fails unless 4 workers beat the serial run by
+``SHARD_TARGET_SPEEDUP`` (3x) **when the host actually has 4+ usable
+CPUs**.  On smaller hosts the bench still runs, still requires the
+returned Mpps values to be byte-identical at every worker count, and
+still publishes an honest ``BENCH_shard.json`` (override the path with
+``BENCH_SHARD_OUT``, the budget with ``BENCH_SHARD_PACKETS``), but the
+physically-impossible speedup bar is recorded as not enforced rather
+than faked.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.tools import bench_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_shard_scaleout_wallclock_speedup():
+    out = os.environ.get("BENCH_SHARD_OUT",
+                         str(REPO_ROOT / "BENCH_shard.json"))
+    reps = int(os.environ.get("BENCH_REPS", "1"))
+    packets = int(os.environ.get("BENCH_SHARD_PACKETS", "0"))
+    bench_report.main(["--workload", "shard", "--out", out,
+                       "--reps", str(reps), "--packets", str(packets)])
+
+    report = json.loads(pathlib.Path(out).read_text())
+    assert report["workload"] == "shard"
+    assert report["units"] == 20
+    assert set(report["workers"]) == {"1", "2", "4"}
+    assert report["workers"]["1"]["n_shards"] == 1
+    assert report["workers"]["4"]["n_shards"] == 4
+    # Identical Mpps values at every worker count — scale-out must be
+    # invisible to the measurement even when untraced.
+    assert report["values_identical"]
+    assert report["speedup_at_max_workers"] > 0
+    if report["target_enforced"]:
+        assert report["usable_cpus"] >= report["target_min_cpus"]
+        assert report["speedup_at_max_workers"] >= \
+            report["target_speedup"], (
+                f"scale-out speedup "
+                f"{report['speedup_at_max_workers']:.2f}x at 4 workers "
+                f"is below the {report['target_speedup']:.1f}x bar on a "
+                f"{report['usable_cpus']}-CPU host")
+    assert report["meets_target"]

@@ -1,0 +1,135 @@
+"""Seeded fault-plan worlds as shard units (DESIGN §17).
+
+The Hypothesis partition property needs a world where faults actually
+fire and packets actually die at named sinks, sharded by *port*: each
+unit is one port-pair sub-world (its own NIC, driver, datapath, PMD)
+driven under its own unit-scoped :class:`~repro.sim.faults.FaultPlan`.
+Because every count in a :class:`~repro.tools.conservation.PacketLedger`
+is an integer, the merged ledger is exact under any unit->shard
+partition — offered, forwarded and every per-sink tally sum to the
+serial run's, byte for byte.
+
+The plan travels on :attr:`~repro.sim.shard.Unit.plan` (constructor
+kwargs, rebuilt in the worker), never through a module global: an
+ambient plan's per-point RNG streams interleave across units in serial
+order, which no partition can reproduce — :func:`~repro.sim.shard.
+run_units` refuses that configuration outright.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.faults import FaultRule
+from repro.traffic.trex import FlowSpec, TrexStream
+
+LINK_GBPS = 10.0
+
+
+def run_fault_cell(packets: int, n_flows: int) -> Dict:
+    """One port-pair sub-world driven under the ambient (unit-scoped)
+    fault plan; returns its conservation ledger as a plain dict."""
+    from repro.experiments.common import warmup_count
+    from repro.experiments.p2p import afxdp_p2p
+    from repro.tools.conservation import afxdp_packet_ledger
+
+    bench = afxdp_p2p(n_queues=1, link_gbps=LINK_GBPS)
+    stream = TrexStream(FlowSpec(n_flows=n_flows), frame_len=64)
+    bench.drive(stream, packets)
+    offered = warmup_count(stream) + packets
+    dpif = bench.host.vswitchd.dpif_netdev
+    driver_in = dpif.ports[dpif.port_no("ens1")].adapter.driver
+    driver_out = dpif.ports[dpif.port_no("ens2")].adapter.driver
+    ledger = afxdp_packet_ledger(offered, bench.nic_in, driver_in,
+                                 driver_out, dpif)
+    return {
+        "offered": ledger.offered,
+        "forwarded": ledger.forwarded,
+        "sinks": dict(ledger.sinks),
+    }
+
+
+def fault_units(n_ports: int, seed: int, packets: int = 240,
+                tx_kick_rate: float = 0.1) -> List:
+    """One shard unit per port-pair, each with its own seeded plan.
+
+    Port ``i`` gets plan seed ``seed + i`` — the per-port streams are a
+    pure function of the port, not of which shard runs it.
+    """
+    from repro.sim.shard import Unit
+
+    units = []
+    for i in range(n_ports):
+        units.append(Unit(
+            key=f"port{i}",
+            runner="repro.experiments.fault_cells:run_fault_cell",
+            params=dict(packets=packets, n_flows=2 + (i % 3)),
+            plan=dict(
+                seed=seed + i,
+                rules=(
+                    FaultRule("afxdp.tx_kick_eagain", rate=tx_kick_rate),
+                    FaultRule("afxdp.fill_ring_overrun", rate=0.02),
+                    FaultRule("dp.upcall_overload", nth=7),
+                ),
+                emc_insert_inv_prob=2,
+            ),
+            weight=1.0 + (i % 3),
+        ))
+    return units
+
+
+def merged_fault_ledger(n_ports: int, seed: int, shards: int = 1,
+                        placement=None, packets: int = 240) -> Dict:
+    """Run the port set (optionally partitioned) and merge the ledgers
+    in fixed unit order; the property suite compares these dicts."""
+    from repro.sim.shard import run_units
+
+    units = fault_units(n_ports, seed, packets=packets)
+    run = run_units(units, shards=shards, placement=placement)
+    offered = forwarded = 0
+    sinks: Dict[str, int] = {}
+    for cell in run.values:
+        offered += cell["offered"]
+        forwarded += cell["forwarded"]
+        for name, n in cell["sinks"].items():
+            sinks[name] = sinks.get(name, 0) + n
+    return {"offered": offered, "forwarded": forwarded,
+            "sinks": dict(sorted(sinks.items()))}
+
+
+def main(argv=None) -> None:  # pragma: no cover - CLI entry
+    """CI entry: the merged ledger as canonical JSON, so two runs (or
+    two worker counts) can be byte-diffed by ``diff``."""
+    import argparse
+    import json
+
+    from repro.experiments.common import add_shards_argument
+
+    parser = argparse.ArgumentParser(
+        prog="fault_cells",
+        description="Seeded fault-plan port set; merged conservation "
+                    "ledger (DESIGN §17)",
+    )
+    parser.add_argument("--ports", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--packets", type=int, default=240)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the merged ledger as sorted JSON")
+    add_shards_argument(parser)
+    args = parser.parse_args(argv)
+    ledger = merged_fault_ledger(args.ports, args.seed,
+                                 shards=args.shards,
+                                 packets=args.packets)
+    if args.json:
+        print(json.dumps(ledger, indent=2, sort_keys=True))
+    else:
+        dropped = ledger["offered"] - ledger["forwarded"]
+        print(f"{args.ports} ports, seed {args.seed}: "
+              f"offered {ledger['offered']} forwarded "
+              f"{ledger['forwarded']} dropped {dropped}")
+        for name, n in ledger["sinks"].items():
+            print(f"  {name}: {n}")
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -37,19 +37,35 @@ class Fig2Result:
         )
 
 
-def run_fig2(packets: int = PACKETS) -> Fig2Result:
-    stream = lambda: TrexStream(FlowSpec(n_flows=1), frame_len=64)  # noqa: E731
-    results = {}
-    results["kernel"] = kernel_p2p(
-        n_queues=1, link_gbps=LINK_GBPS
-    ).drive(stream(), packets).mpps
-    results["dpdk"] = dpdk_p2p(
-        n_queues=1, link_gbps=LINK_GBPS
-    ).drive(stream(), packets).mpps
-    results["ebpf"] = ebpf_p2p(
-        link_gbps=LINK_GBPS
-    ).drive(stream(), packets).mpps
-    return Fig2Result(mpps=results)
+#: Serial cell order; each cell is one shard unit (DESIGN §17).
+DATAPATHS = ("kernel", "dpdk", "ebpf")
+
+
+def run_cell(datapath: str, packets: int) -> float:
+    """One Figure 2 bar: fresh world, fresh stream, one rate."""
+    stream = TrexStream(FlowSpec(n_flows=1), frame_len=64)
+    if datapath == "kernel":
+        bench = kernel_p2p(n_queues=1, link_gbps=LINK_GBPS)
+    elif datapath == "dpdk":
+        bench = dpdk_p2p(n_queues=1, link_gbps=LINK_GBPS)
+    elif datapath == "ebpf":
+        bench = ebpf_p2p(link_gbps=LINK_GBPS)
+    else:
+        raise ValueError(f"unknown datapath {datapath!r}")
+    return bench.drive(stream, packets).mpps
+
+
+def run_fig2(packets: int = PACKETS, shards: int = 1) -> Fig2Result:
+    from repro.experiments.common import sharded_cells
+    from repro.sim.shard import Unit
+
+    units = [
+        Unit(key=dp, runner="repro.experiments.fig2_single_flow:run_cell",
+             params=dict(datapath=dp, packets=packets),
+             weight={"kernel": 2.0, "dpdk": 1.0, "ebpf": 1.5}[dp])
+        for dp in DATAPATHS
+    ]
+    return Fig2Result(mpps=sharded_cells(units, shards=shards))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

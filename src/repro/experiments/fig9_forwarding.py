@@ -14,7 +14,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
 from repro.analysis.reporting import format_table
-from repro.experiments.common import PipelineMeasurement
+from repro.experiments.common import (
+    PipelineMeasurement,
+    add_shards_argument,
+    sharded_cells,
+)
 from repro.experiments.p2p import afxdp_p2p, dpdk_p2p, kernel_p2p
 from repro.experiments.pvp_pcp import (
     afxdp_pcp,
@@ -105,23 +109,71 @@ class Fig9Result:
         )
 
 
+#: Rough relative wall-clock cost per (scenario, config) cell, measured
+#: once on the reference machine.  Only steers the shard planner's LPT
+#: placement (DESIGN §17) — a wrong weight degrades load balance, never
+#: any observable.
+CELL_WEIGHTS: Dict[Tuple[str, str], float] = {
+    ("P2P", "kernel"): 3.0,
+    ("P2P", "afxdp"): 2.0,
+    ("P2P", "dpdk"): 1.0,
+    ("PVP", "kernel+tap"): 4.0,
+    ("PVP", "afxdp+tap"): 3.0,
+    ("PVP", "afxdp+vhost"): 2.5,
+    ("PVP", "dpdk+vhost"): 1.5,
+    ("PCP", "kernel"): 3.5,
+    ("PCP", "afxdp"): 2.5,
+    ("PCP", "dpdk"): 1.5,
+}
+
+
+def run_cell(scenario: str, label: str, flows: int,
+             packets: int) -> PipelineMeasurement:
+    """One Figure 9 cell: fresh world, fresh stream, one measurement.
+
+    The shard unit (DESIGN §17): everything the cell touches — host,
+    clock, caches, RNG streams — is built here, so a worker process
+    produces byte-identical charges to the serial loop.
+    """
+    factory = dict(CONFIGS[scenario])[label]
+    bench = factory()
+    # PCP streams target the container's IP (the loopback path needs
+    # the packets delivered *to* it); sources still vary for flow
+    # diversity.
+    spec = FlowSpec(n_flows=flows, vary_dst=(scenario != "PCP"))
+    stream = TrexStream(spec, frame_len=64)
+    return bench.drive(stream, packets)
+
+
+def cell_units(
+    packets: int = PACKETS,
+    scenarios: Tuple[str, ...] = ("P2P", "PVP", "PCP"),
+) -> "List":
+    """The experiment as a serial-ordered list of shard units."""
+    from repro.sim.shard import Unit
+
+    units = []
+    for scenario in scenarios:
+        for label, _factory in CONFIGS[scenario]:
+            for flows in FLOW_COUNTS:
+                units.append(Unit(
+                    key=(scenario, label, flows),
+                    runner="repro.experiments.fig9_forwarding:run_cell",
+                    params=dict(scenario=scenario, label=label,
+                                flows=flows, packets=packets),
+                    weight=CELL_WEIGHTS.get((scenario, label), 1.0),
+                ))
+    return units
+
+
 def run_fig9(
     packets: int = PACKETS,
     scenarios: Tuple[str, ...] = ("P2P", "PVP", "PCP"),
+    shards: int = 1,
 ) -> Fig9Result:
     result = Fig9Result()
-    for scenario in scenarios:
-        for label, factory in CONFIGS[scenario]:
-            for flows in FLOW_COUNTS:
-                bench = factory()
-                # PCP streams target the container's IP (the loopback
-                # path needs the packets delivered *to* it); sources
-                # still vary for flow diversity.
-                spec = FlowSpec(n_flows=flows,
-                                vary_dst=(scenario != "PCP"))
-                stream = TrexStream(spec, frame_len=64)
-                result.cells[(scenario, label, flows)] = bench.drive(
-                    stream, packets)
+    result.cells.update(
+        sharded_cells(cell_units(packets, scenarios), shards=shards))
     return result
 
 
@@ -138,9 +190,10 @@ def main(argv=None) -> None:  # pragma: no cover - CLI entry
              "the series as JSONL to PATH",
     )
     parser.add_argument("--packets", type=int, default=PACKETS)
+    add_shards_argument(parser)
     args = parser.parse_args(argv)
     if args.metrics is None:
-        result = run_fig9(packets=args.packets)
+        result = run_fig9(packets=args.packets, shards=args.shards)
     else:
         from repro.sim import trace
         from repro.sim.profile import MetricsSampler

@@ -95,15 +95,35 @@ class Table2Result:
         )
 
 
-def run_table2(packets: int = PACKETS) -> Table2Result:
-    mpps = {}
-    for label, options, main_mode in LADDER:
-        bench = afxdp_p2p(options=options, link_gbps=LINK_GBPS,
-                          pmd_main_thread_mode=main_mode)
-        measurement = bench.drive(TrexStream(FlowSpec(1), frame_len=64),
-                                  packets)
-        mpps[label] = measurement.mpps
-    return Table2Result(mpps=mpps)
+def run_cell(label: str, packets: int) -> float:
+    """One ladder rung: fresh world, fresh stream, one rate.
+
+    The shard unit (DESIGN §17); ``label`` indexes :data:`LADDER` so the
+    cell's options never cross a process boundary.
+    """
+    options, main_mode = next(
+        (opts, mode) for lbl, opts, mode in LADDER if lbl == label)
+    bench = afxdp_p2p(options=options, link_gbps=LINK_GBPS,
+                      pmd_main_thread_mode=main_mode)
+    measurement = bench.drive(TrexStream(FlowSpec(1), frame_len=64),
+                              packets)
+    return measurement.mpps
+
+
+def run_table2(packets: int = PACKETS, shards: int = 1) -> Table2Result:
+    from repro.experiments.common import sharded_cells
+    from repro.sim.shard import Unit
+
+    units = [
+        Unit(key=label,
+             runner="repro.experiments.table2_optimizations:run_cell",
+             params=dict(label=label, packets=packets),
+             # The un-batched rungs simulate slower (more per-packet
+             # bookkeeping) — weight them heavier for LPT placement.
+             weight=3.0 if label in ("none", "O1") else 1.5)
+        for label, _opts, _main in LADDER
+    ]
+    return Table2Result(mpps=sharded_cells(units, shards=shards))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

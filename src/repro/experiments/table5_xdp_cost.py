@@ -91,27 +91,50 @@ def _measure_task(program_ctx: XdpContext, packets: int,
                       frame_len=64).mpps
 
 
-def run_table5(packets: int = PACKETS, n_flows: int = 1) -> Table5Result:
+def _build_program(task: str):
+    if task == "A":
+        return drop_program()
+    if task == "B":
+        return parse_drop_program()
+    if task == "C":
+        lookup_prog, table = parse_lookup_drop_program()
+        # Populate the L2 table so task C's lookup hits, as in the paper.
+        stream = TrexStream(FlowSpec(1), frame_len=64)
+        table.update(l2_key(stream.next_packet().data[0:6]),
+                     (1).to_bytes(4, "little"))
+        return lookup_prog
+    if task == "D":
+        return parse_swap_tx_program()
+    raise ValueError(f"unknown task {task!r}")
+
+
+def run_cell(task: str, packets: int, n_flows: int) -> float:
+    """One Table 5 row: build the task's program and measure it.
+
+    The shard unit (DESIGN §17): program construction (a pure, uncharged
+    build) moved inside the cell so every row is self-contained.
+    """
+    return _measure_task(XdpContext(_build_program(task)), packets,
+                         n_flows=n_flows)
+
+
+def run_table5(packets: int = PACKETS, n_flows: int = 1,
+               shards: int = 1) -> Table5Result:
     """Measure the four tasks; ``n_flows > 1`` spreads the stream over
     that many distinct flows (every-frame-different traffic defeats any
     per-frame verdict caching, isolating raw program execution cost)."""
-    lookup_prog, table = parse_lookup_drop_program()
-    # Populate the L2 table so task C's lookup hits, as in the paper.
-    stream = TrexStream(FlowSpec(1), frame_len=64)
-    table.update(l2_key(stream.next_packet().data[0:6]),
-                 (1).to_bytes(4, "little"))
-    tasks = {
-        "A": drop_program(),
-        "B": parse_drop_program(),
-        "C": lookup_prog,
-        "D": parse_swap_tx_program(),
-    }
-    return Table5Result(
-        mpps={
-            task: _measure_task(XdpContext(prog), packets, n_flows=n_flows)
-            for task, prog in tasks.items()
-        }
-    )
+    from repro.experiments.common import sharded_cells
+    from repro.sim.shard import Unit
+
+    units = [
+        Unit(key=task,
+             runner="repro.experiments.table5_xdp_cost:run_cell",
+             params=dict(task=task, packets=packets, n_flows=n_flows),
+             # Complexity grows A -> D; D also transmits.
+             weight={"A": 1.0, "B": 1.5, "C": 2.0, "D": 2.5}[task])
+        for task in "ABCD"
+    ]
+    return Table5Result(mpps=sharded_cells(units, shards=shards))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -19,6 +19,8 @@ operator actually runs:
   decision the datapath would take, without taking any of them,
 * ``supervisor/show`` — the crash-recovery watchdog: uptime, restart
   history with per-phase recovery timings, backoff state,
+* ``shard/show`` — the last sharded run: placement, barriers,
+  cross-shard handoff queues, merge wall-time (DESIGN §17),
 * ``fdb/stats`` equivalents come from the bridges' OpenFlow dumps.
 
 ``pmd-perf-show`` and ``coverage/show`` read the active
@@ -364,6 +366,22 @@ class OvsAppctl:
         if supervisor is None:
             return "(no supervisor attached)"
         return supervisor.render()
+
+    # ------------------------------------------------------------------
+    def shard_show(self, report=None) -> str:
+        """``ovs-appctl shard/show``: the most recent sharded run —
+        worker count and start method, barrier count, per-shard unit
+        (or PMD) placement with wall times, cross-shard TX handoff
+        queue accounting and the coordinator's merge cost.  Reads
+        :data:`repro.sim.shard.LAST_REPORT` when no report is passed;
+        wall times are real seconds and never feed any observable."""
+        if report is None:
+            from repro.sim import shard
+
+            report = shard.LAST_REPORT
+        if report is None:
+            return "(no sharded run recorded)"
+        return report.render()
 
     # ------------------------------------------------------------------
     def dpctl_dump_conntrack(self, max_conns: int = 50) -> str:

@@ -79,24 +79,46 @@ FULL_GRID = MatrixGrid(
 )
 
 
-def run_matrix(grid: MatrixGrid, progress: bool = False) -> dict:
+def _shard_cell(spec: CellSpec, packets: int, link_gbps: float,
+                resolution_mpps: float, loss_tolerance: float) -> dict:
+    """Shard-unit wrapper around :func:`run_cell` (DESIGN §17)."""
+    return run_cell(spec, packets=packets, link_gbps=link_gbps,
+                    resolution_mpps=resolution_mpps,
+                    loss_tolerance=loss_tolerance)
+
+
+def run_matrix(grid: MatrixGrid, progress: bool = False,
+               shards: int = 1) -> dict:
     """Sweep the grid; returns the schema-valid matrix document."""
-    cells: List[dict] = []
+    from repro.sim.shard import Unit, run_units
+
     skipped: Dict[Tuple[str, str], str] = {}
+    units: List[Unit] = []
     for spec in grid.specs():
         reason = cell_support(spec.datapath, spec.topology)
         if reason is not None:
             skipped[(spec.datapath, spec.topology)] = reason
             continue
-        if progress:  # pragma: no cover - cosmetics
-            print(f"  {spec.cell_id} ...", file=sys.stderr, flush=True)
-        cells.append(run_cell(
-            spec,
-            packets=grid.packets,
-            link_gbps=grid.link_gbps,
-            resolution_mpps=grid.resolution_mpps,
-            loss_tolerance=grid.loss_tolerance,
+        units.append(Unit(
+            key=spec.cell_id,
+            runner="repro.perfmatrix.matrix:_shard_cell",
+            params=dict(spec=spec, packets=grid.packets,
+                        link_gbps=grid.link_gbps,
+                        resolution_mpps=grid.resolution_mpps,
+                        loss_tolerance=grid.loss_tolerance),
+            # The lossless-rate search re-drives the cell per probe;
+            # flows and frame size dominate a cell's wall-clock.
+            weight=(2.0 if spec.n_flows > 1 else 1.0)
+            * (1.5 if spec.topology != "P2P" else 1.0),
         ))
+    if shards <= 1:
+        cells = []
+        for unit in units:
+            if progress:  # pragma: no cover - cosmetics
+                print(f"  {unit.key} ...", file=sys.stderr, flush=True)
+            cells.append(_shard_cell(**unit.params))
+    else:
+        cells = run_units(units, shards=shards).values
     doc = {
         "schema": SCHEMA_ID,
         "grid": {
@@ -218,9 +240,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="loss fraction still counted lossless")
     parser.add_argument("--progress", action="store_true",
                         help="narrate cells to stderr")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="sweep cells across N worker processes; the "
+                             "matrix document is byte-identical to "
+                             "--shards 1 (see DESIGN §17)")
     args = parser.parse_args(argv)
 
-    doc = run_matrix(build_grid(args), progress=args.progress)
+    doc = run_matrix(build_grid(args), progress=args.progress,
+                     shards=args.shards)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(canonical_json(doc))

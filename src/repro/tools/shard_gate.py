@@ -1,0 +1,164 @@
+"""CI gate: sharded execution must be invisible to every observable.
+
+For each experiment (fig2, fig9, table2, table5) this runs the workload
+serially and then across {2, 4} worker processes, byte-diffing the trace
+ledger, the counter map, and the collapsed-stack flamegraph of every
+run.  Any difference is a merge-exactness bug in :mod:`repro.sim.shard`
+— a float folded out of serial unit order, a counter double-merged, a
+profiler path lost in the snapshot — and fails the build.
+
+``--prove-trips`` runs the mutation checks instead: it perturbs the
+coordinator's merge (reversed unit order; run-length groups collapsed
+into one multiplication each) and asserts the gate *fails* — proof that
+a byte-identity gate over these workloads has the power to catch a real
+merge bug, not just vacuously pass.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.shard_gate [--experiments ...]
+                                                    [--workers 2,4]
+                                                    [--prove-trips]
+
+Exit status 0 when every experiment is byte-identical at every worker
+count (or, under ``--prove-trips``, when every mutation trips), 1
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Tuple
+
+from repro.sim import profile
+from repro.sim.profile import collapse
+
+PACKETS = {"fig2": 400, "fig9": 300, "table2": 400, "table5": 500}
+WORKERS = (2, 4)
+
+#: Merge mutations that must each trip the gate (satellite: "perturb
+#: merge order -> gate fails").
+MUTATIONS = ("reorder", "collapse")
+
+
+def _run_experiment(experiment: str, packets: int, shards: int,
+                    mutate: Optional[str] = None) -> None:
+    if mutate is not None:
+        # Route through run_units directly so the mutation hook is
+        # reachable; the public experiment entry points never expose it.
+        from repro.sim.shard import run_units
+
+        if experiment == "fig9":
+            from repro.experiments.fig9_forwarding import cell_units
+
+            run_units(cell_units(packets, scenarios=("P2P",)),
+                      shards=shards, _mutate_merge=mutate)
+            return
+        raise ValueError("mutation checks run on fig9 only")
+    if experiment == "fig2":
+        from repro.experiments.fig2_single_flow import run_fig2
+
+        run_fig2(packets=packets, shards=shards)
+    elif experiment == "fig9":
+        from repro.experiments.fig9_forwarding import run_fig9
+
+        run_fig9(packets=packets, scenarios=("P2P",), shards=shards)
+    elif experiment == "table2":
+        from repro.experiments.table2_optimizations import run_table2
+
+        run_table2(packets=packets, shards=shards)
+    else:
+        from repro.experiments.table5_xdp_cost import run_table5
+
+        run_table5(packets=packets, shards=shards)
+
+
+def _observe(experiment: str, shards: int,
+             mutate: Optional[str] = None) -> Tuple[str, Dict, str]:
+    with profile.profiling() as rec:
+        _run_experiment(experiment, PACKETS[experiment], shards,
+                        mutate=mutate)
+    return rec.ledger(), dict(rec.counters), collapse(rec.profiler.root)
+
+
+def _diff(label, serial, sharded):
+    led_a, counters_a, flame_a = serial
+    led_b, counters_b, flame_b = sharded
+    if led_a != led_b:
+        return f"{label}: trace ledger differs"
+    if counters_a != counters_b:
+        diff = {
+            k: (counters_a.get(k), counters_b.get(k))
+            for k in set(counters_a) | set(counters_b)
+            if counters_a.get(k) != counters_b.get(k)
+        }
+        return f"{label}: counters differ: {diff!r}"
+    if flame_a != flame_b:
+        return f"{label}: collapsed-stack flamegraph differs"
+    return None
+
+
+def check_experiment(experiment: str,
+                     workers=WORKERS) -> Tuple[bool, str]:
+    """(ok, detail): serial vs every sharded worker count."""
+    serial = _observe(experiment, shards=1)
+    for n in workers:
+        detail = _diff(f"shards={n}", serial,
+                       _observe(experiment, shards=n))
+        if detail is not None:
+            return False, detail
+    ledger, counters, flame = serial
+    if not (ledger and flame and counters):
+        return False, "vacuous run: no ledger/counters/flame recorded"
+    return True, (f"ledger {len(ledger)}B, {len(counters)} counters, "
+                  f"flame {len(flame)}B identical at workers "
+                  f"{{1,{','.join(str(n) for n in workers)}}}")
+
+
+def check_mutations(workers=WORKERS) -> Tuple[bool, str]:
+    """Every merge mutation must change at least one observable."""
+    serial = _observe("fig9", shards=1)
+    n = workers[0]
+    for mutation in MUTATIONS:
+        mutated = _observe("fig9", shards=n, mutate=mutation)
+        if _diff(mutation, serial, mutated) is None:
+            return False, (f"mutation {mutation!r} did NOT trip the "
+                           f"gate at shards={n}: the byte-identity "
+                           f"check is vacuous")
+    return True, (f"{len(MUTATIONS)} merge mutations "
+                  f"({', '.join(MUTATIONS)}) each tripped the gate "
+                  f"at shards={n}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiments",
+                        default=",".join(sorted(PACKETS)),
+                        help="comma-separated subset to check")
+    parser.add_argument("--workers", default=",".join(
+        str(n) for n in WORKERS),
+        help="comma-separated worker counts to compare against serial")
+    parser.add_argument("--prove-trips", action="store_true",
+                        help="run the merge-mutation checks instead")
+    args = parser.parse_args(argv)
+    workers = tuple(int(w) for w in args.workers.split(","))
+
+    if args.prove_trips:
+        ok, detail = check_mutations(workers)
+        print(f"mutations {'OK' if ok else 'FAIL'}  {detail}")
+        return 0 if ok else 1
+
+    failed = False
+    for experiment in args.experiments.split(","):
+        experiment = experiment.strip()
+        if experiment not in PACKETS:
+            print(f"{experiment}: unknown experiment")
+            failed = True
+            continue
+        ok, detail = check_experiment(experiment, workers)
+        print(f"{experiment:8s} {'OK' if ok else 'FAIL'}  {detail}")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

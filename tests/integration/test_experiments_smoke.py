@@ -48,6 +48,14 @@ def test_every_experiment_module_is_smoke_covered():
         )
 
 
+def test_fault_cells_smoke():
+    from repro.experiments.fault_cells import merged_fault_ledger
+
+    ledger = merged_fault_ledger(2, seed=3, packets=TINY["fig9_packets"])
+    assert ledger["offered"] > ledger["forwarded"] > 0
+    assert ledger["sinks"], "the seeded fault plan never fired"
+
+
 def test_fig1_smoke():
     result = run_fig1()
     assert set(result.dataset) == {2015, 2016, 2017, 2018, 2019}
